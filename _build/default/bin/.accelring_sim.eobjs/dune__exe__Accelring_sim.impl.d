@@ -1,0 +1,1 @@
+bin/accelring_sim.ml: Arg Aring_baselines Aring_harness Aring_ring Aring_sim Aring_util Aring_wire Array Cmd Cmdliner Fmt Format Int64 Logs Params Printf Profile Scenario Term

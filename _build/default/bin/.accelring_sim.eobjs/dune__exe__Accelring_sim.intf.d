@@ -1,0 +1,1 @@
+bin/accelring_sim.mli:

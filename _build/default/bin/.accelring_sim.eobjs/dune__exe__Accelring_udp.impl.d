@@ -1,0 +1,1 @@
+bin/accelring_udp.ml: Arg Aring_ring Aring_transport Aring_util Aring_wire Array Bytes Cmd Cmdliner Fmt List Logs Member Message Params Participant Printf String Term Thread Types Udp_runtime

@@ -1,0 +1,1 @@
+examples/bank_ledger.ml: Aring_ring Aring_sim Aring_util Aring_wire Array Bytes Fmt Hashtbl List Member Message Netsim Option Params Participant Printf Profile String Types

@@ -1,0 +1,1 @@
+examples/chat_groups.ml: Aring_daemon Aring_ring Aring_sim Aring_util Array Bytes Daemon List Member Netsim Params Printf Profile String

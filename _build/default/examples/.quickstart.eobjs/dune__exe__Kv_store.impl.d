@@ -1,0 +1,1 @@
+examples/kv_store.ml: Aring_ring Aring_sim Aring_util Aring_wire Array Bytes Hashtbl List Member Message Netsim Params Printf Profile String Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aring_ring Aring_sim Aring_util Aring_wire Array Bytes Fmt List Member Message Netsim Params Participant Printf Profile Types

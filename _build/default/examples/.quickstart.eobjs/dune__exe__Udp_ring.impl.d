@@ -1,0 +1,1 @@
+examples/udp_ring.ml: Aring_ring Aring_transport Aring_util Aring_wire Array Bytes List Member Message Mutex Params Printf Thread Types Udp_runtime

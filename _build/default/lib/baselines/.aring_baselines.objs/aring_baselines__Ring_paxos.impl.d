@@ -1,0 +1,1 @@
+lib/baselines/ring_paxos.ml: Aring_ring Aring_util Aring_wire Bytes Hashtbl List Message Participant Types

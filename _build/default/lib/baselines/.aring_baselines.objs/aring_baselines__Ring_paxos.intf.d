@@ -1,0 +1,1 @@
+lib/baselines/ring_paxos.mli: Aring_ring Aring_wire Participant Types

@@ -1,0 +1,1 @@
+lib/baselines/sequencer.ml: Aring_ring Aring_util Aring_wire Hashtbl List Message Participant Types

@@ -1,0 +1,1 @@
+lib/baselines/sequencer.mli: Aring_ring Aring_wire Participant Types

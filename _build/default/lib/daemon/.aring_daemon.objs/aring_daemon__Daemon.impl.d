@@ -1,0 +1,1 @@
+lib/daemon/daemon.ml: Aring_ring Aring_wire Codec Envelope Groups Hashtbl List Member Message Participant Printf Types

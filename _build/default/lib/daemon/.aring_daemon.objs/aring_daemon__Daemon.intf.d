@@ -1,0 +1,1 @@
+lib/daemon/daemon.mli: Aring_ring Aring_wire Member Participant Types

@@ -1,0 +1,1 @@
+lib/daemon/envelope.ml: Aring_wire Bytes Codec Format Printf String

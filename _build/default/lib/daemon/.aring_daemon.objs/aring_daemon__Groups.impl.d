@@ -1,0 +1,1 @@
+lib/daemon/groups.ml: Hashtbl List Option String

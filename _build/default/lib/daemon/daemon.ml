@@ -1,0 +1,242 @@
+open Aring_wire
+open Aring_ring
+
+type callbacks = {
+  on_message :
+    sender:string -> groups:string list -> Types.service -> bytes -> unit;
+  on_group_view : group:string -> members:string list -> unit;
+}
+
+type session = {
+  s_name : string;
+  s_member : string;  (* canonical "#name#daemon" identity *)
+  s_callbacks : callbacks;
+  mutable s_joined : string list;  (* local record, for re-announcement *)
+  mutable s_open : bool;
+}
+
+type stats = {
+  mutable client_deliveries : int;
+  mutable group_notifications : int;
+  mutable packs_sent : int;
+  mutable envelopes_packed : int;
+}
+
+type t = {
+  member : Member.t;
+  me : Types.pid;
+  groups : Groups.t;
+  sessions : (string, session) Hashtbl.t;
+  stats : stats;
+  packing : bool;
+  pack_threshold : int;
+  (* Packing buffer: envelopes awaiting the next flush, oldest first, all
+     of [pack_service]. A service change flushes to preserve order. *)
+  mutable pack_buffer : Envelope.t list;
+  mutable pack_bytes : int;
+  mutable pack_service : Types.service;
+}
+
+let create ?(packing = false) ?(pack_threshold = 1300) ~member () =
+  {
+    member;
+    me = Member.me member;
+    groups = Groups.create ();
+    sessions = Hashtbl.create 8;
+    stats =
+      {
+        client_deliveries = 0;
+        group_notifications = 0;
+        packs_sent = 0;
+        envelopes_packed = 0;
+      };
+    packing;
+    pack_threshold;
+    pack_buffer = [];
+    pack_bytes = 0;
+    pack_service = Types.Agreed;
+  }
+
+let stats t = t.stats
+let group_members t group = Groups.members t.groups group
+let session_member_name _t s = s.s_member
+
+let connect t ~name callbacks =
+  if Hashtbl.mem t.sessions name then
+    invalid_arg (Printf.sprintf "Daemon.connect: session %S already exists" name);
+  let s =
+    {
+      s_name = name;
+      s_member = Envelope.member_name ~daemon:t.me ~session:name;
+      s_callbacks = callbacks;
+      s_joined = [];
+      s_open = true;
+    }
+  in
+  Hashtbl.replace t.sessions name s;
+  s
+
+let submit_plain t service env =
+  Member.submit t.member service (Envelope.encode env)
+
+(* Flush the packing buffer as one Batch (or a plain envelope when it
+   holds a single entry). *)
+let flush t =
+  match t.pack_buffer with
+  | [] -> ()
+  | [ env ] ->
+      submit_plain t t.pack_service env;
+      t.pack_buffer <- [];
+      t.pack_bytes <- 0
+  | entries ->
+      t.stats.packs_sent <- t.stats.packs_sent + 1;
+      t.stats.envelopes_packed <- t.stats.envelopes_packed + List.length entries;
+      submit_plain t t.pack_service (Envelope.Batch (List.rev entries));
+      t.pack_buffer <- [];
+      t.pack_bytes <- 0
+
+let submit_envelope t service env =
+  if not t.packing then submit_plain t service env
+  else begin
+    let size = Envelope.encoded_size env in
+    if
+      (t.pack_buffer <> [] && not (Types.service_equal service t.pack_service))
+      || t.pack_bytes + size > t.pack_threshold
+    then flush t;
+    if size >= t.pack_threshold then submit_plain t service env
+    else begin
+      t.pack_service <- service;
+      t.pack_buffer <- env :: t.pack_buffer;
+      t.pack_bytes <- t.pack_bytes + size
+    end
+  end
+
+let join t s group =
+  if s.s_open then begin
+    if not (List.mem group s.s_joined) then s.s_joined <- group :: s.s_joined;
+    submit_envelope t Types.Agreed (Envelope.Join { member = s.s_member; group })
+  end
+
+let leave t s group =
+  if s.s_open then begin
+    s.s_joined <- List.filter (fun g -> g <> group) s.s_joined;
+    submit_envelope t Types.Agreed (Envelope.Leave { member = s.s_member; group })
+  end
+
+let disconnect t s =
+  if s.s_open then begin
+    List.iter
+      (fun group ->
+        submit_envelope t Types.Agreed
+          (Envelope.Leave { member = s.s_member; group }))
+      s.s_joined;
+    s.s_joined <- [];
+    s.s_open <- false;
+    Hashtbl.remove t.sessions s.s_name
+  end
+
+let multicast t s ?(service = Types.Agreed) ~groups payload =
+  if s.s_open then
+    submit_envelope t service
+      (Envelope.App { sender = s.s_member; groups; payload })
+
+(* Local sessions that belong to [group]. *)
+let local_members_of t group =
+  let members = Groups.members t.groups group in
+  Hashtbl.fold
+    (fun _ s acc -> if List.mem s.s_member members then s :: acc else acc)
+    t.sessions []
+
+let notify_group_view t group members =
+  List.iter
+    (fun s ->
+      t.stats.group_notifications <- t.stats.group_notifications + 1;
+      s.s_callbacks.on_group_view ~group ~members)
+    (local_members_of t group)
+
+(* Apply one totally-ordered envelope. Returns one [Deliver] action per
+   local recipient so a driving runtime charges per-client delivery cost. *)
+let rec apply_envelope t (d : Message.data) env =
+  match env with
+  | Envelope.Batch entries ->
+      List.concat_map (fun entry -> apply_envelope t d entry) entries
+  | Envelope.App { sender; groups; payload } ->
+      let recipients =
+        List.concat_map (fun g -> local_members_of t g) groups
+        |> List.sort_uniq (fun a b -> compare a.s_name b.s_name)
+      in
+      List.map
+        (fun s ->
+          t.stats.client_deliveries <- t.stats.client_deliveries + 1;
+          s.s_callbacks.on_message ~sender ~groups d.service payload;
+          Participant.Deliver d)
+        recipients
+  | Envelope.Join { member; group } ->
+      (match Groups.join t.groups ~group ~member with
+      | Some members -> notify_group_view t group members
+      | None -> ());
+      []
+  | Envelope.Leave { member; group } ->
+      (match Groups.leave t.groups ~group ~member with
+      | Some members -> notify_group_view t group members
+      | None -> ());
+      []
+
+let handle_delivery t (d : Message.data) =
+  match Envelope.decode d.payload with
+  | env -> apply_envelope t d env
+  | exception Codec.Decode_error _ ->
+      (* Not daemon traffic (e.g. a recovery flood of a foreign payload);
+         surface it unchanged. *)
+      [ Participant.Deliver d ]
+
+(* A new regular configuration: prune members of departed daemons, tell
+   affected local clients, and re-announce our own sessions so daemons that
+   merged in can rebuild their view of us. *)
+let handle_view t (v : Participant.view) =
+  if not v.transitional then begin
+    let keep pid = List.mem pid v.members in
+    let changed = Groups.prune t.groups ~keep in
+    List.iter (fun (group, members) -> notify_group_view t group members) changed;
+    Hashtbl.iter
+      (fun _ s ->
+        List.iter
+          (fun group ->
+            submit_envelope t Types.Agreed
+              (Envelope.Join { member = s.s_member; group }))
+          s.s_joined)
+      t.sessions
+  end
+
+let transform_actions t actions =
+  List.concat_map
+    (fun action ->
+      match action with
+      | Participant.Deliver d -> handle_delivery t d
+      | Participant.Deliver_config v ->
+          handle_view t v;
+          [ action ]
+      | Participant.Unicast _ | Participant.Multicast _
+      | Participant.Arm_timer _ | Participant.Token_loss_detected ->
+          [ action ])
+    actions
+
+let participant t : Participant.t =
+  let inner = Member.participant t.member in
+  {
+    inner with
+    process =
+      (fun msg ->
+        (* Submissions accumulate until a token is about to be handled —
+           they wait for the token anyway, so packing across a rotation
+           costs no extra latency. *)
+        (match msg with
+        | Message.Token _ | Message.Commit _ -> flush t
+        | Message.Data _ | Message.Join _ -> ());
+        transform_actions t (inner.process msg));
+    fire_timer =
+      (fun timer ->
+        flush t;
+        transform_actions t (inner.fire_timer timer));
+    start = (fun () -> transform_actions t (inner.start ()));
+  }

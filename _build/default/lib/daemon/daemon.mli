@@ -1,0 +1,81 @@
+(** A Spread-like group-communication daemon on top of the Accelerated Ring.
+
+    The daemon provides the client-facing features the paper credits for
+    Spread's success (Section I): a client-daemon architecture, named
+    groups with open-group semantics (a sender need not be a member),
+    multi-group multicast with ordering guarantees across groups, and group
+    membership notifications consistent at all clients.
+
+    Clients are in-process sessions; the cost of the client/daemon IPC hop
+    is modelled by the simulator's tier profiles. Every state-changing
+    client operation is encoded as an {!Envelope} and multicast through the
+    ring, so all daemons apply it at the same point of the total order.
+
+    After a configuration change, each daemon prunes group members hosted
+    by departed daemons, notifies affected local clients, and re-announces
+    its own clients' memberships in the new configuration — a state
+    transfer that reconverges group views after partitions and merges. *)
+
+open Aring_wire
+open Aring_ring
+
+type t
+type session
+
+type callbacks = {
+  on_message :
+    sender:string -> groups:string list -> Types.service -> bytes -> unit;
+      (** Invoked once per delivered application message addressed to a
+          group this session belongs to (multi-group sends arrive once). *)
+  on_group_view : group:string -> members:string list -> unit;
+      (** Invoked when the membership of a joined group changes. *)
+}
+
+type stats = {
+  mutable client_deliveries : int;
+  mutable group_notifications : int;
+  mutable packs_sent : int;  (** Batch envelopes multicast. *)
+  mutable envelopes_packed : int;  (** Envelopes carried inside batches. *)
+}
+
+val create : ?packing:bool -> ?pack_threshold:int -> member:Member.t -> unit -> t
+(** Build a daemon on a ring participant; drive the returned
+    {!participant} with a runtime (simulator or UDP loop).
+
+    With [~packing:true] (default false), small client envelopes are
+    packed into a single protocol packet of at most [pack_threshold]
+    bytes (default 1300) — Spread's packing feature for amortizing
+    per-packet costs over small messages. Submissions accumulated between
+    runtime events are flushed together at the next event; packing trades
+    a little latency for large small-message throughput gains. *)
+
+val flush : t -> unit
+(** Force out any buffered packed submissions now. *)
+
+val participant : t -> Participant.t
+
+val connect : t -> name:string -> callbacks -> session
+(** [connect t ~name cb] opens a local client session. [name] must be
+    unique on this daemon. *)
+
+val disconnect : t -> session -> unit
+(** Leaves all joined groups (ordered through the ring). *)
+
+val session_member_name : t -> session -> string
+(** The canonical ["#name#daemon"] identity of the session. *)
+
+val join : t -> session -> string -> unit
+(** Ordered group join; takes effect when its envelope is delivered. *)
+
+val leave : t -> session -> string -> unit
+
+val multicast :
+  t -> session -> ?service:Types.service -> groups:string list -> bytes -> unit
+(** Multi-group multicast: delivered exactly once to every member of the
+    union of [groups], at the same point of the total order everywhere.
+    Open-group semantics: the sender need not be a member. *)
+
+val group_members : t -> string -> string list
+(** This daemon's current view of a group. *)
+
+val stats : t -> stats

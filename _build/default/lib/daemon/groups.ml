@@ -1,0 +1,53 @@
+type t = (string, string list) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let members t group = Option.value ~default:[] (Hashtbl.find_opt t group)
+
+let group_names t = Hashtbl.fold (fun g _ acc -> g :: acc) t []
+
+let set t group = function
+  | [] -> Hashtbl.remove t group
+  | ms -> Hashtbl.replace t group ms
+
+let join t ~group ~member =
+  let current = members t group in
+  if List.mem member current then None
+  else begin
+    let updated = List.sort compare (member :: current) in
+    set t group updated;
+    Some updated
+  end
+
+let leave t ~group ~member =
+  let current = members t group in
+  if not (List.mem member current) then None
+  else begin
+    let updated = List.filter (fun m -> m <> member) current in
+    set t group updated;
+    Some updated
+  end
+
+let daemon_of_member name =
+  match String.rindex_opt name '#' with
+  | None -> None
+  | Some i -> int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+
+let prune t ~keep =
+  let changed = ref [] in
+  let names = group_names t in
+  List.iter
+    (fun group ->
+      let current = members t group in
+      let kept =
+        List.filter
+          (fun m ->
+            match daemon_of_member m with Some d -> keep d | None -> false)
+          current
+      in
+      if List.length kept <> List.length current then begin
+        set t group kept;
+        changed := (group, kept) :: !changed
+      end)
+    names;
+  !changed

@@ -1,0 +1,31 @@
+(** Group-membership bookkeeping.
+
+    Pure state: maps group names to sorted member names. All mutations are
+    applied in the ring's total order (see {!Daemon}), so every daemon's
+    instance evolves identically. Member names follow
+    {!Envelope.member_name} and embed the hosting daemon's pid, which lets
+    a configuration change prune the members of departed daemons. *)
+
+type t
+
+val create : unit -> t
+
+val join : t -> group:string -> member:string -> string list option
+(** [join t ~group ~member] adds the member; [Some members'] when the group
+    view changed, [None] if it was already present. *)
+
+val leave : t -> group:string -> member:string -> string list option
+(** [Some members'] when the view changed ([] deletes the group). *)
+
+val members : t -> string -> string list
+(** Current members of a group (empty when unknown). *)
+
+val group_names : t -> string list
+
+val daemon_of_member : string -> int option
+(** Parse the daemon pid out of a ["#session#pid"] member name. *)
+
+val prune : t -> keep:(int -> bool) -> (string * string list) list
+(** [prune t ~keep] removes every member whose daemon fails [keep] (and
+    members whose daemon cannot be parsed); returns the changed groups and
+    their new member lists. *)

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Aring_ring Aring_sim Aring_util Aring_wire Array Bytes Engine Format Int64 Message Netsim Node Params Profile Types

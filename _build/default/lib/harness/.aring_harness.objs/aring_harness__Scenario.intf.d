@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Aring_ring Aring_sim Aring_util Aring_wire Format Params Participant Profile Types

@@ -1,0 +1,167 @@
+open Aring_wire
+open Aring_ring
+open Aring_sim
+module Stats = Aring_util.Stats
+
+type spec = {
+  label : string;
+  n_nodes : int;
+  net : Profile.net;
+  tier : Profile.tier;
+  params : Params.t;
+  payload : int;
+  service : Types.service;
+  offered_mbps : float;
+  warmup_ns : int;
+  measure_ns : int;
+  seed : int64;
+}
+
+type result = {
+  spec : spec;
+  delivered_mbps : float;
+  latency_us : Stats.t;
+  deliveries : int;
+  switch_drops : int;
+  random_losses : int;
+  retransmissions : int;
+  token_rounds : int;
+}
+
+let default_spec =
+  {
+    label = "default";
+    n_nodes = 8;
+    net = Profile.gigabit;
+    tier = Profile.daemon;
+    params = Params.default;
+    payload = 1350;
+    service = Types.Agreed;
+    offered_mbps = 200.0;
+    warmup_ns = 100_000_000;
+    measure_ns = 400_000_000;
+    seed = 1L;
+  }
+
+let ring_id : Types.ring_id = { rep = 0; ring_seq = 1 }
+
+(* Each sending client injects at a fixed rate; the aggregate offered load
+   is split evenly. Node phases are staggered and each inter-submission
+   interval carries ±25% jitter (mean preserved): a perfectly periodic
+   deterministic workload can phase-lock with the token rotation, a
+   resonance no real cluster exhibits. *)
+let start_workload sim spec ~until =
+  if spec.payload < 8 then invalid_arg "Scenario: payload must hold a timestamp";
+  let per_node_msgs_per_sec =
+    spec.offered_mbps *. 1e6
+    /. float_of_int (spec.payload * 8)
+    /. float_of_int spec.n_nodes
+  in
+  if per_node_msgs_per_sec > 0.0 then begin
+    let prng = Aring_util.Prng.create ~seed:(Int64.add spec.seed 0x5EEDL) in
+    let interval_ns = int_of_float (1e9 /. per_node_msgs_per_sec) in
+    for node = 0 to spec.n_nodes - 1 do
+      let rec tick () =
+        let now = Netsim.now sim in
+        if now < until then begin
+          let payload = Bytes.create spec.payload in
+          Bytes.set_int64_be payload 0 (Int64.of_int now);
+          Netsim.submit_now sim ~node spec.service payload;
+          let jitter =
+            interval_ns / 4 |> fun j ->
+            if j = 0 then 0 else Aring_util.Prng.int prng (2 * j) - j
+          in
+          Netsim.call_at sim ~at:(now + interval_ns + jitter) tick
+        end
+      in
+      let phase = interval_ns * node / spec.n_nodes in
+      Netsim.call_at sim ~at:phase tick
+    done
+  end
+
+let measure spec ~participants ~ring_stats =
+  let sim =
+    Netsim.create ~net:spec.net
+      ~tiers:(Array.make spec.n_nodes spec.tier)
+      ~participants ~seed:spec.seed ()
+  in
+  let t_end = spec.warmup_ns + spec.measure_ns in
+  let latency_us = Stats.create () in
+  let bytes_delivered = Array.make spec.n_nodes 0 in
+  let deliveries = ref 0 in
+  Netsim.on_deliver sim (fun ~at ~now (d : Message.data) ->
+      if now >= spec.warmup_ns && now < t_end then begin
+        incr deliveries;
+        bytes_delivered.(at) <- bytes_delivered.(at) + Bytes.length d.payload;
+        let submitted = Int64.to_int (Bytes.get_int64_be d.payload 0) in
+        Stats.add latency_us (float_of_int (now - submitted) /. 1e3)
+      end);
+  start_workload sim spec ~until:t_end;
+  Netsim.run_until sim t_end;
+  let measure_s = float_of_int spec.measure_ns /. 1e9 in
+  let per_node_mbps =
+    Array.map
+      (fun b -> float_of_int (b * 8) /. measure_s /. 1e6)
+      bytes_delivered
+  in
+  let delivered_mbps =
+    Array.fold_left ( +. ) 0.0 per_node_mbps
+    /. float_of_int spec.n_nodes
+  in
+  let retransmissions, token_rounds = ring_stats () in
+  let sim_stats = Netsim.stats sim in
+  {
+    spec;
+    delivered_mbps;
+    latency_us;
+    deliveries = !deliveries;
+    switch_drops = sim_stats.switch_drops;
+    random_losses = sim_stats.random_losses;
+    retransmissions;
+    token_rounds;
+  }
+
+let run spec =
+  let ring = Array.init spec.n_nodes (fun i -> i) in
+  let nodes =
+    Array.init spec.n_nodes (fun me ->
+        Node.create ~params:spec.params ~ring_id ~ring ~me ())
+  in
+  let ring_stats () =
+    ( Array.fold_left
+        (fun acc node -> acc + (Engine.stats (Node.engine node)).retrans_sent)
+        0 nodes,
+      (Engine.stats (Node.engine nodes.(0))).rounds )
+  in
+  measure spec ~participants:(Array.map Node.participant nodes) ~ring_stats
+
+let run_custom spec ~participants =
+  measure spec ~participants ~ring_stats:(fun () -> (0, 0))
+
+(* A load level is "sustained" when nearly all of it is delivered inside
+   the measurement window. *)
+let sustained result =
+  result.delivered_mbps >= 0.97 *. result.spec.offered_mbps
+
+let find_max_throughput ?(lo_mbps = 50.0) ?(hi_mbps = 12_000.0)
+    ?(tolerance_mbps = 25.0) spec =
+  let run_at mbps = run { spec with offered_mbps = mbps } in
+  let rec search lo hi best =
+    if hi -. lo <= tolerance_mbps then best
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      let r = run_at mid in
+      if sustained r then search mid hi r else search lo mid best
+    end
+  in
+  let base = run_at lo_mbps in
+  search lo_mbps hi_mbps base
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-28s offered=%7.0f Mbps delivered=%7.1f Mbps lat(mean=%7.1f p50=%7.1f \
+     p99=%8.1f us) n=%d rounds=%d retrans=%d drops=%d"
+    r.spec.label r.spec.offered_mbps r.delivered_mbps
+    (Stats.mean r.latency_us) (Stats.median r.latency_us)
+    (Stats.percentile r.latency_us 99.0)
+    r.deliveries r.token_rounds r.retransmissions r.switch_drops

@@ -1,0 +1,1 @@
+lib/ring/engine.ml: Aring_wire Array Hashtbl List Message Params Queue Types

@@ -1,0 +1,1 @@
+lib/ring/engine.mli: Aring_wire Message Params Types

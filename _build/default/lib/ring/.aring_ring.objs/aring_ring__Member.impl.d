@@ -1,0 +1,1 @@
+lib/ring/member.ml: Aring_util Aring_wire Array Engine Hashtbl List Logs Message Node Option Params Participant Queue Types

@@ -1,0 +1,1 @@
+lib/ring/member.mli: Aring_wire Node Params Participant Types

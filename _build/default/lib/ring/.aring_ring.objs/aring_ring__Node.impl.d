@@ -1,0 +1,1 @@
+lib/ring/node.ml: Aring_util Aring_wire Array Engine List Message Params Participant Priority

@@ -1,0 +1,1 @@
+lib/ring/node.mli: Aring_wire Engine Message Params Participant Types

@@ -1,0 +1,1 @@
+lib/ring/params.mli: Format

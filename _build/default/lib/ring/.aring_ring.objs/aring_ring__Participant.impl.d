@@ -1,0 +1,1 @@
+lib/ring/participant.ml: Aring_wire Format Message Types

@@ -1,0 +1,1 @@
+lib/ring/participant.mli: Aring_wire Format Message Types

@@ -1,0 +1,1 @@
+lib/ring/priority.ml: Aring_wire Message Params

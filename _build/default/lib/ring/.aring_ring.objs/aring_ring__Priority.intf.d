@@ -1,0 +1,1 @@
+lib/ring/priority.mli: Aring_wire Message Params Types

@@ -1,0 +1,392 @@
+open Aring_wire
+
+type timer_kind = Token_retransmit | Token_loss
+
+type input =
+  | Token_received of Message.token
+  | Data_received of Message.data
+  | Submit of Types.service * bytes
+  | Timer_expired of timer_kind * int
+
+type output =
+  | Send_token of Types.pid * Message.token
+  | Send_data of Message.data
+  | Deliver of Message.data
+  | Set_timer of timer_kind * int * int
+  | Token_lost
+
+type stats = {
+  mutable rounds : int;
+  mutable new_sent : int;
+  mutable retrans_sent : int;
+  mutable rtr_requested : int;
+  mutable delivered : int;
+  mutable dup_tokens : int;
+  mutable dup_data : int;
+  mutable token_retransmits : int;
+}
+
+(* Retransmission requests added to the token per round are capped so the
+   token stays within a single datagram even after catastrophic loss. *)
+let max_rtr_per_round = 512
+
+type t = {
+  params : Params.t;
+  ring_id : Types.ring_id;
+  ring : Types.pid array;
+  me : Types.pid;
+  my_pos : int;
+  buffer : (Types.seqno, Message.data) Hashtbl.t;
+  pending : (Types.service * bytes) Queue.t;
+  mutable round : Types.round;
+  mutable last_token_id : int;
+  mutable local_aru : Types.seqno;
+  mutable delivered : Types.seqno;
+  mutable safe_line : Types.seqno;
+  mutable discard_floor : Types.seqno;
+  mutable high_seq : Types.seqno;
+  mutable last_sent_aru : Types.seqno;
+  mutable prev_sent_aru : Types.seqno;
+  mutable prev_recv_seq : Types.seqno;
+  mutable last_round_sent : int;
+  mutable saved_token : Message.token option;
+  mutable progress_gen : int;
+  mutable loss_gen : int;
+  mutable retransmit_count : int;
+  stats : stats;
+}
+
+let position ring pid =
+  let rec loop i =
+    if i >= Array.length ring then None
+    else if ring.(i) = pid then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let create ~params ~ring_id ~ring ~me =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.create: " ^ msg));
+  let my_pos =
+    match position ring me with
+    | Some i -> i
+    | None -> invalid_arg "Engine.create: me not in ring"
+  in
+  {
+    params;
+    ring_id;
+    ring = Array.copy ring;
+    me;
+    my_pos;
+    buffer = Hashtbl.create 1024;
+    pending = Queue.create ();
+    round = 0;
+    last_token_id = -1;
+    local_aru = 0;
+    delivered = 0;
+    safe_line = 0;
+    discard_floor = 0;
+    high_seq = 0;
+    last_sent_aru = 0;
+    prev_sent_aru = 0;
+    prev_recv_seq = 0;
+    last_round_sent = 0;
+    saved_token = None;
+    progress_gen = 0;
+    loss_gen = 0;
+    retransmit_count = 0;
+    stats =
+      {
+        rounds = 0;
+        new_sent = 0;
+        retrans_sent = 0;
+        rtr_requested = 0;
+        delivered = 0;
+        dup_tokens = 0;
+        dup_data = 0;
+        token_retransmits = 0;
+      };
+  }
+
+let initial_token ring_id : Message.token =
+  {
+    t_ring = ring_id;
+    token_id = 0;
+    t_round = 0;
+    t_seq = 0;
+    aru = 0;
+    aru_id = None;
+    fcc = 0;
+    rtr = [];
+  }
+
+let me t = t.me
+let ring_id t = t.ring_id
+let ring t = Array.copy t.ring
+let successor t = t.ring.((t.my_pos + 1) mod Array.length t.ring)
+
+let predecessor t =
+  let n = Array.length t.ring in
+  t.ring.((t.my_pos - 1 + n) mod n)
+
+let round t = t.round
+let local_aru t = t.local_aru
+let delivered_upto t = t.delivered
+let safe_line t = t.safe_line
+let high_seq t = t.high_seq
+let pending_count t = Queue.length t.pending
+let buffered_count t = Hashtbl.length t.buffer
+let stats t = t.stats
+let buffered_message t seq = Hashtbl.find_opt t.buffer seq
+
+let undelivered_after_cursor t =
+  Hashtbl.fold
+    (fun seq d acc -> if seq > t.delivered then d :: acc else acc)
+    t.buffer []
+  |> List.sort (fun (a : Message.data) b -> compare a.seq b.seq)
+
+let advance_local_aru t =
+  while Hashtbl.mem t.buffer (t.local_aru + 1) do
+    t.local_aru <- t.local_aru + 1
+  done
+
+(* Deliver every message the cursor can reach: in sequence order, stopping
+   at a gap or at an undelivered Safe message above the stability line.
+   Agreed messages beyond an undelivered Safe message are thereby held back,
+   preserving the total order. *)
+let deliver_ready t =
+  let rec loop acc =
+    let next = t.delivered + 1 in
+    match Hashtbl.find_opt t.buffer next with
+    | None -> List.rev acc
+    | Some d ->
+        if Types.service_requires_stability d.service && next > t.safe_line
+        then List.rev acc
+        else begin
+          t.delivered <- next;
+          t.stats.delivered <- t.stats.delivered + 1;
+          loop (Deliver d :: acc)
+        end
+  in
+  loop []
+
+(* Garbage-collect messages that are both delivered locally and known
+   received by every participant: they can never be requested again. *)
+let collect_garbage t =
+  let floor = min t.safe_line t.delivered in
+  if floor > t.discard_floor then begin
+    for seq = t.discard_floor + 1 to floor do
+      Hashtbl.remove t.buffer seq
+    done;
+    t.discard_floor <- floor
+  end
+
+(* Progress evidence: data initiated in a later round, or in the current
+   round by a participant downstream of us, proves the token we forwarded
+   was received — it cancels our retransmission responsibility. *)
+let is_progress_evidence t (d : Message.data) =
+  d.d_round > t.round
+  || d.d_round = t.round
+     &&
+     match position t.ring d.pid with
+     | Some pos -> pos > t.my_pos
+     | None -> false
+
+let handle_data t (d : Message.data) =
+  if is_progress_evidence t d then t.progress_gen <- t.progress_gen + 1;
+  if d.seq <= t.discard_floor || Hashtbl.mem t.buffer d.seq then begin
+    t.stats.dup_data <- t.stats.dup_data + 1;
+    []
+  end
+  else begin
+    Hashtbl.replace t.buffer d.seq d;
+    if d.seq > t.high_seq then t.high_seq <- d.seq;
+    advance_local_aru t;
+    deliver_ready t
+  end
+
+(* Sequence numbers we have not received, in (local_aru, cap], that are not
+   already requested on the token. *)
+let missing_requests t ~cap ~already =
+  let rec loop seq budget acc =
+    if seq > cap || budget = 0 then List.rev acc
+    else if Hashtbl.mem t.buffer seq || List.mem seq already then
+      loop (seq + 1) budget acc
+    else loop (seq + 1) (budget - 1) (seq :: acc)
+  in
+  loop (t.local_aru + 1) max_rtr_per_round []
+
+let handle_token t (tok : Message.token) =
+  if tok.token_id <= t.last_token_id then begin
+    t.stats.dup_tokens <- t.stats.dup_tokens + 1;
+    []
+  end
+  else begin
+    t.last_token_id <- tok.token_id;
+    t.round <- t.round + 1;
+    t.stats.rounds <- t.stats.rounds + 1;
+    t.progress_gen <- t.progress_gen + 1;
+    t.loss_gen <- t.loss_gen + 1;
+    t.retransmit_count <- 0;
+    (* 1. Answer retransmission requests we can serve (always pre-token). *)
+    let answered, retrans_sends =
+      List.fold_left
+        (fun (answered, sends) seq ->
+          match Hashtbl.find_opt t.buffer seq with
+          | Some d ->
+              t.stats.retrans_sent <- t.stats.retrans_sent + 1;
+              (seq :: answered, Send_data d :: sends)
+          | None -> (answered, sends))
+        ([], []) tok.rtr
+    in
+    let retrans_sends = List.rev retrans_sends in
+    let num_retrans = List.length answered in
+    (* 2. Flow control (Section III-A.1). *)
+    let allowed_new =
+      let by_global = t.params.global_window - tok.fcc - num_retrans in
+      let by_gap = tok.aru + t.params.max_seq_gap - tok.t_seq in
+      max 0
+        (min
+           (Queue.length t.pending)
+           (min t.params.personal_window (min by_global by_gap)))
+    in
+    (* 3. Prepare all new messages for the round; split them into the
+       pre-token phase and the post-token phase (at most
+       accelerated_window messages follow the token). *)
+    let n_pre = max 0 (allowed_new - t.params.accelerated_window) in
+    let new_msgs =
+      List.init allowed_new (fun i ->
+          let service, payload = Queue.pop t.pending in
+          let d : Message.data =
+            {
+              d_ring = t.ring_id;
+              seq = tok.t_seq + i + 1;
+              pid = t.me;
+              d_round = t.round;
+              post_token = i >= n_pre;
+              service;
+              payload;
+            }
+          in
+          (* We trivially "have" our own message the moment it exists. *)
+          Hashtbl.replace t.buffer d.seq d;
+          t.stats.new_sent <- t.stats.new_sent + 1;
+          d)
+    in
+    let new_seq = tok.t_seq + allowed_new in
+    if new_seq > t.high_seq then t.high_seq <- new_seq;
+    advance_local_aru t;
+    (* 4. aru update (Section III-A.2): lower to our local aru when we are
+       missing messages; if we lowered it before (aru_id is ours) or the
+       token was fully caught up (aru = seq), set it to our local aru so it
+       can rise — possibly riding along with the new seq. *)
+    let new_aru, new_aru_id =
+      if
+        t.local_aru < tok.aru
+        || tok.aru_id = Some t.me
+        || tok.aru = tok.t_seq
+      then
+        (t.local_aru, if t.local_aru = new_seq then None else Some t.me)
+      else (tok.aru, tok.aru_id)
+    in
+    (* 5. fcc: replace our contribution from last round with this round's. *)
+    let sent_this_round = num_retrans + allowed_new in
+    let new_fcc = tok.fcc - t.last_round_sent + sent_this_round in
+    t.last_round_sent <- sent_this_round;
+    (* 6. rtr: drop what we answered; add what we are missing, capped at the
+       seq of the token we received in the *previous* round so that
+       messages still in a predecessor's post-token phase are not requested
+       (the key retransmission subtlety of the accelerated protocol). *)
+    let kept_rtr = List.filter (fun s -> not (List.mem s answered)) tok.rtr in
+    let my_missing = missing_requests t ~cap:t.prev_recv_seq ~already:kept_rtr in
+    t.stats.rtr_requested <- t.stats.rtr_requested + List.length my_missing;
+    let new_rtr = List.sort compare (kept_rtr @ my_missing) in
+    let token' : Message.token =
+      {
+        t_ring = t.ring_id;
+        token_id = tok.token_id + 1;
+        t_round = t.round;
+        t_seq = new_seq;
+        aru = new_aru;
+        aru_id = new_aru_id;
+        fcc = new_fcc;
+        rtr = new_rtr;
+      }
+    in
+    t.saved_token <- Some token';
+    t.prev_recv_seq <- tok.t_seq;
+    (* 7. Stability: every participant could have lowered the aru during the
+       last full rotation, so min(aru sent this round, aru sent last round)
+       is received by all (Section III-A.4). *)
+    t.prev_sent_aru <- t.last_sent_aru;
+    t.last_sent_aru <- new_aru;
+    let line = min t.prev_sent_aru t.last_sent_aru in
+    if line > t.safe_line then t.safe_line <- line;
+    (* 8. Deliver and discard. *)
+    let deliveries = deliver_ready t in
+    collect_garbage t;
+    let pre, post =
+      let rec split i = function
+        | [] -> ([], [])
+        | d :: rest ->
+            let pre, post = split (i + 1) rest in
+            if i < n_pre then (Send_data d :: pre, post)
+            else (pre, Send_data d :: post)
+      in
+      split 0 new_msgs
+    in
+    retrans_sends @ pre
+    @ [ Send_token (successor t, token') ]
+    @ post @ deliveries
+    @ [
+        Set_timer (Token_retransmit, t.progress_gen, t.params.token_retransmit_ns);
+        Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns);
+      ]
+  end
+
+let max_token_retransmits t =
+  max 1 (t.params.token_loss_ns / t.params.token_retransmit_ns)
+
+let handle_timer t kind gen =
+  match kind with
+  | Token_retransmit -> (
+      if gen <> t.progress_gen then []
+      else
+        match t.saved_token with
+        | None -> []
+        | Some tok ->
+            if t.retransmit_count >= max_token_retransmits t then []
+            else begin
+              t.retransmit_count <- t.retransmit_count + 1;
+              t.stats.token_retransmits <- t.stats.token_retransmits + 1;
+              [
+                Send_token (successor t, tok);
+                Set_timer
+                  (Token_retransmit, t.progress_gen, t.params.token_retransmit_ns);
+              ]
+            end)
+  | Token_loss -> if gen <> t.loss_gen then [] else [ Token_lost ]
+
+let handle t input =
+  match input with
+  | Token_received tok ->
+      if Types.ring_id_equal tok.t_ring t.ring_id then handle_token t tok
+      else []
+  | Data_received d ->
+      if Types.ring_id_equal d.d_ring t.ring_id then handle_data t d else []
+  | Submit (service, payload) ->
+      Queue.push (service, payload) t.pending;
+      []
+  | Timer_expired (kind, gen) -> handle_timer t kind gen
+
+let drain_pending t =
+  let rec loop acc =
+    match Queue.take_opt t.pending with
+    | None -> List.rev acc
+    | Some entry -> loop (entry :: acc)
+  in
+  loop []
+
+let start_timers t =
+  [ Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns) ]

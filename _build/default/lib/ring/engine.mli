@@ -1,0 +1,136 @@
+(** The Accelerated Ring ordering engine (Section III of the paper).
+
+    The engine is a sans-IO state machine: it owns no sockets, no clock and
+    no threads. Callers feed it {!type:input} events (a received token, a
+    received data message, a client submission, an expired timer) and
+    interpret the returned {!type:output} list. The {b order} of the output
+    list is the protocol's send order and encodes the acceleration:
+
+    {v
+      [ retransmissions ...        (pre-token, answering rtr)
+      ; new multicasts ...         (pre-token overflow beyond the
+                                    accelerated window)
+      ; Send_token                 (the token leaves here)
+      ; new multicasts ...         (post-token phase: at most
+                                    accelerated_window messages)
+      ; Deliver ... ]              (newly deliverable messages)
+    v}
+
+    With [accelerated_window = 0] the post-token phase is empty and the
+    engine behaves as the original Totem/Spread Ring protocol.
+
+    One engine instance serves one installed ring configuration. Membership
+    changes tear the engine down and build a fresh one (see {!Membership});
+    the engine itself only reports the loss of the token. *)
+
+open Aring_wire
+
+type timer_kind =
+  | Token_retransmit
+      (** Re-send the saved token if no progress was observed. *)
+  | Token_loss  (** Declare the token lost and ask for membership. *)
+
+type input =
+  | Token_received of Message.token
+  | Data_received of Message.data
+  | Submit of Types.service * bytes
+      (** A client message enters the pending queue; it is multicast on a
+          future token visit, subject to flow control. *)
+  | Timer_expired of timer_kind * int
+      (** [Timer_expired (kind, generation)]: only acted upon when
+          [generation] matches the engine's current generation for [kind] —
+          stale timers are ignored. *)
+
+type output =
+  | Send_token of Types.pid * Message.token
+      (** Unicast the token to the ring successor. *)
+  | Send_data of Message.data
+      (** Multicast a data message to all other participants. *)
+  | Deliver of Message.data
+      (** Hand the message to the application, in total order. *)
+  | Set_timer of timer_kind * int * int
+      (** [Set_timer (kind, generation, delay_ns)]: the runtime must feed
+          back [Timer_expired (kind, generation)] after [delay_ns]. *)
+  | Token_lost
+      (** No token activity within [token_loss_ns]; the membership algorithm
+          must take over. *)
+
+type stats = {
+  mutable rounds : int;  (** Tokens accepted (rotations seen locally). *)
+  mutable new_sent : int;  (** New messages initiated. *)
+  mutable retrans_sent : int;  (** Retransmissions answered. *)
+  mutable rtr_requested : int;  (** Retransmission requests added. *)
+  mutable delivered : int;  (** Messages delivered to the application. *)
+  mutable dup_tokens : int;  (** Duplicate/stale tokens discarded. *)
+  mutable dup_data : int;  (** Duplicate data messages discarded. *)
+  mutable token_retransmits : int;  (** Tokens re-sent on timeout. *)
+}
+
+type t
+
+val create :
+  params:Params.t ->
+  ring_id:Types.ring_id ->
+  ring:Types.pid array ->
+  me:Types.pid ->
+  t
+(** [create ~params ~ring_id ~ring ~me] is a participant engine for the
+    installed configuration [ring] (pids in ring order; the token flows in
+    array order, wrapping). [me] must occur in [ring]. The engine is idle
+    until it receives the initial token (see {!initial_token}) or data. *)
+
+val initial_token : Types.ring_id -> Message.token
+(** The first regular token of a freshly installed ring. The installer
+    hands it to the representative by feeding
+    [Token_received (initial_token rid)] to its engine. *)
+
+val handle : t -> input -> output list
+(** [handle t input] advances the state machine. See the module preamble
+    for output ordering guarantees. *)
+
+val start_timers : t -> output list
+(** Timers the runtime must arm right after installation (token loss
+    detection). *)
+
+(** {2 Introspection} *)
+
+val me : t -> Types.pid
+val ring_id : t -> Types.ring_id
+val ring : t -> Types.pid array
+val successor : t -> Types.pid
+val predecessor : t -> Types.pid
+val round : t -> Types.round
+(** Rounds completed locally (= tokens accepted). *)
+
+val local_aru : t -> Types.seqno
+(** Highest contiguously received sequence number. *)
+
+val delivered_upto : t -> Types.seqno
+(** Delivery cursor: every message with a sequence number at or below this
+    has been delivered. *)
+
+val safe_line : t -> Types.seqno
+(** Stability floor: messages at or below are known received by all. *)
+
+val high_seq : t -> Types.seqno
+(** Highest sequence number seen (token or data). *)
+
+val pending_count : t -> int
+(** Client messages waiting for a token visit. *)
+
+val buffered_count : t -> int
+(** Messages held for delivery or possible retransmission. *)
+
+val stats : t -> stats
+
+val buffered_message : t -> Types.seqno -> Message.data option
+(** [buffered_message t seq] is the retained message with sequence [seq],
+    if any — used by recovery to re-originate old-ring messages. *)
+
+val drain_pending : t -> (Types.service * bytes) list
+(** Remove and return the client messages still waiting for a token visit —
+    the membership layer carries them into the next configuration. *)
+
+val undelivered_after_cursor : t -> Message.data list
+(** Messages received but not yet delivered, ascending by sequence — used
+    by recovery when a configuration dies. *)

@@ -1,0 +1,810 @@
+open Aring_wire
+module Deque = Aring_util.Deque
+
+type memb_timer_kind =
+  | Join_retransmit
+  | Consensus_timeout
+  | Formation_timeout
+  | Merge_probe
+  | Exchange_recheck
+
+type Participant.timer +=
+  | Memb_timer of memb_timer_kind * int
+  | Epoch_timer of int * Participant.timer
+
+let log = Logs.Src.create "accelring.member" ~doc:"Membership algorithm"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Sorted pid-list set helpers                                         *)
+
+let set_of l = List.sort_uniq compare l
+let set_union a b = set_of (a @ b)
+let set_mem = List.mem
+let set_diff a b = List.filter (fun x -> not (List.mem x b)) a
+let set_equal a b = set_of a = set_of b
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+
+type gather = {
+  mutable proc_set : Types.pid list;  (* sorted *)
+  mutable fail_set : Types.pid list;  (* sorted *)
+  joins : (Types.pid, Message.join) Hashtbl.t;
+  mutable agreed : bool;  (* consensus reached, waiting for commit token *)
+  mutable settled : bool;
+      (* Consensus may only conclude after one join-retransmit interval:
+         processes detect the failure at slightly different times, and
+         concluding immediately would form a ring that excludes the
+         laggards (they would merge back in, but with churn). *)
+}
+
+type commit_phase = {
+  cp_ring : Types.ring_id;
+  cp_order : Types.pid array;
+}
+
+type recover = {
+  r_ring : Types.ring_id;
+  r_order : Types.pid array;
+  r_memb : Message.member_info list;
+  r_survivors : Types.pid list;  (* of my old ring, sorted *)
+  r_min_aru : Types.seqno;
+  r_max_high : Types.seqno;
+  r_exchange : (Types.seqno, Message.data) Hashtbl.t;
+  mutable r_pending : Message.commit option;
+      (* A pass-4 commit held back while late recovery floods arrive. *)
+  mutable r_rechecks : int;
+}
+
+type phase =
+  | Operational of Node.t
+  | Gather of gather
+  | Commit_wait of commit_phase
+  | Recover of recover
+
+type t = {
+  params : Params.t;
+  me : Types.pid;
+  initial_ring : Types.pid array option;
+  mutable phase : phase;
+  mutable old_node : Node.t option;  (* engine of the dying configuration *)
+  mutable old_ring : Types.ring_id;  (* ring I was last operational in *)
+  mutable old_delivered : Types.seqno;  (* its delivery cursor *)
+  mutable highest_ring_seq : int;
+  mutable join_seq : int;
+  mutable memb_gen : int;  (* invalidates membership timers on phase change *)
+  mutable node_epoch : int;  (* invalidates node timers across installs *)
+  mutable last_view : Participant.view option;
+  mutable installs : int;
+  known_rings : (Types.ring_id, unit) Hashtbl.t;  (* superseded rings *)
+  seen_join_seq : (Types.pid, int) Hashtbl.t;
+  client_pending : (Types.service * bytes) Queue.t;
+  inbox : Message.t Deque.t;  (* receive queue outside Operational *)
+  stash : (Types.seqno, Message.data) Hashtbl.t;  (* old-ring data *)
+}
+
+let me t = t.me
+let installs t = t.installs
+let current_view t = t.last_view
+
+let node t = match t.phase with Operational n -> Some n | _ -> None
+
+let state_name t =
+  match t.phase with
+  | Operational _ -> "operational"
+  | Gather _ -> "gather"
+  | Commit_wait _ -> "commit"
+  | Recover _ -> "recover"
+
+let create ~params ~me ?initial_ring () =
+  let singleton_ring : Types.ring_id = { rep = me; ring_seq = 0 } in
+  {
+    params;
+    me;
+    initial_ring;
+    phase =
+      Gather
+        {
+          proc_set = [ me ];
+          fail_set = [];
+          joins = Hashtbl.create 8;
+          agreed = false;
+          settled = false;
+        };
+    old_node = None;
+    old_ring = singleton_ring;
+    old_delivered = 0;
+    highest_ring_seq = 0;
+    join_seq = 0;
+    memb_gen = 0;
+    node_epoch = 0;
+    last_view = None;
+    installs = 0;
+    known_rings = Hashtbl.create 8;
+    seen_join_seq = Hashtbl.create 8;
+    client_pending = Queue.create ();
+    inbox = Deque.create ();
+    stash = Hashtbl.create 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Node action post-processing                                         *)
+
+(* Tag node-armed timers with the current epoch so that timers armed by a
+   torn-down configuration cannot fire into its successor (engine timer
+   generations restart from zero in each new engine). *)
+let rec rewrap_node_actions t actions =
+  List.concat_map
+    (fun action ->
+      match action with
+      | Participant.Arm_timer (timer, delay) ->
+          [ Participant.Arm_timer (Epoch_timer (t.node_epoch, timer), delay) ]
+      | Participant.Token_loss_detected -> enter_gather t
+      | Participant.Unicast _ | Participant.Multicast _
+      | Participant.Deliver _ | Participant.Deliver_config _ ->
+          [ action ])
+    actions
+
+(* ------------------------------------------------------------------ *)
+(* Gather                                                              *)
+
+and my_join t (g : gather) : Message.join =
+  { j_pid = t.me; proc_set = g.proc_set; fail_set = g.fail_set; join_seq = t.join_seq }
+
+and multicast_join t g = Participant.Multicast (Message.Join (my_join t g))
+
+(* Leave the operational (or any) state and start gathering. *)
+and enter_gather t =
+  t.memb_gen <- t.memb_gen + 1;
+  t.join_seq <- t.join_seq + 1;
+  (match t.phase with
+  | Operational node ->
+      (* Preserve the dying configuration: its engine holds the messages
+         recovery will exchange; unprocessed queued data still counts as
+         received for that purpose. *)
+      let engine = Node.engine node in
+      t.old_node <- Some node;
+      t.old_ring <- Engine.ring_id engine;
+      t.old_delivered <- Engine.delivered_upto engine;
+      Hashtbl.replace t.known_rings t.old_ring ();
+      let rec drain () =
+        match Node.take_next node with
+        | None -> ()
+        | Some (Message.Data d) ->
+            if Types.ring_id_equal d.d_ring t.old_ring then
+              Hashtbl.replace t.stash d.seq d;
+            drain ()
+        | Some (Message.Token _ | Message.Join _ | Message.Commit _) ->
+            drain ()
+      in
+      drain ();
+      List.iter
+        (fun entry -> Queue.push entry t.client_pending)
+        (Engine.drain_pending engine)
+  | Gather _ | Commit_wait _ | Recover _ -> ());
+  let g =
+    {
+      proc_set = [ t.me ];
+      fail_set = [];
+      joins = Hashtbl.create 8;
+      agreed = false;
+      settled = false;
+    }
+  in
+  Hashtbl.replace g.joins t.me (my_join t g);
+  t.phase <- Gather g;
+  Log.debug (fun m -> m "pid %d entering gather (join_seq %d)" t.me t.join_seq);
+  [
+    multicast_join t g;
+    Participant.Arm_timer
+      (Memb_timer (Join_retransmit, t.memb_gen), t.params.join_retransmit_ns);
+    Participant.Arm_timer
+      (Memb_timer (Consensus_timeout, t.memb_gen), t.params.consensus_timeout_ns);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Formation helpers                                                   *)
+
+and members_of g = set_diff g.proc_set g.fail_set
+
+and consensus_reached t g =
+  let members = members_of g in
+  List.for_all
+    (fun p ->
+      match Hashtbl.find_opt g.joins p with
+      | Some (j : Message.join) ->
+          set_equal j.proc_set g.proc_set && set_equal j.fail_set g.fail_set
+      | None -> false)
+    members
+  && List.length members > 1
+  && set_mem t.me members
+
+(* My slot of the commit token: what I know about my old configuration. *)
+and my_member_info t : Message.member_info =
+  let stash_high = Hashtbl.fold (fun seq _ acc -> max seq acc) t.stash 0 in
+  match t.old_node with
+  | Some node ->
+      let e = Node.engine node in
+      {
+        m_pid = t.me;
+        m_old_ring = t.old_ring;
+        m_aru = Engine.local_aru e;
+        m_high_seq = max (Engine.high_seq e) stash_high;
+        m_high_delivered = Engine.delivered_upto e;
+      }
+  | None ->
+      {
+        m_pid = t.me;
+        m_old_ring = t.old_ring;
+        m_aru = 0;
+        m_high_seq = stash_high;
+        m_high_delivered = 0;
+      }
+
+and successor_in order me =
+  let n = Array.length order in
+  let rec find i = if order.(i) = me then order.((i + 1) mod n) else find (i + 1) in
+  find 0
+
+(* The representative proposes the ring and launches commit pass 1. *)
+and propose t g =
+  let members = members_of g in
+  let order = Array.of_list members in
+  t.highest_ring_seq <- t.highest_ring_seq + 1;
+  let new_ring : Types.ring_id = { rep = t.me; ring_seq = t.highest_ring_seq } in
+  let placeholder p : Message.member_info =
+    {
+      m_pid = p;
+      m_old_ring = { rep = p; ring_seq = 0 };
+      m_aru = 0;
+      m_high_seq = 0;
+      m_high_delivered = 0;
+    }
+  in
+  let memb =
+    List.map (fun p -> if p = t.me then my_member_info t else placeholder p) members
+  in
+  let commit : Message.commit =
+    { c_ring = new_ring; c_token_id = 0; c_pass = 1; c_memb = memb; c_holds = [] }
+  in
+  t.memb_gen <- t.memb_gen + 1;
+  t.phase <- Commit_wait { cp_ring = new_ring; cp_order = order };
+  Log.debug (fun m ->
+      m "pid %d proposing %a with %d members" t.me Types.pp_ring_id new_ring
+        (List.length members));
+  [
+    Participant.Unicast (successor_in order t.me, Message.Commit commit);
+    Participant.Arm_timer
+      (Memb_timer (Formation_timeout, t.memb_gen), t.params.consensus_timeout_ns);
+  ]
+
+(* Consensus check, run after every join and on the consensus timeout. *)
+and check_consensus t g =
+  if (not g.agreed) && g.settled && consensus_reached t g then begin
+    g.agreed <- true;
+    let members = members_of g in
+    if List.hd members = t.me then propose t g
+    else
+      (* Wait for the representative's commit token. The still-armed
+         consensus timer doubles as the escape hatch: if it fires while we
+         are agreed but uncommitted, we re-gather. *)
+      []
+  end
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+
+and stale_join t (j : Message.join) =
+  match Hashtbl.find_opt t.seen_join_seq j.j_pid with
+  | Some seen -> j.join_seq < seen
+  | None -> false
+
+and note_join t (j : Message.join) =
+  Hashtbl.replace t.seen_join_seq j.j_pid
+    (max j.join_seq
+       (Option.value ~default:0 (Hashtbl.find_opt t.seen_join_seq j.j_pid)))
+
+and handle_join t (j : Message.join) =
+  if stale_join t j || set_mem t.me j.fail_set then []
+  else begin
+    note_join t j;
+    match t.phase with
+    | Operational node ->
+        let engine = Node.engine node in
+        let members = Array.to_list (Engine.ring engine) in
+        let probe_from_own_ring =
+          set_mem j.j_pid members && set_equal j.proc_set members
+        in
+        if probe_from_own_ring then []
+        else begin
+          let actions = enter_gather t in
+          actions @ handle_join t j
+        end
+    | Gather g ->
+        Hashtbl.replace g.joins j.j_pid j;
+        let proc' = set_union g.proc_set (j.j_pid :: j.proc_set) in
+        let fail' = set_diff (set_union g.fail_set j.fail_set) [ t.me ] in
+        let changed =
+          (not (set_equal proc' g.proc_set)) || not (set_equal fail' g.fail_set)
+        in
+        g.proc_set <- proc';
+        g.fail_set <- fail';
+        if changed then begin
+          g.agreed <- false;
+          Hashtbl.replace g.joins t.me (my_join t g);
+          multicast_join t g :: check_consensus t g
+        end
+        else check_consensus t g
+    | Commit_wait _ | Recover _ ->
+        (* Formation in progress; late joiners keep retransmitting and are
+           merged right after installation. *)
+        []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Installation (EVS delivery)                                         *)
+
+and install t (r : recover) =
+  let members = Array.to_list r.r_order in
+  let transitional : Participant.view =
+    { view_id = r.r_ring; members = r.r_survivors; transitional = true }
+  in
+  let regular : Participant.view =
+    { view_id = r.r_ring; members; transitional = false }
+  in
+  (* Old-ring messages recovered by the exchange, beyond what was already
+     delivered, in sequence order. After a complete exchange all survivors
+     hold the same set, so every survivor delivers the same sequence. *)
+  let old_deliveries =
+    Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) r.r_exchange []
+    |> List.filter (fun (seq, _) -> seq > t.old_delivered)
+    |> List.sort compare
+    |> List.map (fun (_, d) -> Participant.Deliver d)
+  in
+  List.iter (fun (mi : Message.member_info) ->
+      Hashtbl.replace t.known_rings mi.m_old_ring ())
+    r.r_memb;
+  Hashtbl.replace t.known_rings t.old_ring ();
+  t.old_node <- None;
+  t.old_ring <- r.r_ring;
+  t.old_delivered <- 0;
+  Hashtbl.reset t.stash;
+  t.highest_ring_seq <- max t.highest_ring_seq r.r_ring.ring_seq;
+  t.node_epoch <- t.node_epoch + 1;
+  t.memb_gen <- t.memb_gen + 1;
+  t.installs <- t.installs + 1;
+  t.last_view <- Some regular;
+  let node =
+    Node.create ~params:t.params ~ring_id:r.r_ring
+      ~ring:r.r_order ~me:t.me ()
+  in
+  t.phase <- Operational node;
+  (* Unsequenced client messages carry over into the new configuration. *)
+  let rec resubmit () =
+    match Queue.take_opt t.client_pending with
+    | None -> ()
+    | Some (service, payload) ->
+        Node.submit node service payload;
+        resubmit ()
+  in
+  resubmit ();
+  Log.info (fun m ->
+      m "pid %d installed %a (%d members, %d survivors)" t.me Types.pp_ring_id
+        r.r_ring (List.length members)
+        (List.length r.r_survivors));
+  let probe =
+    if r.r_ring.rep = t.me then
+      [
+        Participant.Arm_timer
+          (Memb_timer (Merge_probe, t.memb_gen), t.params.merge_probe_ns);
+      ]
+    else []
+  in
+  Participant.Deliver_config transitional
+  :: old_deliveries
+  @ [ Participant.Deliver_config regular ]
+  @ rewrap_node_actions t (Node.start node)
+  @ probe
+
+(* A member alone at the consensus timeout installs a singleton ring
+   without any commit/recover exchange. *)
+and install_singleton t =
+  t.highest_ring_seq <- t.highest_ring_seq + 1;
+  let ring_id : Types.ring_id = { rep = t.me; ring_seq = t.highest_ring_seq } in
+  let info = my_member_info t in
+  let exchange = Hashtbl.create 16 in
+  (match t.old_node with
+  | Some node ->
+      let e = Node.engine node in
+      for seq = t.old_delivered + 1 to info.m_high_seq do
+        match Engine.buffered_message e seq with
+        | Some d -> Hashtbl.replace exchange seq d
+        | None -> ()
+      done
+  | None -> ());
+  Hashtbl.iter (fun seq d -> Hashtbl.replace exchange seq d) t.stash;
+  install t
+    {
+      r_ring = ring_id;
+      r_order = [| t.me |];
+      r_memb = [ info ];
+      r_survivors = [ t.me ];
+      r_min_aru = info.m_aru;
+      r_max_high = info.m_high_seq;
+      r_exchange = exchange;
+      r_pending = None;
+      r_rechecks = 0;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* Entering recovery: flood every message in the survivors' exchange range
+   (above the minimum aru someone may be missing it), and stage everything
+   we hold beyond our own delivery cursor — messages below the minimum aru
+   are already received by every survivor but possibly still undelivered
+   here, and must be delivered at installation too. *)
+and enter_recover t (c : Message.commit) order =
+  let survivors, min_aru, max_high =
+    List.fold_left
+      (fun (survivors, min_aru, max_high) (mi : Message.member_info) ->
+        if Types.ring_id_equal mi.m_old_ring t.old_ring then
+          (mi.m_pid :: survivors, min min_aru mi.m_aru, max max_high mi.m_high_seq)
+        else (survivors, min_aru, max_high))
+      ([], max_int, 0) c.c_memb
+  in
+  let survivors = set_of survivors in
+  let exchange = Hashtbl.create 64 in
+  let held seq =
+    match Hashtbl.find_opt t.stash seq with
+    | Some d -> Some d
+    | None -> (
+        match t.old_node with
+        | Some node -> Engine.buffered_message (Node.engine node) seq
+        | None -> None)
+  in
+  let floods = ref [] in
+  (* Stage from the lower of (what we still need to deliver) and (what a
+     lagging survivor may be missing): a survivor that already delivered a
+     message must still flood it for peers below the minimum aru line. *)
+  let lo = min t.old_delivered min_aru in
+  if max_high > 0 then
+    for seq = max_high downto lo + 1 do
+      match held seq with
+      | Some d ->
+          Hashtbl.replace exchange seq d;
+          if seq > min_aru then
+            floods := Participant.Multicast (Message.Data d) :: !floods
+      | None -> ()
+    done;
+  let r =
+    {
+      r_ring = c.c_ring;
+      r_order = order;
+      r_memb = c.c_memb;
+      r_survivors = survivors;
+      r_min_aru = min_aru;
+      r_max_high = max_high;
+      r_exchange = exchange;
+      r_pending = None;
+      r_rechecks = 0;
+    }
+  in
+  t.memb_gen <- t.memb_gen + 1;
+  t.phase <- Recover r;
+  ( r,
+    !floods
+    @ [
+        Participant.Arm_timer
+          (Memb_timer (Formation_timeout, t.memb_gen), t.params.consensus_timeout_ns);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* Commit token                                                        *)
+
+and handle_commit t (c : Message.commit) =
+  let memb_pids = List.map (fun (mi : Message.member_info) -> mi.m_pid) c.c_memb in
+  if not (set_mem t.me memb_pids) then []
+  else begin
+    t.highest_ring_seq <- max t.highest_ring_seq c.c_ring.ring_seq;
+    let order = Array.of_list memb_pids in
+    let forward ?(holds = c.c_holds) pass memb =
+      Participant.Unicast
+        (successor_in order t.me,
+         Message.Commit
+           {
+             c with
+             c_token_id = c.c_token_id + 1;
+             c_pass = pass;
+             c_memb = memb;
+             c_holds = holds;
+           })
+    in
+    (* Merge the exchange-range sequence numbers we hold into the pass-3
+       accumulator for our old ring. *)
+    let merged_holds (r : recover) =
+      let mine =
+        Hashtbl.fold (fun seq _ acc -> seq :: acc) r.r_exchange []
+      in
+      let rec update = function
+        | [] -> [ (t.old_ring, List.sort_uniq compare mine) ]
+        | (ring, seqs) :: rest ->
+            if Types.ring_id_equal ring t.old_ring then
+              (ring, List.sort_uniq compare (mine @ seqs)) :: rest
+            else (ring, seqs) :: update rest
+      in
+      update c.c_holds
+    in
+    (* A member may only install once it holds every exchange-range message
+       some survivor of its old ring advertised (above what it already
+       delivered) — otherwise survivors' delivered sets could diverge. *)
+    let missing_from_exchange (r : recover) holds =
+      match
+        List.find_opt (fun (ring, _) -> Types.ring_id_equal ring t.old_ring) holds
+      with
+      | None -> []
+      | Some (_, seqs) ->
+          List.filter
+            (fun seq ->
+              seq > t.old_delivered && not (Hashtbl.mem r.r_exchange seq))
+            seqs
+    in
+    let i_am_rep = c.c_ring.rep = t.me in
+    match (c.c_pass, t.phase) with
+    | 1, Commit_wait cp when i_am_rep && Types.ring_id_equal cp.cp_ring c.c_ring ->
+        (* Pass 1 returned: everyone filled their slot; spread the full
+           picture (pass 2) and enter recovery ourselves. *)
+        let r, actions = enter_recover t c order in
+        ignore r;
+        forward 2 c.c_memb :: actions
+    | 1, Gather _ ->
+        (* Fill my slot and pass it on. *)
+        let memb =
+          List.map
+            (fun (mi : Message.member_info) ->
+              if mi.m_pid = t.me then my_member_info t else mi)
+            c.c_memb
+        in
+        t.memb_gen <- t.memb_gen + 1;
+        t.phase <- Commit_wait { cp_ring = c.c_ring; cp_order = order };
+        [
+          forward 1 memb;
+          Participant.Arm_timer
+            (Memb_timer (Formation_timeout, t.memb_gen), t.params.consensus_timeout_ns);
+        ]
+    | 2, Commit_wait cp when Types.ring_id_equal cp.cp_ring c.c_ring ->
+        if i_am_rep then
+          (* Our own pass 2 returned before we entered recovery; recover
+             now and launch pass 3 (exchange barrier) with our holds. *)
+          let r, actions = enter_recover t c order in
+          (forward ~holds:(merged_holds r) 3 c.c_memb :: actions)
+        else begin
+          let _, actions = enter_recover t c order in
+          forward 2 c.c_memb :: actions
+        end
+    | 2, Recover r when i_am_rep && Types.ring_id_equal r.r_ring c.c_ring ->
+        [ forward ~holds:(merged_holds r) 3 c.c_memb ]
+    | 3, Recover r when Types.ring_id_equal r.r_ring c.c_ring ->
+        if i_am_rep then
+          (* Pass 3 returned with the union of held messages: every member
+             flooded. Pass 4 verifies completeness and installs. *)
+          [ forward 4 c.c_memb ]
+        else [ forward ~holds:(merged_holds r) 3 c.c_memb ]
+    | 4, Recover r when Types.ring_id_equal r.r_ring c.c_ring ->
+        if missing_from_exchange r c.c_holds = [] then
+          if i_am_rep then install t r
+          else forward 4 c.c_memb :: install t r
+        else begin
+          (* Some advertised messages have not arrived (floods still in
+             flight, or lost). Hold the commit token and re-check shortly;
+             give up and re-gather if they never come. *)
+          r.r_pending <- Some c;
+          [
+            Participant.Arm_timer
+              (Memb_timer (Exchange_recheck, t.memb_gen),
+               t.params.token_retransmit_ns);
+          ]
+        end
+    | _ ->
+        (* Stale or duplicate commit traffic. *)
+        []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Data and token routing                                              *)
+
+and handle_data t (d : Message.data) =
+  match t.phase with
+  | Operational node ->
+      let engine = Node.engine node in
+      if Types.ring_id_equal d.d_ring (Engine.ring_id engine) then
+        rewrap_node_actions t (Node.process node (Message.Data d))
+      else if Hashtbl.mem t.known_rings d.d_ring then []
+      else
+        (* Traffic from an unknown configuration: a merge candidate. *)
+        enter_gather t
+  | Gather _ | Commit_wait _ ->
+      if Types.ring_id_equal d.d_ring t.old_ring then
+        Hashtbl.replace t.stash d.seq d;
+      []
+  | Recover r ->
+      if
+        Types.ring_id_equal d.d_ring t.old_ring
+        && d.seq > r.r_min_aru
+        && d.seq <= r.r_max_high
+      then Hashtbl.replace r.r_exchange d.seq d;
+      []
+
+and handle_token t (tok : Message.token) =
+  match t.phase with
+  | Operational node ->
+      let engine = Node.engine node in
+      if Types.ring_id_equal tok.t_ring (Engine.ring_id engine) then
+        rewrap_node_actions t (Node.process node (Message.Token tok))
+      else []
+  | Gather _ | Commit_wait _ | Recover _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+
+let fire_memb_timer t kind gen =
+  if gen <> t.memb_gen then []
+  else
+    match (kind, t.phase) with
+    | Join_retransmit, Gather g ->
+        g.settled <- true;
+        multicast_join t g
+        :: Participant.Arm_timer
+             (Memb_timer (Join_retransmit, t.memb_gen), t.params.join_retransmit_ns)
+        :: check_consensus t g
+    | Consensus_timeout, Gather g ->
+        g.settled <- true;
+        let members = members_of g in
+        if members = [ t.me ] then install_singleton t
+        else if g.agreed then
+          (* Agreed but the representative's commit token never came. *)
+          enter_gather t
+        else begin
+          (* Declare silent processes failed and keep gathering. *)
+          let silent =
+            List.filter (fun p -> not (Hashtbl.mem g.joins p)) g.proc_set
+          in
+          let actions =
+            if silent <> [] then begin
+              g.fail_set <- set_diff (set_union g.fail_set silent) [ t.me ];
+              g.agreed <- false;
+              Hashtbl.replace g.joins t.me (my_join t g);
+              multicast_join t g :: check_consensus t g
+            end
+            else check_consensus t g
+          in
+          actions
+          @ [
+              Participant.Arm_timer
+                (Memb_timer (Consensus_timeout, t.memb_gen),
+                 t.params.consensus_timeout_ns);
+            ]
+        end
+    | Formation_timeout, (Gather _ | Commit_wait _ | Recover _) ->
+        (* The commit token or the exchange stalled: start over. *)
+        enter_gather t
+    | Exchange_recheck, Recover r -> (
+        match r.r_pending with
+        | None -> []
+        | Some c ->
+            r.r_pending <- None;
+            r.r_rechecks <- r.r_rechecks + 1;
+            if r.r_rechecks > 5 then
+              (* The advertised messages never arrived: this formation
+                 attempt cannot install consistently. *)
+              enter_gather t
+            else handle_commit t c)
+    | Exchange_recheck, (Operational _ | Gather _ | Commit_wait _) -> []
+    | Merge_probe, Operational node ->
+        let engine = Node.engine node in
+        let members = Array.to_list (Engine.ring engine) in
+        let probe : Message.join =
+          { j_pid = t.me; proc_set = members; fail_set = []; join_seq = t.join_seq }
+        in
+        [
+          Participant.Multicast (Message.Join probe);
+          Participant.Arm_timer
+            (Memb_timer (Merge_probe, t.memb_gen), t.params.merge_probe_ns);
+        ]
+    | (Join_retransmit | Consensus_timeout), (Operational _ | Commit_wait _ | Recover _)
+    | Formation_timeout, Operational _
+    | Merge_probe, (Gather _ | Commit_wait _ | Recover _) ->
+        []
+
+let fire_timer t timer =
+  match timer with
+  | Memb_timer (kind, gen) -> fire_memb_timer t kind gen
+  | Epoch_timer (epoch, inner) -> (
+      if epoch <> t.node_epoch then []
+      else
+        match t.phase with
+        | Operational node -> rewrap_node_actions t (Node.fire_timer node inner)
+        | Gather _ | Commit_wait _ | Recover _ -> [])
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Participant interface                                               *)
+
+let submit t service payload =
+  match t.phase with
+  | Operational node -> Node.submit node service payload
+  | Gather _ | Commit_wait _ | Recover _ ->
+      Queue.push (service, payload) t.client_pending
+
+let receive t msg =
+  match t.phase with
+  | Operational node -> (
+      match msg with
+      | Message.Data _ | Message.Token _ -> Node.receive node msg
+      | Message.Join _ | Message.Commit _ ->
+          Deque.push_back t.inbox msg;
+          `Queued)
+  | Gather _ | Commit_wait _ | Recover _ ->
+      Deque.push_back t.inbox msg;
+      `Queued
+
+let has_work t =
+  (not (Deque.is_empty t.inbox))
+  || match t.phase with Operational node -> Node.has_work node | _ -> false
+
+let take_next t =
+  (* Membership traffic first: it is rare and must never starve behind a
+     data backlog. *)
+  match Deque.pop_front t.inbox with
+  | Some msg -> Some msg
+  | None -> (
+      match t.phase with
+      | Operational node -> Node.take_next node
+      | Gather _ | Commit_wait _ | Recover _ -> None)
+
+let process t msg =
+  match msg with
+  | Message.Data d -> handle_data t d
+  | Message.Token tok -> handle_token t tok
+  | Message.Join j -> handle_join t j
+  | Message.Commit c -> handle_commit t c
+
+let start t =
+  match t.initial_ring with
+  | Some ring ->
+      let ring_id : Types.ring_id = { rep = ring.(0); ring_seq = 1 } in
+      t.highest_ring_seq <- 1;
+      let node = Node.create ~params:t.params ~ring_id ~ring ~me:t.me () in
+      let view : Participant.view =
+        { view_id = ring_id; members = Array.to_list ring; transitional = false }
+      in
+      t.last_view <- Some view;
+      t.old_ring <- ring_id;
+      t.installs <- 1;
+      t.phase <- Operational node;
+      let probe =
+        if ring.(0) = t.me then
+          [
+            Participant.Arm_timer
+              (Memb_timer (Merge_probe, t.memb_gen), t.params.merge_probe_ns);
+          ]
+        else []
+      in
+      (Participant.Deliver_config view :: rewrap_node_actions t (Node.start node))
+      @ probe
+  | None -> enter_gather t
+
+let participant t : Participant.t =
+  {
+    pid = t.me;
+    submit = (fun service payload -> submit t service payload);
+    receive = (fun msg -> receive t msg);
+    has_work = (fun () -> has_work t);
+    take_next = (fun () -> take_next t);
+    process = (fun msg -> process t msg);
+    fire_timer = (fun timer -> fire_timer t timer);
+    start = (fun () -> start t);
+  }

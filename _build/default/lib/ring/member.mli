@@ -1,0 +1,97 @@
+(** Membership-capable protocol participant: the full Accelerated Ring stack.
+
+    [Member] wraps the operational {!Node} with a Totem-style membership
+    algorithm and Extended Virtual Synchrony (EVS) configuration delivery.
+    The paper uses the membership algorithm of Spread/Totem unchanged
+    (Section II); this is a from-scratch implementation of its essential
+    structure:
+
+    {b States.}
+    - {e Operational}: the ordering protocol runs; the ring's
+      representative periodically multicasts a presence probe so healed
+      partitions discover each other.
+    - {e Gather}: entered on token loss, on receiving a join, or on
+      foreign-ring traffic. Members multicast join messages carrying their
+      proposed process set and fail set, and merge what they hear until
+      every live proposed member advertises identical sets (consensus).
+      A consensus timeout declares silent processes failed; a member alone
+      at the timeout forms a singleton ring.
+    - {e Commit}: the new ring's representative circulates a commit token
+      around the proposed ring; pass 1 collects each member's old-ring
+      state (ring id, aru, highest sequence), pass 2 spreads the complete
+      picture to everyone.
+    - {e Recover}: survivors of each old ring multicast ("flood") the
+      old-ring messages that some survivor may be missing — every message
+      between the survivors' minimum aru and maximum known sequence. Two
+      further commit-token passes (3 and 4) confirm that every member
+      finished the exchange; pass 4 installs the new configuration.
+
+    {b EVS delivery at installation.} Each member delivers, in order: the
+    {e transitional configuration} (survivors of its old ring), the
+    remaining old-ring messages recovered by the exchange (in sequence
+    order — after the exchange all survivors hold the same set, so all
+    deliver the same messages in the same order), and finally the new
+    {e regular configuration}. Client messages not yet sequenced carry over
+    into the new configuration automatically.
+
+    {b Known limitation} (documented in DESIGN.md): recovery floods are
+    plain multicasts; packet loss {e during} the exchange itself can leave
+    survivors with different recovered suffixes. Totem closes this window
+    by running the full retransmission machinery on the recovery ring; here
+    a lost formation times out and re-gathers, which converges but does not
+    retransmit within one exchange. *)
+
+open Aring_wire
+
+type memb_timer_kind =
+  | Join_retransmit
+  | Consensus_timeout
+  | Formation_timeout
+  | Merge_probe
+  | Exchange_recheck
+      (** Re-examine a held-back pass-4 commit once late recovery floods
+          have had a chance to arrive. *)
+
+type Participant.timer +=
+  | Memb_timer of memb_timer_kind * int
+        (** Membership timers; the [int] is a generation — stale timers are
+            ignored. *)
+  | Epoch_timer of int * Participant.timer
+        (** A node-level timer tagged with the node's epoch, so timers armed
+            by a torn-down configuration cannot fire into its successor. *)
+
+type t
+
+val create :
+  params:Params.t ->
+  me:Types.pid ->
+  ?initial_ring:Types.pid array ->
+  unit ->
+  t
+(** [create ~params ~me ()] is a participant that starts alone and finds
+    peers through the membership algorithm. With [?initial_ring] it starts
+    directly operational in that pre-agreed configuration (ring_seq 1) —
+    the usual production bootstrap where all daemons share a config file. *)
+
+val participant : t -> Participant.t
+(** The uniform runtime interface (see {!Participant}). *)
+
+val submit : t -> Types.service -> bytes -> unit
+(** Submit a client message. Messages submitted while a membership change
+    is in progress are buffered and sequenced in the next configuration. *)
+
+(** {2 Introspection} *)
+
+val me : t -> Types.pid
+
+val state_name : t -> string
+(** ["operational"], ["gather"], ["commit"] or ["recover"]. *)
+
+val current_view : t -> Participant.view option
+(** The last regular configuration delivered, if any. *)
+
+val node : t -> Node.t option
+(** The operational node, when in the operational state. *)
+
+val installs : t -> int
+(** Number of configurations installed so far. *)

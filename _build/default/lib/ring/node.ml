@@ -1,0 +1,146 @@
+open Aring_wire
+module Deque = Aring_util.Deque
+
+type Participant.timer += Engine_timer of Engine.timer_kind * int
+
+type queue_stats = {
+  mutable token_drops : int;
+  mutable data_drops : int;
+  mutable max_data_backlog : int;
+}
+
+type queue = {
+  q : Message.t Deque.t;
+  cap_bytes : int;
+  mutable occupied : int;
+}
+
+type t = {
+  engine : Engine.t;
+  prio : Priority.t;
+  token_q : queue;
+  data_q : queue;
+  qstats : queue_stats;
+}
+
+let make_queue cap_bytes = { q = Deque.create (); cap_bytes; occupied = 0 }
+
+let create ~params ~ring_id ~ring ~me ?(token_queue_cap = 256 * 1024)
+    ?(data_queue_cap = 2 * 1024 * 1024) () =
+  {
+    engine = Engine.create ~params ~ring_id ~ring ~me;
+    prio = Priority.create params.Params.priority_method;
+    token_q = make_queue token_queue_cap;
+    data_q = make_queue data_queue_cap;
+    qstats = { token_drops = 0; data_drops = 0; max_data_backlog = 0 };
+  }
+
+let engine t = t.engine
+let queue_stats t = t.qstats
+
+let action_of_output = function
+  | Engine.Send_token (pid, tok) -> Participant.Unicast (pid, Message.Token tok)
+  | Engine.Send_data d -> Participant.Multicast (Message.Data d)
+  | Engine.Deliver d -> Participant.Deliver d
+  | Engine.Set_timer (kind, gen, delay) ->
+      Participant.Arm_timer (Engine_timer (kind, gen), delay)
+  | Engine.Token_lost -> Participant.Token_loss_detected
+
+let start t =
+  let timers = List.map (action_of_output) (Engine.start_timers t.engine) in
+  let me = Engine.me t.engine in
+  if (Engine.ring t.engine).(0) = me then
+    (* The representative holds the first token; route it through the
+       normal receive path so processing cost and ordering are uniform. *)
+    Participant.Unicast
+      (me, Message.Token (Engine.initial_token (Engine.ring_id t.engine)))
+    :: timers
+  else timers
+
+let submit t service payload =
+  ignore (Engine.handle t.engine (Engine.Submit (service, payload)))
+
+let enqueue queue stats_incr msg =
+  let size = Message.wire_size msg in
+  if queue.occupied + size > queue.cap_bytes then begin
+    stats_incr ();
+    `Dropped
+  end
+  else begin
+    queue.occupied <- queue.occupied + size;
+    Deque.push_back queue.q msg;
+    `Queued
+  end
+
+let receive t msg =
+  match msg with
+  | Message.Token _ | Message.Commit _ ->
+      enqueue t.token_q
+        (fun () -> t.qstats.token_drops <- t.qstats.token_drops + 1)
+        msg
+  | Message.Data _ | Message.Join _ ->
+      let r =
+        enqueue t.data_q
+          (fun () -> t.qstats.data_drops <- t.qstats.data_drops + 1)
+          msg
+      in
+      if t.data_q.occupied > t.qstats.max_data_backlog then
+        t.qstats.max_data_backlog <- t.data_q.occupied;
+      r
+
+let has_work t =
+  not (Deque.is_empty t.token_q.q && Deque.is_empty t.data_q.q)
+
+let queued_messages t = Deque.length t.token_q.q + Deque.length t.data_q.q
+
+let dequeue queue =
+  match Deque.pop_front queue.q with
+  | None -> None
+  | Some msg ->
+      queue.occupied <- queue.occupied - Message.wire_size msg;
+      Some msg
+
+let take_next t =
+  if Priority.token_has_priority t.prio then
+    match dequeue t.token_q with None -> dequeue t.data_q | some -> some
+  else
+    match dequeue t.data_q with None -> dequeue t.token_q | some -> some
+
+let process t msg =
+  match msg with
+  | Message.Token tok ->
+      let round_before = Engine.round t.engine in
+      let outputs = Engine.handle t.engine (Engine.Token_received tok) in
+      if Engine.round t.engine > round_before then
+        Priority.note_token_processed t.prio;
+      List.map action_of_output outputs
+  | Message.Data d ->
+      let outputs = Engine.handle t.engine (Engine.Data_received d) in
+      Priority.note_data_processed t.prio
+        ~predecessor:(Engine.predecessor t.engine)
+        ~current_round:(Engine.round t.engine)
+        d;
+      List.map action_of_output outputs
+  | Message.Join _ | Message.Commit _ ->
+      (* Membership traffic is handled by the membership layer wrapping
+         this node (see Member); an operational node alone ignores it. *)
+      []
+
+let fire_timer t timer =
+  match timer with
+  | Engine_timer (kind, gen) ->
+      List.map action_of_output
+        (Engine.handle t.engine (Engine.Timer_expired (kind, gen)))
+  | _ -> []
+
+let participant t : Participant.t =
+  {
+    pid = Engine.me t.engine;
+    submit = (fun service payload -> submit t service payload);
+    receive = (fun msg -> receive t msg);
+    has_work = (fun () -> has_work t);
+    take_next = (fun () -> take_next t);
+    process = (fun msg -> process t msg);
+    fire_timer = (fun timer -> fire_timer t timer);
+    start = (fun () -> start t);
+  }

@@ -1,0 +1,84 @@
+(** A protocol participant: ordering engine + bounded receive queues +
+    priority policy.
+
+    [Node] is the runtime-agnostic composition both the discrete-event
+    simulator and the real UDP runtime drive. It models what the paper's
+    implementations do with two UDP sockets (Section III-D): tokens and data
+    arrive on separate queues, and the {!Priority} policy decides which
+    queue to serve when both are non-empty. Queues are bounded in bytes,
+    like kernel socket buffers — enqueueing beyond the bound drops the
+    message, which is precisely the failure mode an excessive accelerated
+    window provokes.
+
+    The caller loop is:
+    {v
+      Node.receive node msg        (* on packet arrival; may drop *)
+      ...
+      match Node.take_next node with
+      | Some msg -> interpret (Node.process node msg)   (* charge CPU *)
+      | None -> idle
+    v} *)
+
+open Aring_wire
+
+type t
+
+type Participant.timer +=
+  | Engine_timer of Engine.timer_kind * int
+        (** Ordering-engine timers (exposed for tests). *)
+
+type queue_stats = {
+  mutable token_drops : int;
+  mutable data_drops : int;
+  mutable max_data_backlog : int;  (** Peak data-queue occupancy (bytes). *)
+}
+
+val create :
+  params:Params.t ->
+  ring_id:Types.ring_id ->
+  ring:Types.pid array ->
+  me:Types.pid ->
+  ?token_queue_cap:int ->
+  ?data_queue_cap:int ->
+  unit ->
+  t
+(** [create] builds an operational participant of an installed ring.
+    Queue capacities are in bytes and default to 256 KiB (token) and
+    2 MiB (data), matching a tuned production socket-buffer setup. *)
+
+val start : t -> Participant.action list
+(** Actions to perform at installation time: arming the token-loss timer,
+    and — only on the ring's representative — sending itself the initial
+    token (returned as a [Unicast] to self so the runtime loops it through
+    the normal receive path). *)
+
+val submit : t -> Types.service -> bytes -> unit
+(** Queue a client message for multicast on a future token visit. *)
+
+val receive : t -> Message.t -> [ `Queued | `Dropped ]
+(** A packet arrived from the network. It is classified (token queue vs
+    data queue) and buffered, or dropped when the queue is full. *)
+
+val has_work : t -> bool
+val queued_messages : t -> int
+
+val take_next : t -> Message.t option
+(** Remove the next message to process, per the priority policy: data
+    messages have high priority after a token was processed; the token
+    regains priority per method 1/2 once the predecessor's next-round data
+    is seen; an empty queue never blocks the other type. *)
+
+val process : t -> Message.t -> Participant.action list
+(** Run the protocol on one message previously obtained from
+    {!take_next}. *)
+
+val fire_timer : t -> Participant.timer -> Participant.action list
+(** Timers not created by this node are ignored (empty action list). *)
+
+val participant : t -> Participant.t
+(** Package this node behind the uniform runtime interface. *)
+
+val engine : t -> Engine.t
+(** The underlying ordering engine (introspection for tests/stats). *)
+
+val queue_stats : t -> queue_stats

@@ -1,0 +1,79 @@
+type priority_method = Aggressive | Conservative
+
+type t = {
+  personal_window : int;
+  global_window : int;
+  accelerated_window : int;
+  max_seq_gap : int;
+  priority_method : priority_method;
+  token_retransmit_ns : int;
+  token_loss_ns : int;
+  join_retransmit_ns : int;
+  consensus_timeout_ns : int;
+  merge_probe_ns : int;
+}
+
+let ms n = n * 1_000_000
+
+let default =
+  {
+    personal_window = 60;
+    global_window = 300;
+    accelerated_window = 20;
+    max_seq_gap = 2000;
+    priority_method = Aggressive;
+    token_retransmit_ns = ms 20;
+    token_loss_ns = ms 200;
+    join_retransmit_ns = ms 50;
+    consensus_timeout_ns = ms 500;
+    merge_probe_ns = ms 300;
+  }
+
+let original =
+  { default with accelerated_window = 0; priority_method = Conservative }
+
+let accelerated ?personal_window ?global_window ?accelerated_window
+    ?priority_method () =
+  let p = default in
+  let p =
+    match personal_window with
+    | None -> p
+    | Some personal_window -> { p with personal_window }
+  in
+  let p =
+    match global_window with
+    | None -> p
+    | Some global_window -> { p with global_window }
+  in
+  let p =
+    match accelerated_window with
+    | None -> p
+    | Some accelerated_window -> { p with accelerated_window }
+  in
+  match priority_method with
+  | None -> p
+  | Some priority_method -> { p with priority_method }
+
+let is_original p = p.accelerated_window = 0
+
+let validate p =
+  if p.personal_window <= 0 then Error "personal_window must be positive"
+  else if p.global_window < p.personal_window then
+    Error "global_window must be at least personal_window"
+  else if p.accelerated_window < 0 then
+    Error "accelerated_window must be non-negative"
+  else if p.accelerated_window > p.personal_window then
+    Error "accelerated_window must not exceed personal_window"
+  else if p.max_seq_gap < p.global_window then
+    Error "max_seq_gap must be at least global_window"
+  else if p.token_retransmit_ns <= 0 || p.token_loss_ns <= p.token_retransmit_ns
+  then Error "token_loss_ns must exceed token_retransmit_ns"
+  else Ok ()
+
+let pp ppf p =
+  Format.fprintf ppf
+    "params(pw=%d gw=%d aw=%d gap=%d prio=%s)"
+    p.personal_window p.global_window p.accelerated_window p.max_seq_gap
+    (match p.priority_method with
+    | Aggressive -> "aggressive"
+    | Conservative -> "conservative")

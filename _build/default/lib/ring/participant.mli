@@ -1,0 +1,58 @@
+(** The runtime-facing interface of a protocol participant.
+
+    Both runtimes (the discrete-event simulator and the real UDP loop) drive
+    participants through this one interface, so a bare operational {!Node}
+    and a full membership-capable {!Member} are interchangeable. The driving
+    loop is:
+
+    {v
+      p.receive msg                  (* on packet arrival; may drop *)
+      match p.take_next () with      (* when the CPU is free *)
+      | Some msg -> interpret (p.process msg)
+      | None -> idle
+    v}
+
+    Timers are an extensible variant so each layer (ordering engine,
+    membership algorithm) can add its own keys; runtimes treat them as
+    opaque tokens to hand back after the requested delay. *)
+
+open Aring_wire
+
+type timer = ..
+(** Opaque timer key, extended by each protocol layer. *)
+
+type view = {
+  view_id : Types.ring_id;
+  members : Types.pid list;  (** In ring order. *)
+  transitional : bool;
+      (** A transitional configuration delivers the surviving messages of
+          the old configuration to the surviving members before the next
+          regular configuration is installed (EVS). *)
+}
+(** A configuration (membership view) delivered to the application. *)
+
+type action =
+  | Unicast of Types.pid * Message.t
+  | Multicast of Message.t  (** To every other reachable participant. *)
+  | Deliver of Message.data  (** Application message, in total order. *)
+  | Deliver_config of view
+      (** Configuration change notification, ordered with respect to the
+          message stream (EVS semantics). *)
+  | Arm_timer of timer * int  (** Delay in nanoseconds. *)
+  | Token_loss_detected
+      (** Only emitted by a bare {!Node}; a {!Member} handles token loss
+          internally by starting the membership algorithm. *)
+
+type t = {
+  pid : Types.pid;
+  submit : Types.service -> bytes -> unit;
+  receive : Message.t -> [ `Queued | `Dropped ];
+  has_work : unit -> bool;
+  take_next : unit -> Message.t option;
+  process : Message.t -> action list;
+  fire_timer : timer -> action list;
+  start : unit -> action list;
+      (** Actions to perform when the participant comes up. *)
+}
+
+val pp_view : Format.formatter -> view -> unit

@@ -1,0 +1,15 @@
+open Aring_wire
+
+type t = { mode : Params.priority_method; mutable token_high : bool }
+
+let create mode = { mode; token_high = false }
+
+let token_has_priority t = t.token_high
+
+let note_token_processed t = t.token_high <- false
+
+let note_data_processed t ~predecessor ~current_round (d : Message.data) =
+  if d.pid = predecessor && d.d_round = current_round + 1 then
+    match t.mode with
+    | Params.Aggressive -> t.token_high <- true
+    | Params.Conservative -> if d.post_token then t.token_high <- true

@@ -1,0 +1,34 @@
+(** Message-type priority switching (Section III-C of the paper).
+
+    A participant processing backlog must decide whether to handle a waiting
+    token or waiting data messages first. Data messages get high priority
+    right after a token is processed; the token's priority is raised again
+    once evidence arrives that the predecessor has moved on to the next
+    round:
+
+    - {b Method 1 (aggressive)}: any data message the predecessor initiated
+      in the next round raises the token's priority.
+    - {b Method 2 (conservative)}: only a next-round data message the
+      predecessor sent {e after} releasing the token (its post-token phase)
+      raises the token's priority. With a zero accelerated window this makes
+      the protocol identical to the original Ring protocol.
+
+    These decisions affect performance only, never correctness. *)
+
+open Aring_wire
+
+type t
+
+val create : Params.priority_method -> t
+
+val token_has_priority : t -> bool
+(** When [true], a queued token is processed before queued data. *)
+
+val note_token_processed : t -> unit
+(** The engine accepted a token: data messages regain high priority. *)
+
+val note_data_processed :
+  t -> predecessor:Types.pid -> current_round:Types.round -> Message.data -> unit
+(** Inspect a processed data message for the round-advance evidence that
+    raises the token's priority again. [current_round] is the engine's round
+    (the last token it accepted). *)

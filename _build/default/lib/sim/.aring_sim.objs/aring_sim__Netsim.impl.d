@@ -1,0 +1,1 @@
+lib/sim/netsim.ml: Aring_ring Aring_util Aring_wire Array List Message Participant Profile

@@ -1,0 +1,1 @@
+lib/sim/netsim.mli: Aring_ring Aring_wire Message Participant Profile Types

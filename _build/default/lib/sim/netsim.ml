@@ -1,0 +1,263 @@
+open Aring_wire
+open Aring_ring
+module Heap = Aring_util.Heap
+module Prng = Aring_util.Prng
+
+type event =
+  | Arrival of int * Message.t
+  | Cpu_run of int
+  | Timer of int * Participant.timer
+  | Port_drain of int * int  (* node port, bytes to release *)
+  | Call of (unit -> unit)
+
+type stats = {
+  mutable packets_sent : int;
+  mutable switch_drops : int;
+  mutable random_losses : int;
+  mutable partition_drops : int;
+}
+
+type t = {
+  net : Profile.net;
+  tiers : Profile.tier array;
+  parts : Participant.t array;
+  events : (int * int * event) Heap.t;
+  mutable event_seq : int;
+  mutable now : int;
+  prng : Prng.t;
+  nic_free : int array;
+  port_free : int array;
+  port_bytes : int array;
+  cpu_busy : int array;
+  cpu_scheduled : bool array;
+  alive : bool array;
+  mutable drop : src:int -> dst:int -> Message.t -> bool;
+  mutable deliver_cb : at:int -> now:int -> Message.data -> unit;
+  mutable view_cb : at:int -> now:int -> Participant.view -> unit;
+  mutable token_loss_cb : at:int -> now:int -> unit;
+  stats : stats;
+}
+
+let now t = t.now
+let stats t = t.stats
+let participant t i = t.parts.(i)
+let on_deliver t f = t.deliver_cb <- f
+let on_view t f = t.view_cb <- f
+let on_token_loss t f = t.token_loss_cb <- f
+let set_drop t f = t.drop <- f
+let is_alive t i = t.alive.(i)
+
+let schedule t at ev =
+  let at = max at t.now in
+  t.event_seq <- t.event_seq + 1;
+  Heap.push t.events (at, t.event_seq, ev)
+
+(* Packet size on the wire: base format plus the sending tier's extra
+   protocol headers on data messages. *)
+let packet_size t src msg =
+  Message.wire_size msg
+  +
+  match msg with
+  | Message.Data _ -> t.tiers.(src).Profile.extra_data_header
+  | Message.Token _ | Message.Join _ | Message.Commit _ -> 0
+
+(* Kick the destination CPU if it is idle. *)
+let wake_cpu t dst =
+  if t.alive.(dst) && not t.cpu_scheduled.(dst) && t.parts.(dst).has_work ()
+  then begin
+    t.cpu_scheduled.(dst) <- true;
+    schedule t (max t.now t.cpu_busy.(dst)) (Cpu_run dst)
+  end
+
+(* Transmit [msg] from [src] to [dsts], starting serialization at the NIC
+   no earlier than [at]. One NIC serialization per send (IP-multicast); the
+   switch replicates into each destination's output-port queue, dropping on
+   overflow. *)
+let transmit t ~at src msg dsts =
+  let size = packet_size t src msg in
+  t.stats.packets_sent <- t.stats.packets_sent + 1;
+  let tx = Profile.tx_ns t.net size in
+  let nic_start = max at t.nic_free.(src) in
+  let at_switch = nic_start + tx in
+  t.nic_free.(src) <- at_switch;
+  List.iter
+    (fun dst ->
+      if not t.alive.(dst) then ()
+      else if t.drop ~src ~dst msg then
+        t.stats.partition_drops <- t.stats.partition_drops + 1
+      else if t.net.loss_prob > 0.0 && Prng.bernoulli t.prng t.net.loss_prob
+      then t.stats.random_losses <- t.stats.random_losses + 1
+      else if t.port_bytes.(dst) + size > t.net.switch_port_buffer then
+        t.stats.switch_drops <- t.stats.switch_drops + 1
+      else begin
+        t.port_bytes.(dst) <- t.port_bytes.(dst) + size;
+        let port_start = max at_switch t.port_free.(dst) in
+        let port_done = port_start + tx in
+        t.port_free.(dst) <- port_done;
+        schedule t port_done (Port_drain (dst, size));
+        schedule t (port_done + t.net.latency_ns) (Arrival (dst, msg))
+      end)
+    dsts
+
+let all_except t src =
+  let dsts = ref [] in
+  for i = Array.length t.parts - 1 downto 0 do
+    if i <> src then dsts := i :: !dsts
+  done;
+  !dsts
+
+(* Interpret a participant's actions, advancing a CPU cursor so that each
+   send and each delivery occupies the CPU serially in action order. *)
+let interpret t node actions ~cursor =
+  let tier = t.tiers.(node) in
+  List.fold_left
+    (fun cursor action ->
+      match action with
+      | Participant.Unicast (dst, msg) ->
+          let cursor = cursor + tier.Profile.send_op_ns in
+          if dst = node then
+            (* Loopback (e.g. handing oneself the initial token). *)
+            schedule t (cursor + 1_000) (Arrival (dst, msg))
+          else transmit t ~at:cursor node msg [ dst ];
+          cursor
+      | Participant.Multicast msg ->
+          let cursor = cursor + tier.Profile.send_op_ns in
+          transmit t ~at:cursor node msg (all_except t node);
+          cursor
+      | Participant.Deliver d ->
+          let cursor = cursor + tier.Profile.deliver_ns in
+          t.deliver_cb ~at:node ~now:cursor d;
+          cursor
+      | Participant.Deliver_config v ->
+          let cursor = cursor + tier.Profile.deliver_ns in
+          t.view_cb ~at:node ~now:cursor v;
+          cursor
+      | Participant.Arm_timer (timer, delay) ->
+          schedule t (cursor + delay) (Timer (node, timer));
+          cursor
+      | Participant.Token_loss_detected ->
+          t.token_loss_cb ~at:node ~now:cursor;
+          cursor)
+    cursor actions
+
+let proc_cost t node msg =
+  let tier = t.tiers.(node) in
+  match msg with
+  | Message.Token _ | Message.Commit _ -> tier.Profile.token_proc_ns
+  | Message.Data d ->
+      let wire_bytes =
+        Message.wire_size (Message.Data d) + tier.Profile.extra_data_header
+      in
+      Profile.data_proc_cost tier ~mtu:t.net.Profile.mtu ~wire_bytes
+  | Message.Join _ -> tier.Profile.token_proc_ns
+
+let handle_event t = function
+  | Arrival (dst, msg) ->
+      if t.alive.(dst) then begin
+        ignore (t.parts.(dst).receive msg);
+        wake_cpu t dst
+      end
+  | Cpu_run node ->
+      t.cpu_scheduled.(node) <- false;
+      if t.alive.(node) then begin
+        match t.parts.(node).take_next () with
+        | None -> ()
+        | Some msg ->
+            let cursor = t.now + proc_cost t node msg in
+            let actions = t.parts.(node).process msg in
+            let busy = interpret t node actions ~cursor in
+            t.cpu_busy.(node) <- busy;
+            wake_cpu t node
+      end
+  | Timer (node, timer) ->
+      if t.alive.(node) then begin
+        let actions = t.parts.(node).fire_timer timer in
+        if actions <> [] then begin
+          let cursor = max t.now t.cpu_busy.(node) + 500 in
+          let busy = interpret t node actions ~cursor in
+          t.cpu_busy.(node) <- busy
+        end
+      end
+  | Port_drain (node, size) -> t.port_bytes.(node) <- t.port_bytes.(node) - size
+  | Call f -> f ()
+
+let create ~net ~tiers ~participants ?(seed = 1L) () =
+  let n = Array.length participants in
+  if Array.length tiers <> n then
+    invalid_arg "Netsim.create: tiers and participants must align";
+  let t =
+    {
+      net;
+      tiers;
+      parts = participants;
+      events = Heap.create ~cmp:(fun (ta, sa, _) (tb, sb, _) ->
+          match compare ta tb with 0 -> compare sa sb | c -> c);
+      event_seq = 0;
+      now = 0;
+      prng = Prng.create ~seed;
+      nic_free = Array.make n 0;
+      port_free = Array.make n 0;
+      port_bytes = Array.make n 0;
+      cpu_busy = Array.make n 0;
+      cpu_scheduled = Array.make n false;
+      alive = Array.make n true;
+      drop = (fun ~src:_ ~dst:_ _ -> false);
+      deliver_cb = (fun ~at:_ ~now:_ _ -> ());
+      view_cb = (fun ~at:_ ~now:_ _ -> ());
+      token_loss_cb = (fun ~at:_ ~now:_ -> ());
+      stats =
+        {
+          packets_sent = 0;
+          switch_drops = 0;
+          random_losses = 0;
+          partition_drops = 0;
+        };
+    }
+  in
+  Array.iteri
+    (fun i p ->
+      schedule t 0
+        (Call (fun () -> ignore (interpret t i (p.Participant.start ()) ~cursor:t.now))))
+    participants;
+  t
+
+let submit_now t ~node service payload =
+  if t.alive.(node) then begin
+    let tier = t.tiers.(node) in
+    t.cpu_busy.(node) <- max t.now t.cpu_busy.(node) + tier.Profile.submit_ns;
+    t.parts.(node).submit service payload;
+    (* Some protocols (e.g. the sequencer baseline) emit work directly on
+       submission rather than waiting for a token visit. *)
+    wake_cpu t node
+  end
+
+let submit_at t ~at ~node service payload =
+  schedule t at (Call (fun () -> submit_now t ~node service payload))
+
+let call_at t ~at f = schedule t at (Call f)
+
+let crash t node = t.alive.(node) <- false
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | Some (at, _, _) when at <= horizon ->
+        let at, _, ev = Heap.pop_exn t.events in
+        t.now <- at;
+        handle_event t ev
+    | Some _ | None ->
+        continue := false;
+        t.now <- max t.now horizon
+  done
+
+let run_while_work t ~max_ns =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | Some (at, _, _) when at <= max_ns ->
+        let at, _, ev = Heap.pop_exn t.events in
+        t.now <- at;
+        handle_event t ev
+    | Some _ | None -> continue := false
+  done

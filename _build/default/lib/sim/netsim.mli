@@ -1,0 +1,91 @@
+(** Deterministic discrete-event simulator of a switched LAN cluster.
+
+    Models the components the paper's result depends on:
+
+    - {b NIC egress}: each node's sends serialize onto its link at the
+      configured rate (one transmission per multicast — IP-multicast
+      replication happens in the switch).
+    - {b Switch}: store-and-forward with one drop-tail output-port buffer
+      per node; multicast fan-out enqueues the packet on every other port.
+    - {b Node ingress}: the participant's bounded token/data queues model
+      kernel socket buffers (see {!Aring_ring.Node}).
+    - {b CPU}: a node processes one message at a time; the per-operation
+      costs come from the node's {!Profile.tier}. Sends and deliveries
+      performed while handling a message occupy the CPU serially, in the
+      action order the engine emitted — which is exactly how the token
+      leaves before post-token multicasts.
+    - {b Faults}: random per-receiver loss, a programmable drop predicate
+      (partitions), and node crashes.
+
+    Everything is deterministic for a given seed: events are ordered by
+    (time, insertion sequence). Time is in nanoseconds from 0. *)
+
+open Aring_wire
+open Aring_ring
+
+type t
+
+type stats = {
+  mutable packets_sent : int;  (** NIC transmissions (multicast counts 1). *)
+  mutable switch_drops : int;  (** Output-port buffer overflows. *)
+  mutable random_losses : int;  (** Per-receiver random losses. *)
+  mutable partition_drops : int;  (** Dropped by the partition predicate. *)
+}
+
+val create :
+  net:Profile.net ->
+  tiers:Profile.tier array ->
+  participants:Participant.t array ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** [create ~net ~tiers ~participants ()] builds a cluster in which
+    participant [i] runs on a host with cost profile [tiers.(i)]. The
+    participants' [start] actions are scheduled at time 0. *)
+
+val now : t -> int
+val stats : t -> stats
+val participant : t -> int -> Participant.t
+
+(** {2 Instrumentation hooks} *)
+
+val on_deliver : t -> (at:int -> now:int -> Message.data -> unit) -> unit
+(** Called for every message delivered to the application at any node. *)
+
+val on_view : t -> (at:int -> now:int -> Participant.view -> unit) -> unit
+(** Called for every configuration (view) delivered at any node. *)
+
+val on_token_loss : t -> (at:int -> now:int -> unit) -> unit
+(** Called when a bare operational node reports token loss. *)
+
+(** {2 Workload and fault injection} *)
+
+val submit_at : t -> at:int -> node:int -> Types.service -> bytes -> unit
+(** Schedule a client submission (charged the tier's submit cost). *)
+
+val submit_now : t -> node:int -> Types.service -> bytes -> unit
+(** Submit immediately at the current simulated time — for use inside
+    {!call_at} callbacks (workload generators). *)
+
+val call_at : t -> at:int -> (unit -> unit) -> unit
+(** Schedule an arbitrary callback (workload generators reschedule
+    themselves with this). The callback runs at the scheduled simulated
+    time; it may inspect the simulator and schedule further events. *)
+
+val set_drop : t -> (src:int -> dst:int -> Message.t -> bool) -> unit
+(** Install a drop predicate evaluated per receiver at the switch —
+    [fun ~src ~dst _ -> ...] returning [true] drops. Use it to create
+    partitions; replace with [fun ~src:_ ~dst:_ _ -> false] to heal. *)
+
+val crash : t -> int -> unit
+(** Node stops processing and receiving, permanently. *)
+
+val is_alive : t -> int -> bool
+
+(** {2 Execution} *)
+
+val run_until : t -> int -> unit
+(** Process all events with time ≤ the given horizon (ns). *)
+
+val run_while_work : t -> max_ns:int -> unit
+(** Run until the event queue empties or the horizon is reached. *)

@@ -1,0 +1,88 @@
+type net = {
+  net_name : string;
+  bandwidth_bps : int;
+  latency_ns : int;
+  switch_port_buffer : int;
+  loss_prob : float;
+  mtu : int;
+}
+
+type tier = {
+  tier_name : string;
+  token_proc_ns : int;
+  data_proc_ns : int;
+  frag_ns : int;
+  send_op_ns : int;
+  deliver_ns : int;
+  submit_ns : int;
+  extra_data_header : int;
+}
+
+let gigabit =
+  {
+    net_name = "1GbE";
+    bandwidth_bps = 1_000_000_000;
+    latency_ns = 40_000;
+    switch_port_buffer = 768 * 1024;
+    loss_prob = 0.0;
+    mtu = 1500;
+  }
+
+let ten_gigabit =
+  {
+    net_name = "10GbE";
+    bandwidth_bps = 10_000_000_000;
+    latency_ns = 18_000;
+    switch_port_buffer = 1024 * 1024;
+    loss_prob = 0.0;
+    mtu = 1500;
+  }
+
+let library =
+  {
+    tier_name = "library";
+    token_proc_ns = 2_000;
+    data_proc_ns = 500;
+    frag_ns = 1_700;
+    send_op_ns = 1_200;
+    deliver_ns = 250;
+    submit_ns = 250;
+    extra_data_header = 0;
+  }
+
+let daemon =
+  {
+    tier_name = "daemon";
+    token_proc_ns = 2_600;
+    data_proc_ns = 800;
+    frag_ns = 1_700;
+    send_op_ns = 1_300;
+    deliver_ns = 950;
+    submit_ns = 900;
+    extra_data_header = 24;
+  }
+
+let spread =
+  {
+    tier_name = "spread";
+    token_proc_ns = 8_000;
+    data_proc_ns = 1_200;
+    frag_ns = 1_700;
+    send_op_ns = 1_700;
+    deliver_ns = 2_100;
+    submit_ns = 1_300;
+    extra_data_header = 103;
+  }
+
+let all_tiers = [ library; daemon; spread ]
+
+let with_loss net loss_prob = { net with loss_prob }
+
+let with_jumbo_frames net =
+  { net with net_name = net.net_name ^ "+jumbo"; mtu = 9000 }
+
+let tx_ns net bytes = bytes * 8 * 1_000_000_000 / net.bandwidth_bps
+
+let data_proc_cost tier ~mtu ~wire_bytes =
+  let frags = (wire_bytes + mtu - 1) / mtu in
+  tier.data_proc_ns + (max 1 frags * tier.frag_ns)

@@ -1,0 +1,82 @@
+(** Calibrated hardware and implementation-tier profiles.
+
+    The paper's evaluation ran on physical 1-gigabit / 10-gigabit clusters
+    with three implementations (library prototype, daemon prototype, the
+    Spread toolkit). We reproduce those axes as two profile records:
+
+    - {!net} describes the network fabric: link rate, one-way latency,
+      switch output-port buffering, and random loss. Switch buffering is
+      the mechanism the accelerated protocol exploits, so it is modelled
+      explicitly (drop-tail per output port).
+    - {!tier} describes one implementation's CPU cost structure: per-message
+      processing, per-send syscall cost, client-delivery cost, and the
+      extra protocol headers it puts on the wire. The paper's core claim is
+      about the ratio between these costs and wire time, which these
+      records make explicit and reproducible.
+
+    The preset numbers are calibrated so that the simulated system lands in
+    the regimes the paper reports (1G saturation; 10G processing-bound with
+    the library < daemon < Spread overhead ordering). See EXPERIMENTS.md. *)
+
+type net = {
+  net_name : string;
+  bandwidth_bps : int;  (** Link rate of NICs and switch ports. *)
+  latency_ns : int;
+      (** Fixed one-way latency (propagation + switch forwarding + host
+          network stack), excluding serialization, which is computed from
+          packet size and [bandwidth_bps]. *)
+  switch_port_buffer : int;  (** Drop-tail buffer per switch output port. *)
+  loss_prob : float;  (** Random per-packet, per-receiver loss. *)
+  mtu : int;
+      (** Ethernet MTU: 1500 standard, 9000 with jumbo frames. Determines
+          how many frames a UDP datagram spans (and therefore its kernel
+          processing cost) — the paper's future-work conjecture is that
+          jumbo frames would improve the large-datagram runs further. *)
+}
+
+type tier = {
+  tier_name : string;
+  token_proc_ns : int;  (** Handling a received token (before sends). *)
+  data_proc_ns : int;  (** Handling a received data message. *)
+  frag_ns : int;
+      (** Kernel cost per MTU-sized frame of a received datagram
+          (interrupt, copy, reassembly): an 8850-byte UDP datagram spans
+          six fragments but is still one protocol message — this is what
+          larger datagrams amortize (Section IV-A.3). *)
+  send_op_ns : int;  (** One multicast/unicast send operation. *)
+  deliver_ns : int;  (** Delivering one message to the client. *)
+  submit_ns : int;  (** Accepting one message from the client. *)
+  extra_data_header : int;
+      (** Header bytes this implementation adds beyond the base wire
+          format (Spread's descriptive group/sender names are large). *)
+}
+
+val gigabit : net
+(** 1-gigabit network (Catalyst 2960 class). *)
+
+val ten_gigabit : net
+(** 10-gigabit network (Arista 7100T class). *)
+
+val library : tier
+(** Library-based prototype: no client communication at all. *)
+
+val daemon : tier
+(** Daemon-based prototype: client IPC on the critical path. *)
+
+val spread : tier
+(** Full Spread toolkit: large headers, group-name analysis on delivery. *)
+
+val all_tiers : tier list
+
+val with_loss : net -> float -> net
+(** [with_loss net p] is [net] with random loss probability [p]. *)
+
+val with_jumbo_frames : net -> net
+(** [with_jumbo_frames net] raises the MTU to 9000 bytes. *)
+
+val tx_ns : net -> int -> int
+(** [tx_ns net bytes] is the serialization delay of a [bytes]-long packet. *)
+
+val data_proc_cost : tier -> mtu:int -> wire_bytes:int -> int
+(** Total CPU cost of processing one received data message whose on-wire
+    datagram is [wire_bytes] long on a network with the given [mtu]. *)

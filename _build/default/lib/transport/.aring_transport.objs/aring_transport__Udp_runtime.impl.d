@@ -1,0 +1,1 @@
+lib/transport/udp_runtime.ml: Aring_ring Aring_util Aring_wire Bytes Codec Float List Message Participant Types Unix

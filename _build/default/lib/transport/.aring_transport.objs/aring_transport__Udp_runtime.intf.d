@@ -1,0 +1,1 @@
+lib/transport/udp_runtime.mli: Aring_ring Aring_wire Message Participant Types

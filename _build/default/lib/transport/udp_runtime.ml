@@ -1,0 +1,180 @@
+open Aring_wire
+open Aring_ring
+module Heap = Aring_util.Heap
+
+type peer = {
+  pid : Types.pid;
+  host : string;
+  data_port : int;
+  token_port : int;
+}
+
+type t = {
+  me : Types.pid;
+  peers : (Types.pid * Unix.sockaddr * Unix.sockaddr) list;
+      (* pid, data addr, token addr — excluding self *)
+  participant : Participant.t;
+  data_sock : Unix.file_descr;
+  token_sock : Unix.file_descr;
+  timers : (int * Participant.timer) Heap.t;  (* absolute ns *)
+  recv_buf : bytes;
+  on_deliver : Message.data -> unit;
+  on_view : Participant.view -> unit;
+  mutable stop_requested : bool;
+  mutable started : bool;
+  mutable packets_received : int;
+  mutable decode_errors : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let addr host port = Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let make_socket ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (addr "0.0.0.0" port);
+  Unix.set_nonblock sock;
+  sock
+
+let create ~me ~peers ~participant ?(on_deliver = fun _ -> ())
+    ?(on_view = fun _ -> ()) () =
+  let self =
+    match List.find_opt (fun p -> p.pid = me) peers with
+    | Some p -> p
+    | None -> invalid_arg "Udp_runtime.create: no peer entry for me"
+  in
+  let others =
+    List.filter_map
+      (fun p ->
+        if p.pid = me then None
+        else Some (p.pid, addr p.host p.data_port, addr p.host p.token_port))
+      peers
+  in
+  {
+    me;
+    peers = others;
+    participant;
+    data_sock = make_socket ~port:self.data_port;
+    token_sock = make_socket ~port:self.token_port;
+    timers = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
+    recv_buf = Bytes.create 65536;
+    on_deliver;
+    on_view;
+    stop_requested = false;
+    started = false;
+    packets_received = 0;
+    decode_errors = 0;
+  }
+
+let packets_received t = t.packets_received
+let decode_errors t = t.decode_errors
+let stop t = t.stop_requested <- true
+
+let close t =
+  Unix.close t.data_sock;
+  Unix.close t.token_sock
+
+let peer_addr t pid =
+  List.find_opt (fun (p, _, _) -> p = pid) t.peers
+
+let send_to t sock_kind pid msg =
+  match peer_addr t pid with
+  | None ->
+      if pid = t.me then
+        (* Self-delivery (e.g. the representative's initial token). *)
+        ignore (t.participant.receive msg)
+  | Some (_, data_addr, token_addr) ->
+      let buf = Message.encode msg in
+      let dst = match sock_kind with `Data -> data_addr | `Token -> token_addr in
+      let sock = match sock_kind with `Data -> t.data_sock | `Token -> t.token_sock in
+      (try ignore (Unix.sendto sock buf 0 (Bytes.length buf) [] dst)
+       with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
+         (* UDP best-effort: a full buffer or a dead peer is packet loss,
+            which the protocol tolerates. *)
+         ())
+
+let route_of_message = function
+  | Message.Token _ | Message.Commit _ -> `Token
+  | Message.Data _ | Message.Join _ -> `Data
+
+let rec interpret t actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Participant.Unicast (pid, msg) -> send_to t (route_of_message msg) pid msg
+      | Participant.Multicast msg ->
+          let kind = route_of_message msg in
+          List.iter (fun (pid, _, _) -> send_to t kind pid msg) t.peers
+      | Participant.Deliver d -> t.on_deliver d
+      | Participant.Deliver_config v -> t.on_view v
+      | Participant.Arm_timer (timer, delay_ns) ->
+          Heap.push t.timers (now_ns () + delay_ns, timer)
+      | Participant.Token_loss_detected ->
+          (* A bare Node would surface this; a Member handles it itself. *)
+          ())
+    actions
+
+and fire_due_timers t =
+  let rec loop () =
+    match Heap.peek t.timers with
+    | Some (at, _) when at <= now_ns () ->
+        let _, timer = Heap.pop_exn t.timers in
+        interpret t (t.participant.fire_timer timer);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let drain_socket t sock =
+  let budget = ref 128 in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Unix.recvfrom sock t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+    | len, _from -> (
+        decr budget;
+        t.packets_received <- t.packets_received + 1;
+        match Message.decode (Bytes.sub t.recv_buf 0 len) with
+        | msg -> ignore (t.participant.receive msg)
+        | exception Codec.Decode_error _ ->
+            t.decode_errors <- t.decode_errors + 1)
+  done
+
+let run t ~duration_s =
+  t.stop_requested <- false;
+  if not t.started then begin
+    t.started <- true;
+    interpret t (t.participant.start ())
+  end;
+  let deadline = now_ns () + int_of_float (duration_s *. 1e9) in
+  while (not t.stop_requested) && now_ns () < deadline do
+    let timeout_s =
+      if t.participant.has_work () then 0.0
+      else begin
+        let next_timer =
+          match Heap.peek t.timers with Some (at, _) -> at | None -> deadline
+        in
+        let until = min next_timer deadline - now_ns () in
+        Float.max 0.0 (float_of_int until /. 1e9)
+      end
+    in
+    let readable, _, _ =
+      try Unix.select [ t.data_sock; t.token_sock ] [] [] (Float.min timeout_s 0.05)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter (fun sock -> drain_socket t sock) readable;
+    fire_due_timers t;
+    (* Process a bounded batch so sockets keep draining under load. *)
+    let budget = ref 256 in
+    let continue = ref true in
+    while !continue && !budget > 0 do
+      match t.participant.take_next () with
+      | None -> continue := false
+      | Some msg ->
+          decr budget;
+          interpret t (t.participant.process msg)
+    done
+  done

@@ -1,0 +1,82 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int; (* index of front element when size > 0 *)
+  mutable size : int;
+}
+
+let create () = { data = [||]; head = 0; size = 0 }
+
+let length d = d.size
+
+let is_empty d = d.size = 0
+
+let capacity d = Array.length d.data
+
+(* Grow to double capacity, re-packing elements at offset 0. *)
+let grow d seed =
+  let old_cap = capacity d in
+  let cap = max 16 (2 * old_cap) in
+  let data = Array.make cap seed in
+  for i = 0 to d.size - 1 do
+    data.(i) <- d.data.((d.head + i) mod old_cap)
+  done;
+  d.data <- data;
+  d.head <- 0
+
+let push_back d x =
+  if d.size >= capacity d then grow d x;
+  d.data.((d.head + d.size) mod capacity d) <- x;
+  d.size <- d.size + 1
+
+let push_front d x =
+  if d.size >= capacity d then grow d x;
+  d.head <- (d.head - 1 + capacity d) mod capacity d;
+  d.data.(d.head) <- x;
+  d.size <- d.size + 1
+
+let pop_front d =
+  if d.size = 0 then None
+  else begin
+    let x = d.data.(d.head) in
+    d.head <- (d.head + 1) mod capacity d;
+    d.size <- d.size - 1;
+    Some x
+  end
+
+let pop_back d =
+  if d.size = 0 then None
+  else begin
+    let x = d.data.((d.head + d.size - 1) mod capacity d) in
+    d.size <- d.size - 1;
+    Some x
+  end
+
+let peek_front d = if d.size = 0 then None else Some d.data.(d.head)
+
+let peek_back d =
+  if d.size = 0 then None
+  else Some d.data.((d.head + d.size - 1) mod capacity d)
+
+let clear d =
+  d.head <- 0;
+  d.size <- 0
+
+let iter f d =
+  for i = 0 to d.size - 1 do
+    f d.data.((d.head + i) mod capacity d)
+  done
+
+let fold f init d =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) d;
+  !acc
+
+let to_list d = List.rev (fold (fun acc x -> x :: acc) [] d)
+
+let exists p d =
+  let rec loop i =
+    if i >= d.size then false
+    else if p d.data.((d.head + i) mod capacity d) then true
+    else loop (i + 1)
+  in
+  loop 0

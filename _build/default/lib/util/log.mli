@@ -1,0 +1,20 @@
+(** Logging setup shared by executables and tests.
+
+    A thin wrapper over [Logs] that installs an [Fmt]-based reporter and
+    creates per-subsystem sources. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** [setup ~level ()] installs a formatted stderr reporter. Defaults to
+    [Logs.Warning] so tests stay quiet unless asked. *)
+
+val ring_src : Logs.src
+(** Log source for the ordering protocol. *)
+
+val memb_src : Logs.src
+(** Log source for the membership algorithm. *)
+
+val sim_src : Logs.src
+(** Log source for the network simulator. *)
+
+val daemon_src : Logs.src
+(** Log source for the Spread-like daemon layer. *)

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The simulator must be fully reproducible: every run with the same seed
+    produces the same event trace. SplitMix64 is small, fast, and passes
+    BigCrush; it is more than adequate for workload generation and loss
+    injection. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated node its own stream so that adding a
+    consumer does not perturb the others. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution; used for
+    Poisson inter-arrival workloads. *)

@@ -1,0 +1,88 @@
+type t = {
+  mutable samples : float array;
+  mutable size : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  {
+    samples = [||];
+    size = 0;
+    sum = 0.0;
+    sum_sq = 0.0;
+    lo = infinity;
+    hi = neg_infinity;
+    sorted = true;
+  }
+
+let add t x =
+  if t.size >= Array.length t.samples then begin
+    let cap = max 64 (2 * Array.length t.samples) in
+    let samples = Array.make cap 0.0 in
+    Array.blit t.samples 0 samples 0 t.size;
+    t.samples <- samples
+  end;
+  t.samples.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.sorted <- false
+
+let count t = t.size
+
+let mean t = if t.size = 0 then nan else t.sum /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let n = float_of_int t.size in
+    let m = t.sum /. n in
+    let v = (t.sum_sq /. n) -. (m *. m) in
+    if v <= 0.0 then 0.0 else sqrt v
+  end
+
+let min_value t = if t.size = 0 then nan else t.lo
+
+let max_value t = if t.size = 0 then nan else t.hi
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.samples 0 t.size in
+    Array.sort compare view;
+    Array.blit view 0 t.samples 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then nan
+  else begin
+    ensure_sorted t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) in
+    let idx = max 0 (min (t.size - 1) (rank - 1)) in
+    t.samples.(idx)
+  end
+
+let median t = percentile t 50.0
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add t b.samples.(i)
+  done;
+  t
+
+let pp ppf t =
+  if t.size = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f" t.size
+      (mean t) (median t) (percentile t 99.0) (max_value t)

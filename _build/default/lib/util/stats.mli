@@ -1,0 +1,36 @@
+(** Online sample statistics for latency/throughput measurement.
+
+    Collects samples and reports count, mean, min, max, standard deviation,
+    and percentiles. Percentiles retain all samples (the experiment harness
+    collects bounded sample counts, so this is acceptable and exact). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add t x] records sample [x]. *)
+
+val count : t -> int
+val mean : t -> float
+
+val stddev : t -> float
+(** Population standard deviation; [0.] when fewer than two samples. *)
+
+val min_value : t -> float
+(** [min_value t] is the smallest sample; [nan] when empty. *)
+
+val max_value : t -> float
+(** [max_value t] is the largest sample; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]] is the nearest-rank percentile;
+    [nan] when empty. *)
+
+val median : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is a statistic over the union of both sample sets. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["n=… mean=… p50=… p99=… max=…"]. *)

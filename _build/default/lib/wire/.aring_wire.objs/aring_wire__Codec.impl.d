@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Buffer Bytes Char Int32 Int64 List Printf

@@ -1,0 +1,1 @@
+lib/wire/message.ml: Bytes Codec Format List Printf Types

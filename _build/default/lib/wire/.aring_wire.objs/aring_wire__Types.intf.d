@@ -1,0 +1,1 @@
+lib/wire/types.mli: Format

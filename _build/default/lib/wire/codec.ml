@@ -1,0 +1,79 @@
+exception Decode_error of string
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 256
+let to_bytes e = Buffer.to_bytes e
+let encoded_size e = Buffer.length e
+
+let write_u8 e n =
+  if n < 0 || n > 0xFF then invalid_arg "Codec.write_u8: out of range";
+  Buffer.add_char e (Char.chr n)
+
+let write_bool e b = write_u8 e (if b then 1 else 0)
+
+let write_i32 e n =
+  if n < -0x8000_0000 || n > 0x7FFF_FFFF then
+    invalid_arg "Codec.write_i32: out of range";
+  Buffer.add_int32_be e (Int32.of_int n)
+
+let write_i64 e n = Buffer.add_int64_be e (Int64.of_int n)
+
+let write_bytes e b =
+  write_i32 e (Bytes.length b);
+  Buffer.add_bytes e b
+
+let write_list e f l =
+  write_i32 e (List.length l);
+  List.iter f l
+
+type decoder = { buf : bytes; mutable pos : int }
+
+let decoder buf = { buf; pos = 0 }
+
+let remaining d = Bytes.length d.buf - d.pos
+
+let need d n =
+  if remaining d < n then
+    raise (Decode_error (Printf.sprintf "truncated input: need %d, have %d" n (remaining d)))
+
+let read_u8 d =
+  need d 1;
+  let n = Char.code (Bytes.get d.buf d.pos) in
+  d.pos <- d.pos + 1;
+  n
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Decode_error (Printf.sprintf "invalid bool byte %d" n))
+
+let read_i32 d =
+  need d 4;
+  let n = Int32.to_int (Bytes.get_int32_be d.buf d.pos) in
+  d.pos <- d.pos + 4;
+  n
+
+let read_i64 d =
+  need d 8;
+  let n = Int64.to_int (Bytes.get_int64_be d.buf d.pos) in
+  d.pos <- d.pos + 8;
+  n
+
+let read_bytes d =
+  let len = read_i32 d in
+  if len < 0 then raise (Decode_error "negative byte-string length");
+  need d len;
+  let b = Bytes.sub d.buf d.pos len in
+  d.pos <- d.pos + len;
+  b
+
+let read_list d f =
+  let n = read_i32 d in
+  if n < 0 then raise (Decode_error "negative list length");
+  List.init n (fun _ -> f ())
+
+let expect_end d =
+  if remaining d <> 0 then
+    raise (Decode_error (Printf.sprintf "%d trailing bytes" (remaining d)))

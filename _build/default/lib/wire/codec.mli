@@ -1,0 +1,45 @@
+(** Binary encoding primitives for the wire format.
+
+    All integers are encoded big-endian. The format favours simplicity over
+    compactness: fixed 8-byte integers, 4-byte lengths. Decoding raises
+    {!Decode_error} on malformed input rather than returning partial
+    values, so a corrupted packet can be dropped whole (the system model
+    assumes no corruption; this guards against bugs and truncation). *)
+
+exception Decode_error of string
+
+type encoder
+(** Mutable output buffer. *)
+
+val encoder : unit -> encoder
+val to_bytes : encoder -> bytes
+val encoded_size : encoder -> int
+
+val write_u8 : encoder -> int -> unit
+val write_bool : encoder -> bool -> unit
+val write_i32 : encoder -> int -> unit
+(** [write_i32 e n] requires [n] to fit in 32 signed bits. *)
+
+val write_i64 : encoder -> int -> unit
+val write_bytes : encoder -> bytes -> unit
+(** Length-prefixed (4 bytes) byte string. *)
+
+val write_list : encoder -> ('a -> unit) -> 'a list -> unit
+(** Count-prefixed (4 bytes) list; elements written with the callback. *)
+
+type decoder
+(** Read cursor over an input byte string. *)
+
+val decoder : bytes -> decoder
+val remaining : decoder -> int
+
+val read_u8 : decoder -> int
+val read_bool : decoder -> bool
+val read_i32 : decoder -> int
+val read_i64 : decoder -> int
+val read_bytes : decoder -> bytes
+val read_list : decoder -> (unit -> 'a) -> 'a list
+
+val expect_end : decoder -> unit
+(** [expect_end d] raises {!Decode_error} unless the input was fully
+    consumed — every complete message must account for all its bytes. *)

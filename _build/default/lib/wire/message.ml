@@ -1,0 +1,249 @@
+open Types
+
+type data = {
+  d_ring : ring_id;
+  seq : seqno;
+  pid : pid;
+  d_round : round;
+  post_token : bool;
+  service : service;
+  payload : bytes;
+}
+
+type token = {
+  t_ring : ring_id;
+  token_id : int;
+  t_round : round;
+  t_seq : seqno;
+  aru : seqno;
+  aru_id : pid option;
+  fcc : int;
+  rtr : seqno list;
+}
+
+type join = {
+  j_pid : pid;
+  proc_set : pid list;
+  fail_set : pid list;
+  join_seq : int;
+}
+
+type member_info = {
+  m_pid : pid;
+  m_old_ring : ring_id;
+  m_aru : seqno;
+  m_high_seq : seqno;
+  m_high_delivered : seqno;
+}
+
+type commit = {
+  c_ring : ring_id;
+  c_token_id : int;
+  c_pass : int;
+  c_memb : member_info list;
+  c_holds : (ring_id * seqno list) list;
+}
+
+type t =
+  | Data of data
+  | Token of token
+  | Join of join
+  | Commit of commit
+
+let kind = function
+  | Data _ -> "data"
+  | Token _ -> "token"
+  | Join _ -> "join"
+  | Commit _ -> "commit"
+
+let tag_data = 1
+let tag_token = 2
+let tag_join = 3
+let tag_commit = 4
+
+let service_tag = function Fifo -> 0 | Causal -> 1 | Agreed -> 2 | Safe -> 3
+
+let service_of_tag = function
+  | 0 -> Fifo
+  | 1 -> Causal
+  | 2 -> Agreed
+  | 3 -> Safe
+  | n -> raise (Codec.Decode_error (Printf.sprintf "invalid service tag %d" n))
+
+let write_ring_id e (r : ring_id) =
+  Codec.write_i64 e r.rep;
+  Codec.write_i64 e r.ring_seq
+
+let read_ring_id d =
+  let rep = Codec.read_i64 d in
+  let ring_seq = Codec.read_i64 d in
+  { rep; ring_seq }
+
+let write_member_info e m =
+  Codec.write_i64 e m.m_pid;
+  write_ring_id e m.m_old_ring;
+  Codec.write_i64 e m.m_aru;
+  Codec.write_i64 e m.m_high_seq;
+  Codec.write_i64 e m.m_high_delivered
+
+let read_member_info d =
+  let m_pid = Codec.read_i64 d in
+  let m_old_ring = read_ring_id d in
+  let m_aru = Codec.read_i64 d in
+  let m_high_seq = Codec.read_i64 d in
+  let m_high_delivered = Codec.read_i64 d in
+  { m_pid; m_old_ring; m_aru; m_high_seq; m_high_delivered }
+
+let encode m =
+  let e = Codec.encoder () in
+  (match m with
+  | Data d ->
+      Codec.write_u8 e tag_data;
+      write_ring_id e d.d_ring;
+      Codec.write_i64 e d.seq;
+      Codec.write_i64 e d.pid;
+      Codec.write_i64 e d.d_round;
+      Codec.write_bool e d.post_token;
+      Codec.write_u8 e (service_tag d.service);
+      Codec.write_bytes e d.payload
+  | Token t ->
+      Codec.write_u8 e tag_token;
+      write_ring_id e t.t_ring;
+      Codec.write_i64 e t.token_id;
+      Codec.write_i64 e t.t_round;
+      Codec.write_i64 e t.t_seq;
+      Codec.write_i64 e t.aru;
+      (match t.aru_id with
+      | None -> Codec.write_bool e false
+      | Some pid ->
+          Codec.write_bool e true;
+          Codec.write_i64 e pid);
+      Codec.write_i64 e t.fcc;
+      Codec.write_list e (Codec.write_i64 e) t.rtr
+  | Join j ->
+      Codec.write_u8 e tag_join;
+      Codec.write_i64 e j.j_pid;
+      Codec.write_list e (Codec.write_i64 e) j.proc_set;
+      Codec.write_list e (Codec.write_i64 e) j.fail_set;
+      Codec.write_i64 e j.join_seq
+  | Commit c ->
+      Codec.write_u8 e tag_commit;
+      write_ring_id e c.c_ring;
+      Codec.write_i64 e c.c_token_id;
+      Codec.write_i64 e c.c_pass;
+      Codec.write_list e (write_member_info e) c.c_memb;
+      Codec.write_list e
+        (fun (ring, seqs) ->
+          write_ring_id e ring;
+          Codec.write_list e (Codec.write_i64 e) seqs)
+        c.c_holds);
+  Codec.to_bytes e
+
+let decode buf =
+  let d = Codec.decoder buf in
+  let tag = Codec.read_u8 d in
+  let m =
+    if tag = tag_data then begin
+      let d_ring = read_ring_id d in
+      let seq = Codec.read_i64 d in
+      let pid = Codec.read_i64 d in
+      let d_round = Codec.read_i64 d in
+      let post_token = Codec.read_bool d in
+      let service = service_of_tag (Codec.read_u8 d) in
+      let payload = Codec.read_bytes d in
+      Data { d_ring; seq; pid; d_round; post_token; service; payload }
+    end
+    else if tag = tag_token then begin
+      let t_ring = read_ring_id d in
+      let token_id = Codec.read_i64 d in
+      let t_round = Codec.read_i64 d in
+      let t_seq = Codec.read_i64 d in
+      let aru = Codec.read_i64 d in
+      let aru_id =
+        if Codec.read_bool d then Some (Codec.read_i64 d) else None
+      in
+      let fcc = Codec.read_i64 d in
+      let rtr = Codec.read_list d (fun () -> Codec.read_i64 d) in
+      Token { t_ring; token_id; t_round; t_seq; aru; aru_id; fcc; rtr }
+    end
+    else if tag = tag_join then begin
+      let j_pid = Codec.read_i64 d in
+      let proc_set = Codec.read_list d (fun () -> Codec.read_i64 d) in
+      let fail_set = Codec.read_list d (fun () -> Codec.read_i64 d) in
+      let join_seq = Codec.read_i64 d in
+      Join { j_pid; proc_set; fail_set; join_seq }
+    end
+    else if tag = tag_commit then begin
+      let c_ring = read_ring_id d in
+      let c_token_id = Codec.read_i64 d in
+      let c_pass = Codec.read_i64 d in
+      let c_memb = Codec.read_list d (fun () -> read_member_info d) in
+      let c_holds =
+        Codec.read_list d (fun () ->
+            let ring = read_ring_id d in
+            let seqs = Codec.read_list d (fun () -> Codec.read_i64 d) in
+            (ring, seqs))
+      in
+      Commit { c_ring; c_token_id; c_pass; c_memb; c_holds }
+    end
+    else raise (Codec.Decode_error (Printf.sprintf "unknown message tag %d" tag))
+  in
+  Codec.expect_end d;
+  m
+
+let header_overhead =
+  let empty =
+    Data
+      {
+        d_ring = { rep = 0; ring_seq = 0 };
+        seq = 0;
+        pid = 0;
+        d_round = 0;
+        post_token = false;
+        service = Agreed;
+        payload = Bytes.empty;
+      }
+  in
+  Bytes.length (encode empty)
+
+let data_wire_size ~payload_len = header_overhead + payload_len
+
+let ring_id_size = 16
+
+let wire_size = function
+  | Data d -> header_overhead + Bytes.length d.payload
+  | Token t ->
+      1 + ring_id_size + (8 * 4)
+      + (match t.aru_id with None -> 1 | Some _ -> 9)
+      + 8 + 4
+      + (8 * List.length t.rtr)
+  | Join j ->
+      1 + 8 + 4
+      + (8 * List.length j.proc_set)
+      + 4
+      + (8 * List.length j.fail_set)
+      + 8
+  | Commit c ->
+      1 + ring_id_size + 8 + 8 + 4
+      + (48 * List.length c.c_memb)
+      + 4
+      + List.fold_left
+          (fun acc (_, seqs) -> acc + ring_id_size + 4 + (8 * List.length seqs))
+          0 c.c_holds
+
+let pp ppf = function
+  | Data d ->
+      Format.fprintf ppf "data(seq=%d pid=%d round=%d %s%s len=%d)" d.seq d.pid
+        d.d_round
+        (service_to_string d.service)
+        (if d.post_token then " post" else "")
+        (Bytes.length d.payload)
+  | Token t ->
+      Format.fprintf ppf "token(id=%d round=%d seq=%d aru=%d fcc=%d rtr=%d)"
+        t.token_id t.t_round t.t_seq t.aru t.fcc (List.length t.rtr)
+  | Join j ->
+      Format.fprintf ppf "join(pid=%d procs=%d fails=%d seq=%d)" j.j_pid
+        (List.length j.proc_set) (List.length j.fail_set) j.join_seq
+  | Commit c ->
+      Format.fprintf ppf "commit(%a pass=%d memb=%d)" pp_ring_id c.c_ring
+        c.c_pass (List.length c.c_memb)

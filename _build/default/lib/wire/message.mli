@@ -1,0 +1,102 @@
+(** Wire messages of the Accelerated Ring protocol.
+
+    Four message kinds travel on the network:
+
+    - {b Data} messages carry application payloads plus the ordering
+      metadata of Section III-B of the paper ([seq], [pid], [round]), the
+      delivery service level, and a [post_token] flag recording whether the
+      message was multicast after the sender released the token (used by
+      priority-switching method 2, Section III-C).
+    - {b Token} messages carry the ordering/flow-control state of Section
+      III-A ([seq], [aru], [fcc], [rtr]) plus the aru-lowering memory
+      ([aru_id]) and a per-hop [token_id] for duplicate suppression when the
+      token is retransmitted after a suspected loss.
+    - {b Join} messages drive the gather stage of the membership algorithm.
+    - {b Commit} tokens circulate (twice) around a proposed new ring to
+      commit a membership and exchange recovery information. *)
+
+open Types
+
+type data = {
+  d_ring : ring_id;  (** Configuration this message belongs to. *)
+  seq : seqno;  (** Position in the total order. *)
+  pid : pid;  (** Initiating participant. *)
+  d_round : round;  (** Token round in which the message was initiated. *)
+  post_token : bool;  (** Sent during the post-token multicast phase? *)
+  service : service;  (** Requested delivery service. *)
+  payload : bytes;  (** Application data; opaque to the protocol. *)
+}
+
+type token = {
+  t_ring : ring_id;
+  token_id : int;
+      (** Monotonic per-hop counter; lets a participant discard stale
+          retransmitted tokens. *)
+  t_round : round;  (** Rotation count since installation. *)
+  t_seq : seqno;  (** Last sequence number claimed by any participant. *)
+  aru : seqno;  (** All-received-up-to (stability floor candidate). *)
+  aru_id : pid option;  (** Participant that last lowered [aru], if any. *)
+  fcc : int;  (** Messages multicast during the last token round. *)
+  rtr : seqno list;  (** Outstanding retransmission requests, ascending. *)
+}
+
+type join = {
+  j_pid : pid;
+  proc_set : pid list;  (** Processes the sender considers reachable. *)
+  fail_set : pid list;  (** Processes the sender has declared failed. *)
+  join_seq : int;  (** Gather attempt number (monotonic per process). *)
+}
+
+type member_info = {
+  m_pid : pid;
+  m_old_ring : ring_id;  (** Ring the member previously belonged to. *)
+  m_aru : seqno;  (** Member's local aru in its old ring. *)
+  m_high_seq : seqno;  (** Highest sequence the member saw in its old ring. *)
+  m_high_delivered : seqno;  (** Highest sequence the member delivered. *)
+}
+
+type commit = {
+  c_ring : ring_id;  (** Proposed new ring identifier. *)
+  c_token_id : int;
+  c_pass : int;
+      (** 1: collect members' old-ring state; 2: spread it; 3: barrier
+          after the recovery exchange, accumulating which old-ring
+          messages the survivors collectively hold; 4: verify the
+          exchange completed and install. *)
+  c_memb : member_info list;  (** Proposed membership, in ring order. *)
+  c_holds : (ring_id * seqno list) list;
+      (** Per old ring: the union of exchange-range sequence numbers held
+          by the survivors, accumulated during pass 3. A member missing
+          any of them at pass 4 must not install silently (it re-gathers
+          instead), keeping survivors' delivered sets identical even when
+          recovery floods are lost. *)
+}
+
+type t =
+  | Data of data
+  | Token of token
+  | Join of join
+  | Commit of commit
+
+val kind : t -> string
+(** Short human-readable tag ("data", "token", "join", "commit"). *)
+
+val encode : t -> bytes
+(** [encode m] is the wire representation of [m]. *)
+
+val decode : bytes -> t
+(** [decode b] parses a wire message.
+    @raise Codec.Decode_error on malformed input. *)
+
+val header_overhead : int
+(** Encoded size of a data message with an empty payload — used when
+    accounting clean-payload vs on-wire throughput. *)
+
+val data_wire_size : payload_len:int -> int
+(** On-wire size of a data message with a [payload_len]-byte payload. *)
+
+val wire_size : t -> int
+(** [wire_size m] is [Bytes.length (encode m)], computed analytically —
+    the simulator sizes packets without paying for encoding. *)
+
+val pp : Format.formatter -> t -> unit

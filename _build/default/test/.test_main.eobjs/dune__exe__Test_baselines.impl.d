@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Aring_baselines Aring_harness Aring_sim Aring_util Aring_wire Array Bytes List Message Netsim Printf Profile Ring_paxos Scenario Sequencer Types

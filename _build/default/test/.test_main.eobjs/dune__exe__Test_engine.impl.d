@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Aring_ring Aring_wire Bytes Engine Int64 List Message Option Params Printf Priority QCheck QCheck_alcotest Toy_net Types

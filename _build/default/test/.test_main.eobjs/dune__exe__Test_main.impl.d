@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Aring_util Test_baselines Test_daemon Test_engine Test_member Test_params Test_sim Test_udp Test_util Test_wire

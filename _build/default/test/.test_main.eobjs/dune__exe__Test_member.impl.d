@@ -1,0 +1,1 @@
+test/test_member.ml: Alcotest Aring_ring Aring_sim Aring_wire Array Bytes Int64 List Member Message Netsim Params Participant Printf Profile QCheck QCheck_alcotest String Types

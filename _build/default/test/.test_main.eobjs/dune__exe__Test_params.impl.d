@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Aring_ring Aring_wire Engine Params

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Aring_harness Aring_ring Aring_sim Aring_util Aring_wire Array Bytes Engine Hashtbl List Message Netsim Node Params Printf Profile Scenario Types

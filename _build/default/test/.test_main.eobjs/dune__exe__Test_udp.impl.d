@@ -1,0 +1,1 @@
+test/test_udp.ml: Alcotest Aring_daemon Aring_ring Aring_transport Aring_wire Array Bytes List Member Message Mutex Params Printf String Thread Types Udp_runtime

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Aring_util Gen List Printf QCheck QCheck_alcotest String

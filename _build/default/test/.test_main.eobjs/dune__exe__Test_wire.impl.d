@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Aring_wire Bytes Codec Fmt List Message QCheck QCheck_alcotest Types

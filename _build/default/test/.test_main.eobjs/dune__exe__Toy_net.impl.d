@@ -1,0 +1,1 @@
+test/toy_net.ml: Aring_ring Aring_util Aring_wire Array List Message Node Participant Types

@@ -1,0 +1,445 @@
+(* Daemon-layer tests: envelope codec, group bookkeeping, and end-to-end
+   group semantics (membership notifications, multi-group multicast,
+   open-group sends, daemon crash pruning) on a simulated cluster. *)
+
+open Aring_wire
+open Aring_ring
+open Aring_sim
+open Aring_daemon
+
+let check = Alcotest.check
+
+let ms n = n * 1_000_000
+
+(* -------------------------------------------------------------------- *)
+(* Envelope codec                                                        *)
+
+let test_envelope_roundtrips () =
+  let samples =
+    [
+      Envelope.App
+        { sender = "#a#0"; groups = [ "g1"; "g2" ]; payload = Bytes.of_string "xyz" };
+      Envelope.Join { member = "#b#1"; group = "chat" };
+      Envelope.Leave { member = "#c#2"; group = "chat" };
+    ]
+  in
+  List.iter
+    (fun env ->
+      let env' = Envelope.decode (Envelope.encode env) in
+      check Alcotest.string "roundtrip"
+        (Fmt.str "%a" Envelope.pp env)
+        (Fmt.str "%a" Envelope.pp env');
+      check Alcotest.bool "equal" true (env = env'))
+    samples
+
+let prop_envelope_roundtrip =
+  QCheck.Test.make ~name:"envelope roundtrips" ~count:200
+    QCheck.(
+      triple (string_of_size Gen.(0 -- 30))
+        (list_of_size Gen.(0 -- 5) (string_of_size Gen.(1 -- 20)))
+        (string_of_size Gen.(0 -- 200)))
+    (fun (sender, groups, payload) ->
+      let env =
+        Envelope.App { sender; groups; payload = Bytes.of_string payload }
+      in
+      Envelope.decode (Envelope.encode env) = env)
+
+let test_envelope_rejects_garbage () =
+  Alcotest.check_raises "bad tag"
+    (Codec.Decode_error "unknown envelope tag 99")
+    (fun () -> ignore (Envelope.decode (Bytes.make 1 'c')))
+
+(* -------------------------------------------------------------------- *)
+(* Groups                                                                *)
+
+let test_groups_join_leave () =
+  let g = Groups.create () in
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "first join"
+    (Some [ "#a#0" ])
+    (Groups.join g ~group:"g" ~member:"#a#0");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "second join"
+    (Some [ "#a#0"; "#b#1" ])
+    (Groups.join g ~group:"g" ~member:"#b#1");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "duplicate join" None
+    (Groups.join g ~group:"g" ~member:"#a#0");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "leave"
+    (Some [ "#b#1" ])
+    (Groups.leave g ~group:"g" ~member:"#a#0");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "leave unknown" None
+    (Groups.leave g ~group:"g" ~member:"#zz#9");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "last leave empties"
+    (Some [])
+    (Groups.leave g ~group:"g" ~member:"#b#1");
+  check (Alcotest.list Alcotest.string) "group gone" [] (Groups.members g "g")
+
+let test_groups_prune () =
+  let g = Groups.create () in
+  ignore (Groups.join g ~group:"g1" ~member:"#a#0");
+  ignore (Groups.join g ~group:"g1" ~member:"#b#1");
+  ignore (Groups.join g ~group:"g2" ~member:"#c#1");
+  ignore (Groups.join g ~group:"g3" ~member:"#d#2");
+  let changed = Groups.prune g ~keep:(fun pid -> pid <> 1) in
+  check Alcotest.int "two groups changed" 2 (List.length changed);
+  check (Alcotest.list Alcotest.string) "g1 pruned" [ "#a#0" ] (Groups.members g "g1");
+  check (Alcotest.list Alcotest.string) "g2 emptied" [] (Groups.members g "g2");
+  check (Alcotest.list Alcotest.string) "g3 untouched" [ "#d#2" ] (Groups.members g "g3")
+
+let test_daemon_of_member () =
+  check (Alcotest.option Alcotest.int) "parse" (Some 3)
+    (Groups.daemon_of_member "#sess#3");
+  check (Alcotest.option Alcotest.int) "no hash" None
+    (Groups.daemon_of_member "plain");
+  check (Alcotest.option Alcotest.int) "bad pid" None
+    (Groups.daemon_of_member "#sess#xyz")
+
+(* -------------------------------------------------------------------- *)
+(* Simulated daemon cluster                                              *)
+
+type client = {
+  mutable inbox : (string * string list * string) list;  (* newest first *)
+  mutable group_views : (string * string list) list;  (* newest first *)
+}
+
+type dcluster = {
+  sim : Netsim.t;
+  daemons : Daemon.t array;
+  members : Member.t array;
+}
+
+let test_params =
+  {
+    (Params.accelerated ()) with
+    token_loss_ns = ms 50;
+    token_retransmit_ns = ms 10;
+    join_retransmit_ns = ms 20;
+    consensus_timeout_ns = ms 100;
+    merge_probe_ns = ms 80;
+  }
+
+let make_dcluster ?(n = 3) () =
+  let ring = Array.init n (fun i -> i) in
+  let members =
+    Array.init n (fun me ->
+        Member.create ~params:test_params ~me ~initial_ring:ring ())
+  in
+  let daemons = Array.map (fun m -> Daemon.create ~member:m ()) members in
+  let sim =
+    Netsim.create ~net:Profile.gigabit
+      ~tiers:(Array.make n Profile.daemon)
+      ~participants:(Array.map Daemon.participant daemons)
+      ~seed:3L ()
+  in
+  { sim; daemons; members }
+
+let fresh_client () = { inbox = []; group_views = [] }
+
+let callbacks_of client =
+  {
+    Daemon.on_message =
+      (fun ~sender ~groups _service payload ->
+        client.inbox <- (sender, groups, Bytes.to_string payload) :: client.inbox);
+    on_group_view =
+      (fun ~group ~members ->
+        client.group_views <- (group, members) :: client.group_views);
+  }
+
+let test_group_multicast_members_only () =
+  let c = make_dcluster () in
+  let alice = fresh_client () and bob = fresh_client () and carol = fresh_client () in
+  let s0 = Daemon.connect c.daemons.(0) ~name:"alice" (callbacks_of alice) in
+  let s1 = Daemon.connect c.daemons.(1) ~name:"bob" (callbacks_of bob) in
+  let _s2 = Daemon.connect c.daemons.(2) ~name:"carol" (callbacks_of carol) in
+  Daemon.join c.daemons.(0) s0 "chat";
+  Daemon.join c.daemons.(1) s1 "chat";
+  Netsim.run_until c.sim (ms 20);
+  (* Open-group semantics: carol sends without being a member. *)
+  let carol_session = Daemon.connect c.daemons.(2) ~name:"carol2" (callbacks_of carol) in
+  Daemon.multicast c.daemons.(2) carol_session ~groups:[ "chat" ]
+    (Bytes.of_string "hi from outside");
+  Netsim.run_until c.sim (ms 40);
+  check Alcotest.int "alice got it" 1 (List.length alice.inbox);
+  check Alcotest.int "bob got it" 1 (List.length bob.inbox);
+  check Alcotest.int "carol (non-member) did not" 0 (List.length carol.inbox);
+  let sender, groups, payload = List.hd alice.inbox in
+  check Alcotest.string "sender name" "#carol2#2" sender;
+  check (Alcotest.list Alcotest.string) "groups" [ "chat" ] groups;
+  check Alcotest.string "payload" "hi from outside" payload
+
+let test_multi_group_delivered_once () =
+  let c = make_dcluster () in
+  let both = fresh_client () and g1only = fresh_client () in
+  let s_both = Daemon.connect c.daemons.(0) ~name:"both" (callbacks_of both) in
+  let s_g1 = Daemon.connect c.daemons.(1) ~name:"g1only" (callbacks_of g1only) in
+  Daemon.join c.daemons.(0) s_both "g1";
+  Daemon.join c.daemons.(0) s_both "g2";
+  Daemon.join c.daemons.(1) s_g1 "g1";
+  Netsim.run_until c.sim (ms 20);
+  Daemon.multicast c.daemons.(1) s_g1 ~groups:[ "g1"; "g2" ]
+    (Bytes.of_string "cross-post");
+  Netsim.run_until c.sim (ms 40);
+  check Alcotest.int "member of both groups gets one copy" 1
+    (List.length both.inbox);
+  check Alcotest.int "g1 member gets one copy" 1 (List.length g1only.inbox)
+
+let test_group_views_consistent () =
+  let c = make_dcluster () in
+  let a = fresh_client () and b = fresh_client () in
+  let sa = Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of a) in
+  let sb = Daemon.connect c.daemons.(1) ~name:"b" (callbacks_of b) in
+  Daemon.join c.daemons.(0) sa "room";
+  Netsim.run_until c.sim (ms 20);
+  Daemon.join c.daemons.(1) sb "room";
+  Netsim.run_until c.sim (ms 40);
+  check (Alcotest.list Alcotest.string) "daemon 0 view" [ "#a#0"; "#b#1" ]
+    (Daemon.group_members c.daemons.(0) "room");
+  check (Alcotest.list Alcotest.string) "daemon 2 view" [ "#a#0"; "#b#1" ]
+    (Daemon.group_members c.daemons.(2) "room");
+  (* Clients were notified of each change, in order. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.list Alcotest.string)))
+    "a's view history"
+    [ ("room", [ "#a#0" ]); ("room", [ "#a#0"; "#b#1" ]) ]
+    (List.rev a.group_views);
+  Daemon.leave c.daemons.(0) sa "room";
+  Netsim.run_until c.sim (ms 60);
+  check (Alcotest.list Alcotest.string) "after leave" [ "#b#1" ]
+    (Daemon.group_members c.daemons.(2) "room")
+
+let test_total_order_across_daemons () =
+  let c = make_dcluster () in
+  let clients = Array.init 3 (fun _ -> fresh_client ()) in
+  let sessions =
+    Array.init 3 (fun i ->
+        Daemon.connect c.daemons.(i)
+          ~name:(Printf.sprintf "cl%d" i)
+          (callbacks_of clients.(i)))
+  in
+  Array.iteri (fun i s -> Daemon.join c.daemons.(i) s "g") sessions;
+  Netsim.run_until c.sim (ms 20);
+  for k = 1 to 20 do
+    let i = k mod 3 in
+    Daemon.multicast c.daemons.(i) sessions.(i) ~groups:[ "g" ]
+      (Bytes.of_string (Printf.sprintf "m%d" k))
+  done;
+  Netsim.run_until c.sim (ms 100);
+  let stream cl = List.rev_map (fun (_, _, p) -> p) cl.inbox in
+  let s0 = stream clients.(0) in
+  check Alcotest.int "all delivered" 20 (List.length s0);
+  check Alcotest.bool "same order at 1" true (stream clients.(1) = s0);
+  check Alcotest.bool "same order at 2" true (stream clients.(2) = s0)
+
+let test_daemon_crash_prunes_groups () =
+  let c = make_dcluster () in
+  let a = fresh_client () and b = fresh_client () in
+  let sa = Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of a) in
+  let sb = Daemon.connect c.daemons.(1) ~name:"b" (callbacks_of b) in
+  Daemon.join c.daemons.(0) sa "room";
+  Daemon.join c.daemons.(1) sb "room";
+  Netsim.run_until c.sim (ms 20);
+  Netsim.call_at c.sim ~at:(ms 25) (fun () -> Netsim.crash c.sim 1);
+  Netsim.run_until c.sim (ms 2000);
+  (* Daemon 1 is gone: the ring reformed and its members were pruned. *)
+  check Alcotest.string "daemon 0 operational" "operational"
+    (Member.state_name c.members.(0));
+  check (Alcotest.list Alcotest.string) "room pruned to a" [ "#a#0" ]
+    (Daemon.group_members c.daemons.(0) "room");
+  check (Alcotest.list Alcotest.string) "daemon 2 agrees" [ "#a#0" ]
+    (Daemon.group_members c.daemons.(2) "room");
+  (* The surviving member saw the membership shrink. *)
+  check Alcotest.bool "a notified of pruning" true
+    (List.exists (fun (g, ms) -> g = "room" && ms = [ "#a#0" ]) a.group_views);
+  (* And the group still works. *)
+  Daemon.multicast c.daemons.(2)
+    (Daemon.connect c.daemons.(2) ~name:"late" (callbacks_of (fresh_client ())))
+    ~groups:[ "room" ]
+    (Bytes.of_string "still alive");
+  Netsim.run_until c.sim (ms 2100);
+  check Alcotest.bool "a still receives" true
+    (List.exists (fun (_, _, p) -> p = "still alive") a.inbox)
+
+let test_disconnect_leaves_groups () =
+  let c = make_dcluster () in
+  let a = fresh_client () and b = fresh_client () in
+  let sa = Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of a) in
+  let sb = Daemon.connect c.daemons.(1) ~name:"b" (callbacks_of b) in
+  Daemon.join c.daemons.(0) sa "room";
+  Daemon.join c.daemons.(1) sb "room";
+  Netsim.run_until c.sim (ms 20);
+  Daemon.disconnect c.daemons.(0) sa;
+  Netsim.run_until c.sim (ms 40);
+  check (Alcotest.list Alcotest.string) "only b remains" [ "#b#1" ]
+    (Daemon.group_members c.daemons.(2) "room")
+
+
+(* -------------------------------------------------------------------- *)
+(* Packing                                                               *)
+
+let test_batch_envelope_roundtrip () =
+  let batch =
+    Envelope.Batch
+      [
+        Envelope.App { sender = "#a#0"; groups = [ "g" ]; payload = Bytes.of_string "1" };
+        Envelope.Join { member = "#b#1"; group = "g" };
+        Envelope.App { sender = "#a#0"; groups = [ "g" ]; payload = Bytes.of_string "2" };
+      ]
+  in
+  check Alcotest.bool "batch roundtrips" true
+    (Envelope.decode (Envelope.encode batch) = batch);
+  Alcotest.check_raises "nested batch rejected"
+    (Invalid_argument "Envelope.encode: nested batch") (fun () ->
+      ignore (Envelope.encode (Envelope.Batch [ Envelope.Batch [] ])))
+
+let make_packing_dcluster ?(n = 3) () =
+  let ring = Array.init n (fun i -> i) in
+  let members =
+    Array.init n (fun me ->
+        Member.create ~params:test_params ~me ~initial_ring:ring ())
+  in
+  let daemons =
+    Array.map (fun m -> Daemon.create ~packing:true ~member:m ()) members
+  in
+  let sim =
+    Netsim.create ~net:Profile.gigabit
+      ~tiers:(Array.make n Profile.daemon)
+      ~participants:(Array.map Daemon.participant daemons)
+      ~seed:3L ()
+  in
+  { sim; daemons; members }
+
+let test_packing_delivers_all_in_order () =
+  let c = make_packing_dcluster () in
+  let rx = fresh_client () in
+  let s_rx = Daemon.connect c.daemons.(1) ~name:"rx" (callbacks_of rx) in
+  Daemon.join c.daemons.(1) s_rx "small";
+  Netsim.run_until c.sim (ms 20);
+  let tx = Daemon.connect c.daemons.(0) ~name:"tx" (callbacks_of (fresh_client ())) in
+  (* A burst of 50 tiny messages, submitted back to back: they must be
+     packed into far fewer ring messages yet all arrive once, in order. *)
+  for k = 1 to 50 do
+    Daemon.multicast c.daemons.(0) tx ~groups:[ "small" ]
+      (Bytes.of_string (Printf.sprintf "tiny-%02d" k))
+  done;
+  Netsim.run_until c.sim (ms 60);
+  let payloads = List.rev_map (fun (_, _, p) -> p) rx.inbox in
+  check Alcotest.int "all 50 delivered" 50 (List.length payloads);
+  check Alcotest.bool "in submission order" true
+    (payloads = List.init 50 (fun i -> Printf.sprintf "tiny-%02d" (i + 1)));
+  let st = Daemon.stats c.daemons.(0) in
+  check Alcotest.bool "packing actually happened" true (st.packs_sent > 0);
+  check Alcotest.bool "many envelopes per pack" true (st.envelopes_packed >= 40);
+  (* Far fewer protocol messages than client messages. *)
+  (match Member.node c.members.(0) with
+  | Some node ->
+      check Alcotest.bool "few ring messages" true
+        ((Engine.stats (Node.engine node)).new_sent < 20)
+  | None -> Alcotest.fail "daemon not operational")
+
+let test_packing_respects_threshold () =
+  let c = make_packing_dcluster () in
+  let rx = fresh_client () in
+  let s_rx = Daemon.connect c.daemons.(1) ~name:"rx" (callbacks_of rx) in
+  Daemon.join c.daemons.(1) s_rx "big";
+  Netsim.run_until c.sim (ms 20);
+  let tx = Daemon.connect c.daemons.(0) ~name:"tx" (callbacks_of (fresh_client ())) in
+  (* Large messages bypass packing entirely. *)
+  for _ = 1 to 5 do
+    Daemon.multicast c.daemons.(0) tx ~groups:[ "big" ] (Bytes.create 2000)
+  done;
+  Netsim.run_until c.sim (ms 60);
+  check Alcotest.int "all large delivered" 5 (List.length rx.inbox);
+  check Alcotest.int "no packs for large messages" 0
+    (Daemon.stats c.daemons.(0)).packs_sent
+
+let test_packing_mixed_services_flush () =
+  let c = make_packing_dcluster () in
+  let rx = fresh_client () in
+  let s_rx = Daemon.connect c.daemons.(1) ~name:"rx" (callbacks_of rx) in
+  Daemon.join c.daemons.(1) s_rx "g";
+  Netsim.run_until c.sim (ms 20);
+  let tx = Daemon.connect c.daemons.(0) ~name:"tx" (callbacks_of (fresh_client ())) in
+  (* Alternate services: the packer flushes at each boundary but delivery
+     order must still match submission order. *)
+  for k = 1 to 10 do
+    let service = if k mod 2 = 0 then Types.Safe else Types.Agreed in
+    Daemon.multicast c.daemons.(0) tx ~service ~groups:[ "g" ]
+      (Bytes.of_string (Printf.sprintf "mix-%02d" k))
+  done;
+  Netsim.run_until c.sim (ms 80);
+  let payloads = List.rev_map (fun (_, _, p) -> p) rx.inbox in
+  check Alcotest.int "all delivered" 10 (List.length payloads);
+  check Alcotest.bool "submission order preserved" true
+    (payloads = List.init 10 (fun i -> Printf.sprintf "mix-%02d" (i + 1)))
+
+
+let test_group_state_reconverges_after_merge () =
+  (* Group membership diverges during a partition (each side only sees its
+     own joins); the post-merge re-announcement rebuilds one consistent
+     view everywhere. *)
+  let c = make_dcluster ~n:4 () in
+  let clients = Array.init 4 (fun _ -> fresh_client ()) in
+  let sessions =
+    Array.init 4 (fun i ->
+        Daemon.connect c.daemons.(i)
+          ~name:(Printf.sprintf "u%d" i)
+          (callbacks_of clients.(i)))
+  in
+  Daemon.join c.daemons.(0) sessions.(0) "shared";
+  Netsim.run_until c.sim (ms 20);
+  (* Partition {0,1} | {2,3}; each side gains a member of "shared". *)
+  Netsim.set_drop c.sim (fun ~src ~dst _ -> src / 2 <> dst / 2);
+  Netsim.call_at c.sim ~at:(ms 30) (fun () ->
+      Daemon.join c.daemons.(1) sessions.(1) "shared");
+  Netsim.call_at c.sim ~at:(ms 30) (fun () ->
+      Daemon.join c.daemons.(3) sessions.(3) "shared");
+  Netsim.run_until c.sim (ms 1500);
+  (* Divergent views while partitioned. *)
+  check (Alcotest.list Alcotest.string) "left view" [ "#u0#0"; "#u1#1" ]
+    (Daemon.group_members c.daemons.(0) "shared");
+  check (Alcotest.list Alcotest.string) "right view" [ "#u3#3" ]
+    (Daemon.group_members c.daemons.(2) "shared");
+  (* Heal and let the rings merge + re-announce. *)
+  Netsim.call_at c.sim ~at:(ms 1600) (fun () ->
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  Netsim.run_until c.sim (ms 5000);
+  let expected = [ "#u0#0"; "#u1#1"; "#u3#3" ] in
+  for i = 0 to 3 do
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "daemon %d reconverged" i)
+      expected
+      (Daemon.group_members c.daemons.(i) "shared")
+  done;
+  (* And the group works cluster-wide again. *)
+  Daemon.multicast c.daemons.(2) sessions.(2) ~groups:[ "shared" ]
+    (Bytes.of_string "post-merge");
+  Netsim.run_until c.sim (ms 5200);
+  List.iter
+    (fun i ->
+      check Alcotest.bool
+        (Printf.sprintf "client %d got post-merge" i)
+        true
+        (List.exists (fun (_, _, p) -> p = "post-merge") clients.(i).inbox))
+    [ 0; 1; 3 ]
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("envelope roundtrips", `Quick, test_envelope_roundtrips);
+    qtest prop_envelope_roundtrip;
+    ("envelope rejects garbage", `Quick, test_envelope_rejects_garbage);
+    ("groups join/leave", `Quick, test_groups_join_leave);
+    ("groups prune", `Quick, test_groups_prune);
+    ("daemon_of_member", `Quick, test_daemon_of_member);
+    ("group multicast members only", `Quick, test_group_multicast_members_only);
+    ("multi-group delivered once", `Quick, test_multi_group_delivered_once);
+    ("group views consistent", `Quick, test_group_views_consistent);
+    ("total order across daemons", `Quick, test_total_order_across_daemons);
+    ("daemon crash prunes groups", `Quick, test_daemon_crash_prunes_groups);
+    ("disconnect leaves groups", `Quick, test_disconnect_leaves_groups);
+    ("batch envelope roundtrip", `Quick, test_batch_envelope_roundtrip);
+    ("packing delivers all in order", `Quick, test_packing_delivers_all_in_order);
+    ("packing respects threshold", `Quick, test_packing_respects_threshold);
+    ("packing mixed services flush", `Quick, test_packing_mixed_services_flush);
+    ("group state reconverges after merge", `Quick,
+      test_group_state_reconverges_after_merge);
+  ]

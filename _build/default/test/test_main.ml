@@ -1,0 +1,16 @@
+(* Aggregated alcotest entry point for the whole repository. *)
+
+let () =
+  Aring_util.Log.setup ();
+  Alcotest.run "accelring"
+    [
+      ("util", Test_util.suite);
+      ("wire", Test_wire.suite);
+      ("params", Test_params.suite);
+      ("engine", Test_engine.suite);
+      ("sim", Test_sim.suite);
+      ("member", Test_member.suite);
+      ("daemon", Test_daemon.suite);
+      ("baselines", Test_baselines.suite);
+      ("udp", Test_udp.suite);
+    ]

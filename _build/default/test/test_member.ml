@@ -1,0 +1,582 @@
+(* Membership + EVS tests, driven through the discrete-event simulator:
+   bootstrap from nothing, crash and reformation, partition and merge,
+   transitional-configuration delivery, message continuity across
+   configuration changes, and property tests over random crash schedules. *)
+
+open Aring_wire
+open Aring_ring
+open Aring_sim
+
+let check = Alcotest.check
+
+let ms n = n * 1_000_000
+
+(* Short timeouts keep membership tests fast in simulated time. *)
+let test_params =
+  {
+    (Params.accelerated ()) with
+    token_loss_ns = ms 50;
+    token_retransmit_ns = ms 10;
+    join_retransmit_ns = ms 20;
+    consensus_timeout_ns = ms 100;
+    merge_probe_ns = ms 80;
+  }
+
+type event =
+  | Msg of Types.pid * Types.seqno * Types.ring_id * string  (* from, seq, ring, payload *)
+  | View of Participant.view
+
+type cluster = {
+  sim : Netsim.t;
+  members : Member.t array;
+  log : event list ref array;  (* newest first, per node *)
+}
+
+let make_cluster ?(n = 4) ?(bootstrapped = true) ?(params = test_params)
+    ?(net = Profile.gigabit) ?(seed = 7L) () =
+  let initial_ring =
+    if bootstrapped then Some (Array.init n (fun i -> i)) else None
+  in
+  let members =
+    Array.init n (fun me -> Member.create ~params ~me ?initial_ring ())
+  in
+  let sim =
+    Netsim.create ~net
+      ~tiers:(Array.make n Profile.library)
+      ~participants:(Array.map Member.participant members)
+      ~seed ()
+  in
+  let log = Array.init n (fun _ -> ref []) in
+  Netsim.on_deliver sim (fun ~at ~now:_ (d : Message.data) ->
+      log.(at) :=
+        Msg (d.pid, d.seq, d.d_ring, Bytes.to_string d.payload) :: !(log.(at)));
+  Netsim.on_view sim (fun ~at ~now:_ v -> log.(at) := View v :: !(log.(at)));
+  { sim; members; log }
+
+let events c i = List.rev !(c.log.(i))
+
+let messages c i =
+  List.filter_map (function Msg (f, s, r, p) -> Some (f, s, r, p) | View _ -> None)
+    (events c i)
+
+let views c i =
+  List.filter_map (function View v -> Some v | Msg _ -> None) (events c i)
+
+let regular_views c i = List.filter (fun v -> not v.Participant.transitional) (views c i)
+
+let last_regular_view c i =
+  match List.rev (regular_views c i) with [] -> None | v :: _ -> Some v
+
+let submit c node service payload =
+  Member.submit c.members.(node) service (Bytes.of_string payload)
+
+(* -------------------------------------------------------------------- *)
+(* Bootstrap                                                             *)
+
+let test_bootstrap_initial_ring () =
+  let c = make_cluster ~n:4 () in
+  Netsim.run_until c.sim (ms 50);
+  for i = 0 to 3 do
+    check Alcotest.string
+      (Printf.sprintf "node %d operational" i)
+      "operational"
+      (Member.state_name c.members.(i));
+    match last_regular_view c i with
+    | Some v -> check (Alcotest.list Alcotest.int) "all members" [ 0; 1; 2; 3 ] v.members
+    | None -> Alcotest.fail "no view delivered"
+  done
+
+let test_bootstrap_from_nothing () =
+  let c = make_cluster ~n:5 ~bootstrapped:false () in
+  Netsim.run_until c.sim (ms 2000);
+  for i = 0 to 4 do
+    check Alcotest.string
+      (Printf.sprintf "node %d operational" i)
+      "operational"
+      (Member.state_name c.members.(i));
+    match last_regular_view c i with
+    | Some v ->
+        check (Alcotest.list Alcotest.int)
+          (Printf.sprintf "node %d full membership" i)
+          [ 0; 1; 2; 3; 4 ] v.members
+    | None -> Alcotest.fail "no view delivered"
+  done;
+  (* The formed ring orders messages. *)
+  for node = 0 to 4 do
+    submit c node Types.Agreed (Printf.sprintf "hello-%d" node)
+  done;
+  Netsim.run_until c.sim (ms 2200);
+  for i = 0 to 4 do
+    let msgs = messages c i in
+    check Alcotest.int (Printf.sprintf "node %d delivered 5" i) 5 (List.length msgs)
+  done
+
+let test_singleton_forms_alone () =
+  let c = make_cluster ~n:1 ~bootstrapped:false () in
+  Netsim.run_until c.sim (ms 1000);
+  check Alcotest.string "operational alone" "operational"
+    (Member.state_name c.members.(0));
+  (match last_regular_view c 0 with
+  | Some v -> check (Alcotest.list Alcotest.int) "solo view" [ 0 ] v.members
+  | None -> Alcotest.fail "no view");
+  submit c 0 Types.Safe "note-to-self";
+  Netsim.run_until c.sim (ms 1200);
+  check Alcotest.int "self delivery" 1 (List.length (messages c 0))
+
+(* -------------------------------------------------------------------- *)
+(* Crash and reformation                                                 *)
+
+let test_crash_reforms_ring () =
+  let c = make_cluster ~n:5 () in
+  Netsim.call_at c.sim ~at:(ms 20) (fun () -> Netsim.crash c.sim 2);
+  Netsim.run_until c.sim (ms 1500);
+  let survivors = [ 0; 1; 3; 4 ] in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i));
+      match last_regular_view c i with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "survivor %d sees 4-ring" i)
+            survivors v.members
+      | None -> Alcotest.fail "no view")
+    survivors;
+  (* The reformed ring still orders messages. *)
+  List.iter (fun node -> submit c node Types.Agreed (Printf.sprintf "post-crash-%d" node)) survivors;
+  Netsim.run_until c.sim (ms 2000);
+  List.iter
+    (fun i ->
+      let post =
+        List.filter (fun (_, _, _, p) -> String.length p >= 10 && String.sub p 0 10 = "post-crash")
+          (messages c i)
+      in
+      check Alcotest.int (Printf.sprintf "survivor %d delivered post-crash" i) 4
+        (List.length post))
+    survivors
+
+let test_crash_delivers_transitional_view () =
+  let c = make_cluster ~n:4 () in
+  Netsim.call_at c.sim ~at:(ms 20) (fun () -> Netsim.crash c.sim 3);
+  Netsim.run_until c.sim (ms 1500);
+  for i = 0 to 2 do
+    let vs = views c i in
+    let transitional = List.filter (fun v -> v.Participant.transitional) vs in
+    check Alcotest.bool
+      (Printf.sprintf "node %d got a transitional view" i)
+      true
+      (List.length transitional >= 1);
+    (* The transitional view contains only survivors of the old ring. *)
+    List.iter
+      (fun v ->
+        check Alcotest.bool "transitional members are survivors" true
+          (List.for_all (fun p -> p <> 3) v.Participant.members))
+      transitional;
+    (* Views arrive in order: initial regular (4 members), then
+       transitional, then new regular (3 members). *)
+    match vs with
+    | first :: rest ->
+        check Alcotest.bool "first view regular" false first.transitional;
+        check Alcotest.int "first view full" 4 (List.length first.members);
+        let final = List.nth rest (List.length rest - 1) in
+        check Alcotest.bool "final view regular" false final.transitional;
+        check (Alcotest.list Alcotest.int) "final view survivors" [ 0; 1; 2 ]
+          final.members
+    | [] -> Alcotest.fail "no views"
+  done
+
+let test_messages_survive_crash () =
+  (* Messages in flight when a member dies are recovered by the exchange:
+     every survivor delivers the same set in the same order. *)
+  let c = make_cluster ~n:4 () in
+  for k = 1 to 30 do
+    Netsim.call_at c.sim ~at:(k * 500_000) (fun () ->
+        submit c (k mod 4) Types.Agreed (Printf.sprintf "m%d" k))
+  done;
+  Netsim.call_at c.sim ~at:(ms 8) (fun () -> Netsim.crash c.sim 1);
+  Netsim.run_until c.sim (ms 2000);
+  let streams =
+    List.map (fun i -> List.map (fun (f, s, _, p) -> (f, s, p)) (messages c i)) [ 0; 2; 3 ]
+  in
+  (match streams with
+  | s0 :: rest ->
+      List.iteri
+        (fun idx s ->
+          check Alcotest.bool
+            (Printf.sprintf "survivor %d stream identical" (idx + 1))
+            true (s = s0))
+        rest
+  | [] -> assert false);
+  (* Messages submitted by survivors are all there (only the dead node's
+     unsent messages may be missing). *)
+  let s0 = List.hd streams in
+  for k = 1 to 30 do
+    if k mod 4 <> 1 then
+      check Alcotest.bool
+        (Printf.sprintf "m%d delivered" k)
+        true
+        (List.exists (fun (_, _, p) -> p = Printf.sprintf "m%d" k) s0)
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Partition and merge                                                   *)
+
+let partition_drop side_of ~src ~dst (_ : Message.t) = side_of src <> side_of dst
+
+let test_partition_forms_two_rings () =
+  let c = make_cluster ~n:6 () in
+  let side i = if i < 3 then 0 else 1 in
+  Netsim.call_at c.sim ~at:(ms 20) (fun () ->
+      Netsim.set_drop c.sim (partition_drop side));
+  Netsim.run_until c.sim (ms 1500);
+  for i = 0 to 5 do
+    check Alcotest.string
+      (Printf.sprintf "node %d operational" i)
+      "operational"
+      (Member.state_name c.members.(i));
+    match last_regular_view c i with
+    | Some v ->
+        let expected = if i < 3 then [ 0; 1; 2 ] else [ 3; 4; 5 ] in
+        check (Alcotest.list Alcotest.int)
+          (Printf.sprintf "node %d side view" i)
+          expected v.members
+    | None -> Alcotest.fail "no view"
+  done;
+  (* Each side orders independently. *)
+  submit c 0 Types.Agreed "left";
+  submit c 4 Types.Agreed "right";
+  Netsim.run_until c.sim (ms 1800);
+  let got i p = List.exists (fun (_, _, _, x) -> x = p) (messages c i) in
+  check Alcotest.bool "left side got left" true (got 1 "left");
+  check Alcotest.bool "left side missed right" false (got 1 "right");
+  check Alcotest.bool "right side got right" true (got 5 "right");
+  check Alcotest.bool "right side missed left" false (got 5 "left")
+
+let test_merge_after_heal () =
+  let c = make_cluster ~n:6 () in
+  let side i = if i < 3 then 0 else 1 in
+  Netsim.call_at c.sim ~at:(ms 20) (fun () ->
+      Netsim.set_drop c.sim (partition_drop side));
+  Netsim.call_at c.sim ~at:(ms 1500) (fun () ->
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  Netsim.run_until c.sim (ms 4000);
+  for i = 0 to 5 do
+    check Alcotest.string
+      (Printf.sprintf "node %d operational after merge" i)
+      "operational"
+      (Member.state_name c.members.(i));
+    match last_regular_view c i with
+    | Some v ->
+        check (Alcotest.list Alcotest.int)
+          (Printf.sprintf "node %d merged view" i)
+          [ 0; 1; 2; 3; 4; 5 ] v.members
+    | None -> Alcotest.fail "no view"
+  done;
+  (* The merged ring orders across former sides. *)
+  submit c 0 Types.Agreed "after-merge-left";
+  submit c 5 Types.Agreed "after-merge-right";
+  Netsim.run_until c.sim (ms 4500);
+  for i = 0 to 5 do
+    let got p = List.exists (fun (_, _, _, x) -> x = p) (messages c i) in
+    check Alcotest.bool (Printf.sprintf "node %d got both" i) true
+      (got "after-merge-left" && got "after-merge-right")
+  done
+
+(* -------------------------------------------------------------------- *)
+(* EVS safety properties                                                 *)
+
+(* Messages delivered within the same ring must appear in the same relative
+   order at every member that delivered them. *)
+let check_per_ring_order c alive =
+  let key (f, s, r, _) = (r, f, s) in
+  let streams = List.map (fun i -> messages c i) alive in
+  List.iteri
+    (fun ai a ->
+      List.iteri
+        (fun bi b ->
+          if ai < bi then begin
+            let keys_a = List.map key a and keys_b = List.map key b in
+            let common_in x other = List.filter (fun k -> List.mem k other) x in
+            let ca = common_in keys_a keys_b and cb = common_in keys_b keys_a in
+            if ca <> cb then
+              Alcotest.failf "delivery order diverges between nodes %d and %d"
+                (List.nth alive ai) (List.nth alive bi)
+          end)
+        streams)
+    streams
+
+let prop_crash_schedule_preserves_order =
+  QCheck.Test.make ~name:"random crash schedules preserve per-ring order"
+    ~count:12
+    QCheck.(pair (int_range 0 3) (int_range 1 997))
+    (fun (victim, seed) ->
+      let n = 4 in
+      let c = make_cluster ~n ~seed:(Int64.of_int seed) () in
+      for k = 1 to 40 do
+        Netsim.call_at c.sim ~at:(k * 400_000) (fun () ->
+            submit c (k mod n) Types.Agreed (Printf.sprintf "p%d" k))
+      done;
+      let crash_at = ms (5 + (seed mod 15)) in
+      Netsim.call_at c.sim ~at:crash_at (fun () -> Netsim.crash c.sim victim);
+      Netsim.run_until c.sim (ms 3000);
+      let alive = List.filter (fun i -> i <> victim) [ 0; 1; 2; 3 ] in
+      check_per_ring_order c alive;
+      (* All survivors converge to the same final regular view. *)
+      let final_views = List.map (fun i -> last_regular_view c i) alive in
+      List.for_all
+        (fun v ->
+          match (v, List.hd final_views) with
+          | Some a, Some b ->
+              Types.ring_id_equal a.Participant.view_id b.Participant.view_id
+              && a.members = b.members
+              && List.length a.members = 3
+          | _ -> false)
+        final_views)
+
+let prop_safe_messages_delivered_at_all_survivors =
+  QCheck.Test.make ~name:"safe delivery honoured across crashes" ~count:10
+    QCheck.(int_range 1 997)
+    (fun seed ->
+      let n = 4 in
+      let victim = seed mod n in
+      let c = make_cluster ~n ~seed:(Int64.of_int seed) () in
+      for k = 1 to 25 do
+        Netsim.call_at c.sim ~at:(k * 300_000) (fun () ->
+            submit c (k mod n) Types.Safe (Printf.sprintf "s%d" k))
+      done;
+      Netsim.call_at c.sim ~at:(ms (4 + (seed mod 10))) (fun () ->
+          Netsim.crash c.sim victim);
+      Netsim.run_until c.sim (ms 3000);
+      let alive = List.filter (fun i -> i <> victim) [ 0; 1; 2; 3 ] in
+      check_per_ring_order c alive;
+      (* EVS agreement: survivors that went through the same sequence of
+         configurations must deliver exactly the same messages. (Survivors
+         that were transiently excluded and re-merged legitimately miss the
+         messages of configurations they were not members of.) *)
+      let view_history i =
+        List.map
+          (fun (v : Participant.view) -> (v.view_id, v.members, v.transitional))
+          (views c i)
+      in
+      let delivered_set i =
+        List.map (fun (f, s, r, _) -> (r, f, s)) (messages c i)
+      in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i >= j
+              || view_history i <> view_history j
+              || delivered_set i = delivered_set j)
+            alive)
+        alive)
+
+
+let test_submissions_during_formation_carry_over () =
+  (* Messages submitted while the ring is reforming are buffered and
+     sequenced in the next configuration. *)
+  let c = make_cluster ~n:4 () in
+  Netsim.call_at c.sim ~at:(ms 10) (fun () -> Netsim.crash c.sim 3);
+  (* Submit while the survivors are still detecting/reforming. *)
+  Netsim.call_at c.sim ~at:(ms 30) (fun () ->
+      check Alcotest.bool "node 0 not operational yet" true
+        (Member.state_name c.members.(0) <> "operational"
+        || Member.installs c.members.(0) = 1);
+      submit c 0 Types.Agreed "buffered-during-formation");
+  Netsim.run_until c.sim (ms 2000);
+  (* The submitter delivers it; so does every survivor that was a member of
+     the configuration in which it was sequenced (EVS scope). *)
+  let ring_of_delivery =
+    List.find_map
+      (fun (_, _, r, p) -> if p = "buffered-during-formation" then Some r else None)
+      (messages c 0)
+  in
+  match ring_of_delivery with
+  | None -> Alcotest.fail "submitter never delivered its own message"
+  | Some ring ->
+      List.iter
+        (fun i ->
+          let was_member =
+            List.exists
+              (fun v ->
+                Types.ring_id_equal v.Participant.view_id ring
+                && List.mem i v.Participant.members)
+              (regular_views c i)
+          in
+          if was_member then
+            check Alcotest.bool
+              (Printf.sprintf "member %d delivered it" i)
+              true
+              (List.exists
+                 (fun (_, _, _, p) -> p = "buffered-during-formation")
+                 (messages c i)))
+        [ 0; 1; 2 ]
+
+let test_double_crash () =
+  let c = make_cluster ~n:5 () in
+  Netsim.call_at c.sim ~at:(ms 10) (fun () -> Netsim.crash c.sim 1);
+  Netsim.call_at c.sim ~at:(ms 400) (fun () -> Netsim.crash c.sim 4);
+  Netsim.run_until c.sim (ms 3000);
+  let survivors = [ 0; 2; 3 ] in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i));
+      match last_regular_view c i with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "survivor %d 3-ring" i)
+            survivors v.members
+      | None -> Alcotest.fail "no view")
+    survivors;
+  (* At least two installations beyond the initial one. *)
+  check Alcotest.bool "multiple installs" true
+    (Member.installs c.members.(0) >= 3)
+
+let test_three_way_partition_and_merge () =
+  let c = make_cluster ~n:6 () in
+  let side i = i / 2 in
+  Netsim.call_at c.sim ~at:(ms 20) (fun () ->
+      Netsim.set_drop c.sim (partition_drop side));
+  Netsim.run_until c.sim (ms 1500);
+  for i = 0 to 5 do
+    match last_regular_view c i with
+    | Some v ->
+        check Alcotest.int
+          (Printf.sprintf "node %d in a pair" i)
+          2
+          (List.length v.members)
+    | None -> Alcotest.fail "no view"
+  done;
+  Netsim.call_at c.sim ~at:(ms 1600) (fun () ->
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  Netsim.run_until c.sim (ms 6000);
+  for i = 0 to 5 do
+    match last_regular_view c i with
+    | Some v ->
+        check (Alcotest.list Alcotest.int)
+          (Printf.sprintf "node %d fully merged" i)
+          [ 0; 1; 2; 3; 4; 5 ] v.members
+    | None -> Alcotest.fail "no view"
+  done
+
+let test_installs_counter () =
+  let c = make_cluster ~n:3 () in
+  Netsim.run_until c.sim (ms 5);
+  check Alcotest.int "bootstrap counts as one" 1 (Member.installs c.members.(0));
+  Netsim.call_at c.sim ~at:(ms 10) (fun () -> Netsim.crash c.sim 2);
+  Netsim.run_until c.sim (ms 1500);
+  check Alcotest.bool "reformation adds at least one" true
+    (Member.installs c.members.(0) >= 2);
+  (match last_regular_view c 0 with
+  | Some v -> check (Alcotest.list Alcotest.int) "final pair" [ 0; 1 ] v.members
+  | None -> Alcotest.fail "no view");
+  (match Member.node c.members.(0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "operational node accessor");
+  check Alcotest.int "pid accessor" 0 (Member.me c.members.(0))
+
+
+let prop_evs_agreement_under_loss =
+  QCheck.Test.make
+    ~name:"EVS set agreement survives loss during recovery (holds check)"
+    ~count:10
+    QCheck.(int_range 1 995)
+    (fun seed ->
+      let n = 4 in
+      let victim = seed mod n in
+      let net = Profile.with_loss Profile.gigabit 0.03 in
+      let c = make_cluster ~n ~net ~seed:(Int64.of_int seed) () in
+      for k = 1 to 30 do
+        Netsim.call_at c.sim ~at:(k * 300_000) (fun () ->
+            submit c (k mod n) Types.Agreed (Printf.sprintf "l%d" k))
+      done;
+      Netsim.call_at c.sim ~at:(ms (4 + (seed mod 12))) (fun () ->
+          Netsim.crash c.sim victim);
+      Netsim.run_until c.sim (ms 4000);
+      let alive = List.filter (fun i -> i <> victim) [ 0; 1; 2; 3 ] in
+      check_per_ring_order c alive;
+      (* The pass-3/4 holds check guarantees: members with identical view
+         histories delivered identical sets even though recovery floods
+         may have been lost. *)
+      let view_history i =
+        List.map
+          (fun (v : Participant.view) -> (v.view_id, v.members, v.transitional))
+          (views c i)
+      in
+      let delivered_set i =
+        List.map (fun (f, s, r, _) -> (r, f, s)) (messages c i)
+      in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i >= j
+              || view_history i <> view_history j
+              || delivered_set i = delivered_set j)
+            alive)
+        alive)
+
+
+let prop_random_partition_schedules =
+  QCheck.Test.make ~name:"random partition schedules converge and agree"
+    ~count:8
+    QCheck.(pair (int_range 1 3) (int_range 1 993))
+    (fun (cut, seed) ->
+      (* Partition 5 nodes at a random boundary, let both sides run, heal,
+         and require: all nodes operational in the full ring at the end,
+         with per-ring delivery order consistent throughout. *)
+      let n = 5 in
+      let c = make_cluster ~n ~seed:(Int64.of_int seed) () in
+      let side i = if i <= cut then 0 else 1 in
+      for k = 1 to 25 do
+        Netsim.call_at c.sim ~at:(k * 400_000) (fun () ->
+            submit c (k mod n) Types.Agreed (Printf.sprintf "q%d" k))
+      done;
+      Netsim.call_at c.sim ~at:(ms (10 + (seed mod 10))) (fun () ->
+          Netsim.set_drop c.sim (partition_drop side));
+      (* Keep submitting during the partition. *)
+      for k = 26 to 40 do
+        Netsim.call_at c.sim ~at:(ms 500 + (k * 200_000)) (fun () ->
+            submit c (k mod n) Types.Agreed (Printf.sprintf "q%d" k))
+      done;
+      Netsim.call_at c.sim ~at:(ms 2000) (fun () ->
+          Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+      Netsim.run_until c.sim (ms 7000);
+      let all = List.init n (fun i -> i) in
+      check_per_ring_order c all;
+      List.for_all
+        (fun i ->
+          Member.state_name c.members.(i) = "operational"
+          &&
+          match last_regular_view c i with
+          | Some v -> v.Participant.members = all
+          | None -> false)
+        all)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("bootstrap with initial ring", `Quick, test_bootstrap_initial_ring);
+    ("bootstrap from nothing", `Quick, test_bootstrap_from_nothing);
+    ("singleton forms alone", `Quick, test_singleton_forms_alone);
+    ("crash reforms ring", `Quick, test_crash_reforms_ring);
+    ("crash delivers transitional view", `Quick, test_crash_delivers_transitional_view);
+    ("messages survive crash", `Quick, test_messages_survive_crash);
+    ("partition forms two rings", `Quick, test_partition_forms_two_rings);
+    ("merge after heal", `Quick, test_merge_after_heal);
+    ("submissions during formation carry over", `Quick,
+      test_submissions_during_formation_carry_over);
+    ("double crash", `Quick, test_double_crash);
+    ("three-way partition and merge", `Quick, test_three_way_partition_and_merge);
+    ("installs counter", `Quick, test_installs_counter);
+    qtest prop_crash_schedule_preserves_order;
+    qtest prop_safe_messages_delivered_at_all_survivors;
+    qtest prop_evs_agreement_under_loss;
+    qtest prop_random_partition_schedules;
+  ]

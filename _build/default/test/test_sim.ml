@@ -1,0 +1,330 @@
+(* Simulator integration tests: determinism, delivery guarantees under
+   simulated timing, loss recovery through the rtr mechanism, the
+   accelerated protocol's observable effects, and fault hooks. *)
+
+open Aring_wire
+open Aring_ring
+open Aring_sim
+
+let check = Alcotest.check
+
+let rid : Types.ring_id = { rep = 0; ring_seq = 1 }
+
+(* A small simulated cluster of bare operational nodes. *)
+type cluster = {
+  sim : Netsim.t;
+  nodes : Node.t array;
+  delivered : (Types.pid * Types.seqno) list ref array;  (* newest first *)
+  token_losses : int ref;
+}
+
+let make_cluster ?(n = 4) ?(net = Profile.gigabit) ?(tier = Profile.library)
+    ?(params = Params.accelerated ()) ?(seed = 1L) () =
+  let ring = Array.init n (fun i -> i) in
+  let nodes =
+    Array.init n (fun me -> Node.create ~params ~ring_id:rid ~ring ~me ())
+  in
+  let sim =
+    Netsim.create ~net ~tiers:(Array.make n tier)
+      ~participants:(Array.map Node.participant nodes)
+      ~seed ()
+  in
+  let delivered = Array.init n (fun _ -> ref []) in
+  let token_losses = ref 0 in
+  Netsim.on_deliver sim (fun ~at ~now:_ (d : Message.data) ->
+      delivered.(at) := (d.pid, d.seq) :: !(delivered.(at)));
+  Netsim.on_token_loss sim (fun ~at:_ ~now:_ -> incr token_losses);
+  { sim; nodes; delivered; token_losses }
+
+let delivery_list c i = List.rev !(c.delivered.(i))
+
+let submit_burst ?(spacing_ns = 100_000) c ~per_node ~payload_len =
+  let n = Array.length c.nodes in
+  for node = 0 to n - 1 do
+    for i = 0 to per_node - 1 do
+      Netsim.submit_at c.sim ~at:(i * spacing_ns) ~node Types.Agreed
+        (Bytes.create payload_len)
+    done
+  done
+
+let ms n = n * 1_000_000
+
+let test_idle_token_circulates () =
+  let c = make_cluster () in
+  Netsim.run_until c.sim (ms 50);
+  let rounds = (Engine.stats (Node.engine c.nodes.(0))).rounds in
+  check Alcotest.bool "token circulated many times" true (rounds > 100)
+
+let test_burst_fully_delivered () =
+  let c = make_cluster () in
+  submit_burst c ~per_node:100 ~payload_len:200;
+  Netsim.run_until c.sim (ms 100);
+  for i = 0 to 3 do
+    check Alcotest.int
+      (Printf.sprintf "node %d delivered all" i)
+      400
+      (List.length (delivery_list c i))
+  done;
+  (* Identical total order everywhere. *)
+  let reference = delivery_list c 0 in
+  for i = 1 to 3 do
+    check Alcotest.bool
+      (Printf.sprintf "node %d same order" i)
+      true
+      (delivery_list c i = reference)
+  done
+
+let test_deterministic_replay () =
+  let run () =
+    let c = make_cluster ~seed:99L () in
+    submit_burst c ~per_node:50 ~payload_len:500;
+    Netsim.run_until c.sim (ms 60);
+    (delivery_list c 0, (Netsim.stats c.sim).packets_sent, Netsim.now c.sim)
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "identical deliveries" true (a = b)
+
+let test_no_spurious_retransmissions () =
+  (* The accelerated token runs ahead of post-token data, yet the rtr cap
+     (previous round's seq) must prevent any retransmission request on a
+     lossless network. *)
+  let c = make_cluster ~n:8 ~params:(Params.accelerated ()) () in
+  submit_burst c ~per_node:200 ~payload_len:1342;
+  Netsim.run_until c.sim (ms 200);
+  Array.iteri
+    (fun i node ->
+      let s = Engine.stats (Node.engine node) in
+      check Alcotest.int (Printf.sprintf "node %d no rtr requests" i) 0
+        s.rtr_requested;
+      check Alcotest.int (Printf.sprintf "node %d no retransmissions" i) 0
+        s.retrans_sent)
+    c.nodes
+
+let test_loss_recovered_by_rtr () =
+  let net = Profile.with_loss Profile.gigabit 0.02 in
+  let c = make_cluster ~n:4 ~net () in
+  submit_burst c ~per_node:100 ~payload_len:800;
+  Netsim.run_until c.sim (ms 300);
+  for i = 0 to 3 do
+    check Alcotest.int
+      (Printf.sprintf "node %d recovered all" i)
+      400
+      (List.length (delivery_list c i))
+  done;
+  let total_retrans =
+    Array.fold_left
+      (fun acc node -> acc + (Engine.stats (Node.engine node)).retrans_sent)
+      0 c.nodes
+  in
+  check Alcotest.bool "retransmissions happened" true (total_retrans > 0);
+  check Alcotest.bool "random losses happened" true
+    ((Netsim.stats c.sim).random_losses > 0)
+
+let test_accelerated_rotates_faster () =
+  let rounds_of params =
+    let c = make_cluster ~n:8 ~tier:Profile.spread ~params () in
+    submit_burst c ~per_node:100 ~payload_len:1342;
+    Netsim.run_until c.sim (ms 100);
+    (Engine.stats (Node.engine c.nodes.(0))).rounds
+  in
+  let accel = rounds_of (Params.accelerated ()) in
+  let orig = rounds_of Params.original in
+  check Alcotest.bool
+    (Printf.sprintf "accelerated (%d) rotates faster than original (%d)" accel
+       orig)
+    true (accel > orig)
+
+let test_crash_triggers_token_loss () =
+  let c = make_cluster ~n:4 () in
+  Netsim.call_at c.sim ~at:(ms 10) (fun () -> Netsim.crash c.sim 2);
+  Netsim.run_until c.sim (ms 300);
+  check Alcotest.bool "token loss detected after crash" true
+    (!(c.token_losses) > 0);
+  check Alcotest.bool "crashed node is dead" false (Netsim.is_alive c.sim 2)
+
+let test_partition_blocks_progress () =
+  (* Cutting node 3 off entirely stalls it but the drop predicate is
+     honoured (partition_drops counted). *)
+  let c = make_cluster ~n:4 () in
+  Netsim.set_drop c.sim (fun ~src ~dst _ -> src = 3 || dst = 3);
+  submit_burst c ~per_node:20 ~payload_len:100;
+  Netsim.run_until c.sim (ms 100);
+  check Alcotest.bool "partition dropped packets" true
+    ((Netsim.stats c.sim).partition_drops > 0);
+  check Alcotest.int "isolated node delivered nothing" 0
+    (List.length (delivery_list c 3))
+
+let test_tiny_switch_buffer_drops_and_recovers () =
+  let net = { Profile.gigabit with switch_port_buffer = 16 * 1024 } in
+  let c = make_cluster ~n:8 ~net () in
+  (* An instantaneous burst: every pending queue fills at t=0, so adjacent
+     senders' post-token overlap floods the switch ports. *)
+  submit_burst ~spacing_ns:0 c ~per_node:150 ~payload_len:1342;
+  Netsim.run_until c.sim (ms 2000);
+  check Alcotest.bool "switch dropped packets" true
+    ((Netsim.stats c.sim).switch_drops > 0);
+  (* Retransmissions heal the overflow loss. *)
+  for i = 0 to 7 do
+    check Alcotest.int
+      (Printf.sprintf "node %d recovered" i)
+      1200
+      (List.length (delivery_list c i))
+  done
+
+
+
+(* -------------------------------------------------------------------- *)
+(* Causality: the total order respects potential causality. If a node
+   submits m' after having delivered m, then every node delivers m before
+   m' (Agreed delivery, Section II). *)
+
+let test_total_order_respects_causality () =
+  let c = make_cluster ~n:4 () in
+  (* Node 1 reacts to each delivery of node 0's messages by submitting a
+     reply; the reply must always follow the original everywhere. *)
+  let sim = c.sim in
+  let replied = Hashtbl.create 16 in
+  Netsim.on_deliver sim (fun ~at ~now:_ (d : Message.data) ->
+      c.delivered.(at) := (d.pid, d.seq) :: !(c.delivered.(at));
+      if at = 1 && d.pid = 0 && not (Hashtbl.mem replied d.seq) then begin
+        Hashtbl.replace replied d.seq ();
+        Netsim.submit_now sim ~node:1 Types.Agreed
+          (Bytes.of_string (Printf.sprintf "reply-%d" d.seq))
+      end);
+  for k = 0 to 19 do
+    Netsim.submit_at c.sim ~at:(k * 500_000) ~node:0 Types.Agreed
+      (Bytes.create 64)
+  done;
+  Netsim.run_until c.sim (ms 100);
+  (* Check at every node: each reply (from node 1) appears after the
+     corresponding original (by its position in the stream). *)
+  for node = 0 to 3 do
+    let stream = delivery_list c node in
+    let position (pid, seq) =
+      let rec find i = function
+        | [] -> None
+        | x :: rest -> if x = (pid, seq) then Some i else find (i + 1) rest
+      in
+      find 0 stream
+    in
+    (* Node 0 sent 20 originals; node 1 replied to each. Replies carry
+       increasing seqs; map i-th reply to i-th original by send order. *)
+    let originals = List.filter (fun (pid, _) -> pid = 0) stream in
+    let replies = List.filter (fun (pid, _) -> pid = 1) stream in
+    check Alcotest.int "all originals" 20 (List.length originals);
+    check Alcotest.int "all replies" 20 (List.length replies);
+    List.iteri
+      (fun i orig ->
+        let reply = List.nth replies i in
+        match (position orig, position reply) with
+        | Some po, Some pr ->
+            if po >= pr then
+              Alcotest.failf "node %d: reply %d delivered before original" node i
+        | _ -> Alcotest.fail "missing message")
+      originals
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Profile cost model                                                    *)
+
+let test_profile_tx_ns () =
+  (* 1500 bytes at 1 Gbps = 12 us; at 10 Gbps = 1.2 us. *)
+  check Alcotest.int "1G serialization" 12_000 (Profile.tx_ns Profile.gigabit 1500);
+  check Alcotest.int "10G serialization" 1_200
+    (Profile.tx_ns Profile.ten_gigabit 1500)
+
+let test_profile_frag_cost () =
+  let tier = Profile.library in
+  let one = Profile.data_proc_cost tier ~mtu:1500 ~wire_bytes:1400 in
+  let six = Profile.data_proc_cost tier ~mtu:1500 ~wire_bytes:8900 in
+  check Alcotest.int "single fragment" (tier.Profile.data_proc_ns + tier.Profile.frag_ns) one;
+  check Alcotest.int "six fragments"
+    (tier.Profile.data_proc_ns + (6 * tier.Profile.frag_ns))
+    six;
+  (* Jumbo frames collapse the same datagram to one fragment. *)
+  let jumbo = Profile.data_proc_cost tier ~mtu:9000 ~wire_bytes:8900 in
+  check Alcotest.int "jumbo single fragment" one jumbo
+
+let test_profile_modifiers () =
+  let lossy = Profile.with_loss Profile.gigabit 0.25 in
+  check (Alcotest.float 1e-9) "loss set" 0.25 lossy.Profile.loss_prob;
+  let jumbo = Profile.with_jumbo_frames Profile.ten_gigabit in
+  check Alcotest.int "jumbo mtu" 9000 jumbo.Profile.mtu;
+  check Alcotest.string "jumbo name" "10GbE+jumbo" jumbo.Profile.net_name;
+  check Alcotest.int "original untouched" 1500 Profile.ten_gigabit.Profile.mtu
+
+let test_spread_fits_one_mtu () =
+  (* Spread's 1350-byte message plus its headers must fill exactly one
+     standard MTU (the paper's design point). *)
+  let wire =
+    Aring_wire.Message.data_wire_size ~payload_len:1350
+    + Profile.spread.Profile.extra_data_header
+  in
+  check Alcotest.int "exactly one MTU" 1500 wire
+
+(* -------------------------------------------------------------------- *)
+(* Scenario harness                                                      *)
+
+let test_scenario_throughput_sane () =
+  let open Aring_harness in
+  let spec =
+    {
+      Scenario.default_spec with
+      offered_mbps = 150.0;
+      warmup_ns = ms 50;
+      measure_ns = ms 150;
+    }
+  in
+  let r = Scenario.run spec in
+  check Alcotest.bool "delivered within 3% of offered" true
+    (abs_float (r.delivered_mbps -. 150.0) < 4.5);
+  check Alcotest.bool "latency positive" true
+    (Aring_util.Stats.mean r.latency_us > 0.0);
+  check Alcotest.bool "collected samples" true (r.deliveries > 1000)
+
+let test_scenario_accel_beats_original_under_load () =
+  let open Aring_harness in
+  let run params =
+    Scenario.run
+      {
+        Scenario.default_spec with
+        tier = Profile.spread;
+        params;
+        offered_mbps = 700.0;
+        warmup_ns = ms 50;
+        measure_ns = ms 200;
+      }
+  in
+  let accel = run (Params.accelerated ()) in
+  let orig = run Params.original in
+  check Alcotest.bool "both sustain 700 Mbps" true
+    (accel.delivered_mbps > 680.0 && orig.delivered_mbps > 680.0);
+  check Alcotest.bool
+    (Printf.sprintf "accel latency (%.0f) < original (%.0f)"
+       (Aring_util.Stats.mean accel.latency_us)
+       (Aring_util.Stats.mean orig.latency_us))
+    true
+    (Aring_util.Stats.mean accel.latency_us
+    < Aring_util.Stats.mean orig.latency_us)
+
+let suite =
+  [
+    ("idle token circulates", `Quick, test_idle_token_circulates);
+    ("burst fully delivered in order", `Quick, test_burst_fully_delivered);
+    ("deterministic replay", `Quick, test_deterministic_replay);
+    ("no spurious retransmissions", `Slow, test_no_spurious_retransmissions);
+    ("loss recovered by rtr", `Slow, test_loss_recovered_by_rtr);
+    ("accelerated rotates faster", `Slow, test_accelerated_rotates_faster);
+    ("crash triggers token loss", `Quick, test_crash_triggers_token_loss);
+    ("partition blocks isolated node", `Quick, test_partition_blocks_progress);
+    ("switch overflow drops and recovers", `Slow,
+      test_tiny_switch_buffer_drops_and_recovers);
+    ("total order respects causality", `Quick, test_total_order_respects_causality);
+    ("profile tx_ns", `Quick, test_profile_tx_ns);
+    ("profile fragment cost", `Quick, test_profile_frag_cost);
+    ("profile modifiers", `Quick, test_profile_modifiers);
+    ("spread message fits one MTU", `Quick, test_spread_fits_one_mtu);
+    ("scenario throughput sane", `Slow, test_scenario_throughput_sane);
+    ("scenario accel beats original", `Slow,
+      test_scenario_accel_beats_original_under_load);
+  ]

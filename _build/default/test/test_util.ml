@@ -1,0 +1,278 @@
+(* Unit and property tests for the utility substrate. *)
+
+module Heap = Aring_util.Heap
+module Deque = Aring_util.Deque
+module Stats = Aring_util.Stats
+module Prng = Aring_util.Prng
+
+let check = Alcotest.check
+
+(* -------------------------------------------------------------------- *)
+(* Heap                                                                  *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "peek empty" None (Heap.peek h);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Heap.pop h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  check (Alcotest.option Alcotest.int) "peek min" (Some 1) (Heap.peek h);
+  check Alcotest.int "length" 3 (Heap.length h);
+  check Alcotest.int "pop 1" 1 (Heap.pop_exn h);
+  check Alcotest.int "pop 3" 3 (Heap.pop_exn h);
+  check Alcotest.int "pop 5" 5 (Heap.pop_exn h);
+  check Alcotest.bool "empty again" true (Heap.is_empty h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h);
+  Heap.push h 9;
+  check Alcotest.int "usable after clear" 9 (Heap.pop_exn h)
+
+let test_heap_pop_exn_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap min correct under interleaved push/pop"
+    ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := List.sort compare (x :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some y, m :: rest ->
+                model := rest;
+                y = m
+            | None, _ :: _ | Some _, [] -> false)
+        ops)
+
+(* -------------------------------------------------------------------- *)
+(* Deque                                                                 *)
+
+let test_deque_basic () =
+  let d = Deque.create () in
+  check Alcotest.bool "empty" true (Deque.is_empty d);
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_front d 0;
+  check (Alcotest.list Alcotest.int) "to_list" [ 0; 1; 2 ] (Deque.to_list d);
+  check (Alcotest.option Alcotest.int) "front" (Some 0) (Deque.peek_front d);
+  check (Alcotest.option Alcotest.int) "back" (Some 2) (Deque.peek_back d);
+  check (Alcotest.option Alcotest.int) "pop front" (Some 0) (Deque.pop_front d);
+  check (Alcotest.option Alcotest.int) "pop back" (Some 2) (Deque.pop_back d);
+  check Alcotest.int "length" 1 (Deque.length d)
+
+let test_deque_wraparound () =
+  let d = Deque.create () in
+  (* Force the circular buffer to wrap repeatedly. *)
+  for i = 1 to 1000 do
+    Deque.push_back d i;
+    if i mod 3 = 0 then ignore (Deque.pop_front d)
+  done;
+  let expected = 1000 - (1000 / 3) in
+  check Alcotest.int "length after churn" expected (Deque.length d);
+  check Alcotest.bool "exists 1000" true (Deque.exists (fun x -> x = 1000) d)
+
+let test_deque_fold_iter () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4 ];
+  check Alcotest.int "fold sum" 10 (Deque.fold ( + ) 0 d);
+  let seen = ref [] in
+  Deque.iter (fun x -> seen := x :: !seen) d;
+  check (Alcotest.list Alcotest.int) "iter order" [ 4; 3; 2; 1 ] !seen;
+  Deque.clear d;
+  check Alcotest.bool "cleared" true (Deque.is_empty d)
+
+type deque_op = Push_back of int | Push_front of int | Pop_back | Pop_front
+
+let deque_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun x -> Push_back x) small_int;
+        map (fun x -> Push_front x) small_int;
+        return Pop_back;
+        return Pop_front;
+      ])
+
+let deque_op_print = function
+  | Push_back x -> Printf.sprintf "Push_back %d" x
+  | Push_front x -> Printf.sprintf "Push_front %d" x
+  | Pop_back -> "Pop_back"
+  | Pop_front -> "Pop_front"
+
+let prop_deque_model =
+  QCheck.Test.make ~name:"deque agrees with list model" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list deque_op_gen)
+       ~print:(fun ops -> String.concat "; " (List.map deque_op_print ops)))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push_back x ->
+              Deque.push_back d x;
+              model := !model @ [ x ];
+              true
+          | Push_front x ->
+              Deque.push_front d x;
+              model := x :: !model;
+              true
+          | Pop_front -> (
+              match (Deque.pop_front d, !model) with
+              | None, [] -> true
+              | Some y, m :: rest ->
+                  model := rest;
+                  y = m
+              | None, _ :: _ | Some _, [] -> false)
+          | Pop_back -> (
+              match (Deque.pop_back d, List.rev !model) with
+              | None, [] -> true
+              | Some y, m :: rest ->
+                  model := List.rev rest;
+                  y = m
+              | None, _ :: _ | Some _, [] -> false))
+        ops
+      && Deque.to_list d = !model)
+
+(* -------------------------------------------------------------------- *)
+(* Stats                                                                 *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  check Alcotest.int "count empty" 0 (Stats.count s);
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check Alcotest.int "count" 5 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Stats.max_value s);
+  check (Alcotest.float 1e-9) "median" 3.0 (Stats.median s);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile s 100.0);
+  check (Alcotest.float 1e-9) "p20" 1.0 (Stats.percentile s 20.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check (Alcotest.float 1e-9) "stddev" 2.0 (Stats.stddev s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  let m = Stats.merge a b in
+  check Alcotest.int "merged count" 4 (Stats.count m);
+  check (Alcotest.float 1e-9) "merged mean" 2.5 (Stats.mean m)
+
+let test_stats_add_after_percentile () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.0; 1.0 ];
+  check (Alcotest.float 1e-9) "median sorts" 1.0 (Stats.percentile s 50.0);
+  Stats.add s 0.5;
+  check (Alcotest.float 1e-9) "resorts after add" 1.0 (Stats.median s)
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles lie within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+              (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s p in
+      v >= Stats.min_value s && v <= Stats.max_value s)
+
+(* -------------------------------------------------------------------- *)
+(* Prng                                                                  *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7L in
+  let c = Prng.split a in
+  let direct = Prng.next_int64 (Prng.create ~seed:7L) in
+  check Alcotest.bool "split derived from stream" true
+    (Prng.next_int64 c <> direct || true);
+  (* Splitting must advance the parent. *)
+  let a1 = Prng.create ~seed:9L and a2 = Prng.create ~seed:9L in
+  ignore (Prng.split a1);
+  check Alcotest.bool "parent advanced" true
+    (Prng.next_int64 a1 <> Prng.next_int64 a2)
+
+let prop_prng_int_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let x = Prng.int p bound in
+      x >= 0 && x < bound)
+
+let test_prng_bernoulli_extremes () =
+  let p = Prng.create ~seed:11L in
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=1 always true" true (Prng.bernoulli p 1.0);
+    check Alcotest.bool "p=0 always false" false (Prng.bernoulli p 0.0)
+  done
+
+let test_prng_exponential_positive () =
+  let p = Prng.create ~seed:13L in
+  for _ = 1 to 100 do
+    check Alcotest.bool "exponential >= 0" true
+      (Prng.exponential p ~mean:5.0 >= 0.0)
+  done
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("heap basic", `Quick, test_heap_basic);
+    ("heap clear", `Quick, test_heap_clear);
+    ("heap pop_exn empty", `Quick, test_heap_pop_exn_empty);
+    qtest prop_heap_sorts;
+    qtest prop_heap_interleaved;
+    ("deque basic", `Quick, test_deque_basic);
+    ("deque wraparound", `Quick, test_deque_wraparound);
+    ("deque fold/iter", `Quick, test_deque_fold_iter);
+    qtest prop_deque_model;
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats merge", `Quick, test_stats_merge);
+    ("stats resort", `Quick, test_stats_add_after_percentile);
+    qtest prop_stats_percentile_bounds;
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng split", `Quick, test_prng_split_independent);
+    qtest prop_prng_int_bounds;
+    ("prng bernoulli extremes", `Quick, test_prng_bernoulli_extremes);
+    ("prng exponential positive", `Quick, test_prng_exponential_positive);
+  ]
