@@ -1,0 +1,29 @@
+.PHONY: all build test check fmt bench quick-bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting is best-effort: the dune fmt alias needs ocamlformat, which
+# not every environment has installed.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+check: build test fmt
+
+bench:
+	dune exec bench/main.exe
+
+quick-bench:
+	dune exec bench/main.exe -- quick
+
+clean:
+	dune clean

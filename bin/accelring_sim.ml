@@ -25,8 +25,24 @@ let service_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown service %S" s))
 
 let run nodes net tier protocol service payload rate pw gw aw seconds
-    find_max seed verbose =
+    find_max seed verbose trace_file chrome_file check rotation =
   if verbose then Aring_util.Log.setup ~level:Logs.Info ();
+  let module Trace = Aring_obs.Trace in
+  (* Assemble the requested trace sinks: a JSONL stream, an in-memory
+     buffer feeding the Chrome exporter, and/or the live invariant
+     checker. With none requested, tracing stays disabled and free. *)
+  let jsonl_oc = Option.map open_out trace_file in
+  let mem = if chrome_file <> None then Some (Trace.memory ()) else None in
+  let checker = if check then Some (Aring_obs.Checker.create ()) else None in
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map Aring_obs.Trace_json.jsonl_sink jsonl_oc;
+        Option.map Trace.memory_sink mem;
+        Option.map Aring_obs.Checker.as_sink checker;
+      ]
+  in
+  (match sinks with [] -> () | [ s ] -> Trace.install s | ss -> Trace.install (Trace.tee ss));
   let params =
     match protocol with
     | "original" ->
@@ -50,6 +66,7 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
       offered_mbps = rate;
       measure_ns = int_of_float (seconds *. 1e9);
       seed = Int64.of_int seed;
+      profile_rotation = rotation;
     }
   in
   let result =
@@ -71,7 +88,24 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
     | _ ->
         if find_max then Scenario.find_max_throughput spec else Scenario.run spec
   in
-  Format.printf "%a@." Scenario.pp_result result
+  if sinks <> [] then Trace.uninstall ();
+  Option.iter close_out jsonl_oc;
+  Option.iter
+    (fun m ->
+      let path = Option.get chrome_file in
+      Aring_obs.Chrome_trace.write_file path (Trace.memory_events m);
+      Format.printf "chrome trace (%d events) written to %s@."
+        (Trace.memory_count m) path)
+    mem;
+  Format.printf "%a@." Scenario.pp_result result;
+  (match result.Scenario.rotation with
+  | Some s -> Format.printf "%a@." Aring_obs.Rotation.pp_summary s
+  | None -> ());
+  match checker with
+  | None -> ()
+  | Some c ->
+      Format.printf "%a@." Aring_obs.Checker.pp c;
+      if Aring_obs.Checker.violation_count c > 0 then exit 1
 
 open Cmdliner
 
@@ -121,12 +155,38 @@ let find_max =
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write the structured event trace as JSONL to $(docv).")
+
+let chrome_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event file to $(docv) (open in chrome://tracing or ui.perfetto.dev).")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Run the trace-driven invariant checker during the run; exit 1 on any violation.")
+
+let rotation =
+  Arg.(
+    value & flag
+    & info [ "rotation" ]
+        ~doc:"Profile token rotations (rotation time, messages/round, post-token overlap).")
+
 let cmd =
   let doc = "Simulate an Accelerated Ring cluster and measure its profile" in
   Cmd.v
     (Cmd.info "accelring_sim" ~doc)
     Term.(
       const run $ nodes $ net $ tier $ protocol $ service $ payload $ rate
-      $ pw $ gw $ aw $ seconds $ find_max $ seed $ verbose)
+      $ pw $ gw $ aw $ seconds $ find_max $ seed $ verbose $ trace_file
+      $ chrome_file $ check $ rotation)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,105 @@
+(* CLI: inspect a recorded JSONL protocol trace — print it, summarize
+   it, convert it for chrome://tracing, re-run the invariant checker, or
+   recompute the token-rotation profile. The trace itself comes from
+   `accelring_sim --trace out.jsonl` (or any program installing a
+   {!Aring_obs.Trace_json.jsonl_sink}). *)
+
+module Trace = Aring_obs.Trace
+module Trace_json = Aring_obs.Trace_json
+module Chrome_trace = Aring_obs.Chrome_trace
+module Checker = Aring_obs.Checker
+module Rotation = Aring_obs.Rotation
+
+let summarize events =
+  let kinds = Hashtbl.create 16 in
+  let nodes = Hashtbl.create 16 in
+  let t_min = ref max_int and t_max = ref min_int in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let name = Trace.kind_name ev.kind in
+      Hashtbl.replace kinds name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt kinds name));
+      Hashtbl.replace nodes ev.node ();
+      if ev.t_ns < !t_min then t_min := ev.t_ns;
+      if ev.t_ns > !t_max then t_max := ev.t_ns)
+    events;
+  Format.printf "%d events, %d nodes, %.3f ms span@." (List.length events)
+    (Hashtbl.length nodes)
+    (if !t_max >= !t_min then float_of_int (!t_max - !t_min) /. 1e6 else 0.0);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.iter (fun (k, v) -> Format.printf "  %-18s %d@." k v)
+
+let run file chrome_out check rotation_node head =
+  let events =
+    try Trace_json.read_file file
+    with Aring_obs.Json.Parse_error msg ->
+      Format.eprintf "accelring_trace: %s: malformed trace (%s)@." file msg;
+      exit 2
+  in
+  (match head with
+  | Some n ->
+      List.iteri
+        (fun i ev -> if i < n then Format.printf "%a@." Trace.pp_event ev)
+        events
+  | None -> summarize events);
+  (match chrome_out with
+  | Some path ->
+      Chrome_trace.write_file path events;
+      Format.printf "chrome trace written to %s@." path
+  | None -> ());
+  (match rotation_node with
+  | Some node ->
+      let p = Rotation.create ~node () in
+      List.iter (Rotation.observe p) events;
+      Format.printf "%a@." Rotation.pp_summary (Rotation.summary p)
+  | None -> ());
+  if check then begin
+    let c = Checker.create () in
+    List.iter (Checker.observe c) events;
+    Format.printf "%a@." Checker.pp c;
+    if Checker.violation_count c > 0 then exit 1
+  end
+
+open Cmdliner
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"Recorded JSONL trace file.")
+
+let chrome_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:"Convert to a Chrome trace-event file at $(docv).")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Run the EVS invariant checker over the trace; exit 1 on violations.")
+
+let rotation_node =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rotation" ] ~docv:"NODE"
+        ~doc:"Recompute the token-rotation profile anchored at $(docv).")
+
+let head =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "head" ] ~docv:"N"
+        ~doc:"Print the first $(docv) events instead of the summary.")
+
+let cmd =
+  let doc = "Inspect, convert and check recorded Accelerated Ring traces" in
+  Cmd.v
+    (Cmd.info "accelring_trace" ~doc)
+    Term.(const run $ file $ chrome_out $ check $ rotation_node $ head)
+
+let () = exit (Cmd.eval cmd)

@@ -58,6 +58,18 @@ let create ?(packing = false) ?(pack_threshold = 1300) ~member () =
   }
 
 let stats t = t.stats
+
+let record_metrics t reg =
+  let module Metrics = Aring_obs.Metrics in
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  c "daemon.client_deliveries" t.stats.client_deliveries;
+  c "daemon.group_notifications" t.stats.group_notifications;
+  c "daemon.packs_sent" t.stats.packs_sent;
+  c "daemon.envelopes_packed" t.stats.envelopes_packed;
+  match Member.node t.member with
+  | Some node -> Engine.record_metrics (Node.engine node) reg
+  | None -> ()
+
 let group_members t group = Groups.members t.groups group
 let session_member_name _t s = s.s_member
 

@@ -79,3 +79,8 @@ val group_members : t -> string -> string list
 (** This daemon's current view of a group. *)
 
 val stats : t -> stats
+
+val record_metrics : t -> Aring_obs.Metrics.t -> unit
+(** Export the daemon counters (and the underlying engine's, when
+    operational) into a metrics registry under ["daemon.*"] /
+    ["engine.*"] names. *)

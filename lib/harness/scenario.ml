@@ -2,6 +2,9 @@ open Aring_wire
 open Aring_ring
 open Aring_sim
 module Stats = Aring_util.Stats
+module Trace = Aring_obs.Trace
+module Metrics = Aring_obs.Metrics
+module Rotation = Aring_obs.Rotation
 
 type spec = {
   label : string;
@@ -15,6 +18,7 @@ type spec = {
   warmup_ns : int;
   measure_ns : int;
   seed : int64;
+  profile_rotation : bool;
 }
 
 type result = {
@@ -26,6 +30,8 @@ type result = {
   random_losses : int;
   retransmissions : int;
   token_rounds : int;
+  metrics : Metrics.t;
+  rotation : Rotation.summary option;
 }
 
 let default_spec =
@@ -41,6 +47,7 @@ let default_spec =
     warmup_ns = 100_000_000;
     measure_ns = 400_000_000;
     seed = 1L;
+    profile_rotation = false;
   }
 
 let ring_id : Types.ring_id = { rep = 0; ring_seq = 1 }
@@ -97,7 +104,34 @@ let measure spec ~participants ~ring_stats =
         Stats.add latency_us (float_of_int (now - submitted) /. 1e3)
       end);
   start_workload sim spec ~until:t_end;
+  (* Rotation profiling stacks its sink over whatever the caller installed
+     (a JSONL sink, an invariant checker, nothing), restored afterwards.
+     When the spec does not ask for it, tracing stays at its current
+     (usually disabled, hence free) state. *)
+  let prev_sink = Trace.current () in
+  let profiler =
+    if not spec.profile_rotation then None
+    else begin
+      let p = Rotation.create ~node:0 () in
+      let sink = Rotation.as_sink p in
+      Trace.install
+        (match prev_sink with None -> sink | Some s -> Trace.tee [ s; sink ]);
+      Some p
+    end
+  in
   Netsim.run_until sim t_end;
+  (match profiler with
+  | Some _ -> (
+      match prev_sink with
+      | None -> Trace.uninstall ()
+      | Some s -> Trace.install s)
+  | None -> ());
+  let metrics = Metrics.create () in
+  Netsim.record_metrics sim metrics;
+  let rotation = Option.map Rotation.summary profiler in
+  (match rotation with
+  | Some s -> Rotation.record_metrics s metrics
+  | None -> ());
   let measure_s = float_of_int spec.measure_ns /. 1e9 in
   let per_node_mbps =
     Array.map
@@ -119,6 +153,8 @@ let measure spec ~participants ~ring_stats =
     random_losses = sim_stats.random_losses;
     retransmissions;
     token_rounds;
+    metrics;
+    rotation;
   }
 
 let run spec =
@@ -133,7 +169,9 @@ let run spec =
         0 nodes,
       (Engine.stats (Node.engine nodes.(0))).rounds )
   in
-  measure spec ~participants:(Array.map Node.participant nodes) ~ring_stats
+  let r = measure spec ~participants:(Array.map Node.participant nodes) ~ring_stats in
+  Array.iter (fun node -> Engine.record_metrics (Node.engine node) r.metrics) nodes;
+  r
 
 let run_custom spec ~participants =
   measure spec ~participants ~ring_stats:(fun () -> (0, 0))

@@ -22,6 +22,10 @@ type spec = {
   warmup_ns : int;
   measure_ns : int;
   seed : int64;
+  profile_rotation : bool;
+      (** Attach an {!Aring_obs.Rotation} profiler (anchored at node 0)
+          for the run. Off by default: profiling installs a trace sink,
+          which turns every instrumentation hook live. *)
 }
 
 type result = {
@@ -36,6 +40,12 @@ type result = {
   random_losses : int;
   retransmissions : int;
   token_rounds : int;  (** Rounds completed at node 0. *)
+  metrics : Aring_obs.Metrics.t;
+      (** Registry holding the run's ["netsim.*"] counters, the
+          ["engine.*"] counters summed over nodes (for {!run}), and the
+          ["rotation.*"] instruments when [profile_rotation] was set. *)
+  rotation : Aring_obs.Rotation.summary option;
+      (** Per-round rotation profile; [Some] iff [spec.profile_rotation]. *)
 }
 
 val default_spec : spec

@@ -1,0 +1,146 @@
+open Aring_wire
+
+(* Trace-driven EVS invariant checker. Consumes the event stream (live
+   as a sink, or post-hoc from a list) and asserts, per configuration:
+
+   - Total-order consistency: a given (ring, seq) delivers the same
+     originator and service class at every node that delivers it.
+   - Gap-free, in-order delivery: operational deliveries advance each
+     node's per-ring cursor by exactly one; recovery deliveries (between
+     a transitional and the following regular configuration, where EVS
+     permits survivors to skip messages no one holds) need only be
+     strictly increasing.
+   - aru / safe-line monotonicity: a node's local aru and stability line
+     never move backward within a ring (the token aru may dip — local
+     state may not).
+   - Single token holder: each (ring, token_id) is accepted by at most
+     one node — two concurrent tokens would break total order at the
+     root.
+
+   Violations are recorded as human-readable strings (first
+   [max_violations] kept, all counted). *)
+
+type ring_key = int * int (* rep, ring_seq *)
+
+let ring_key (r : Types.ring_id) : ring_key = (r.rep, r.ring_seq)
+
+let ring_str (r : Types.ring_id) = Printf.sprintf "%d.%d" r.rep r.ring_seq
+
+type t = {
+  max_violations : int;
+  mutable kept : string list;  (* newest first *)
+  mutable total : int;
+  mutable deliveries : int;
+  (* (ring, seq) -> (sender, service) as first delivered anywhere *)
+  order : (ring_key * int, int * string) Hashtbl.t;
+  (* (node, ring) -> delivery cursor *)
+  cursors : (int * ring_key, int) Hashtbl.t;
+  (* node -> inside a transitional (recovery) window *)
+  in_recovery : (int, unit) Hashtbl.t;
+  (* (node, ring) -> last seen (local_aru, safe_line) *)
+  monotone : (int * ring_key, int * int) Hashtbl.t;
+  (* (ring, token_id) -> accepting node *)
+  holders : (ring_key * int, int) Hashtbl.t;
+}
+
+let create ?(max_violations = 100) () =
+  {
+    max_violations;
+    kept = [];
+    total = 0;
+    deliveries = 0;
+    order = Hashtbl.create 4096;
+    cursors = Hashtbl.create 64;
+    in_recovery = Hashtbl.create 16;
+    monotone = Hashtbl.create 64;
+    holders = Hashtbl.create 4096;
+  }
+
+let violation t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      t.total <- t.total + 1;
+      if List.length t.kept < t.max_violations then t.kept <- msg :: t.kept)
+    fmt
+
+let check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns =
+  let key = (node, ring_key ring) in
+  (match Hashtbl.find_opt t.monotone key with
+  | Some (prev_aru, prev_safe) ->
+      if local_aru < prev_aru then
+        violation t "[%d] node %d ring %s: local aru moved backward %d -> %d"
+          t_ns node (ring_str ring) prev_aru local_aru;
+      if safe_line < prev_safe then
+        violation t "[%d] node %d ring %s: safe line moved backward %d -> %d"
+          t_ns node (ring_str ring) prev_safe safe_line
+  | None -> ());
+  Hashtbl.replace t.monotone key (local_aru, safe_line)
+
+let observe t (ev : Trace.event) =
+  let node = ev.node in
+  match ev.kind with
+  | Token_recv { ring; token_id; local_aru; safe_line; _ } ->
+      let key = (ring_key ring, token_id) in
+      (match Hashtbl.find_opt t.holders key with
+      | Some holder when holder <> node ->
+          violation t
+            "[%d] ring %s token_id %d accepted by node %d and node %d (two \
+             token holders)"
+            ev.t_ns (ring_str ring) token_id holder node
+      | Some _ ->
+          violation t "[%d] ring %s token_id %d accepted twice by node %d"
+            ev.t_ns (ring_str ring) token_id node
+      | None -> Hashtbl.replace t.holders key node);
+      check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns:ev.t_ns
+  | Token_send { ring; local_aru; safe_line; _ } ->
+      check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns:ev.t_ns
+  | Deliver { ring; seq; sender; service } ->
+      t.deliveries <- t.deliveries + 1;
+      let okey = (ring_key ring, seq) in
+      (match Hashtbl.find_opt t.order okey with
+      | Some (s0, svc0) ->
+          if s0 <> sender || svc0 <> service then
+            violation t
+              "[%d] ring %s seq %d: node %d delivered sender=%d/%s but it was \
+               first delivered as sender=%d/%s (total order broken)"
+              ev.t_ns (ring_str ring) seq node sender service s0 svc0
+      | None -> Hashtbl.replace t.order okey (sender, service));
+      let ckey = (node, ring_key ring) in
+      let cursor = Option.value ~default:0 (Hashtbl.find_opt t.cursors ckey) in
+      if seq <= cursor then
+        violation t
+          "[%d] node %d ring %s: delivery not increasing (seq %d after cursor \
+           %d)"
+          ev.t_ns node (ring_str ring) seq cursor
+      else if seq <> cursor + 1 && not (Hashtbl.mem t.in_recovery node) then
+        violation t
+          "[%d] node %d ring %s: delivery gap (seq %d after cursor %d outside \
+           recovery)"
+          ev.t_ns node (ring_str ring) seq cursor;
+      Hashtbl.replace t.cursors ckey seq
+  | View_install { transitional; _ } ->
+      if transitional then Hashtbl.replace t.in_recovery node ()
+      else Hashtbl.remove t.in_recovery node
+  | Token_dup _ | Token_retransmit _ | Token_lost | Data_send _ | Data_recv _
+  | Flow_control _ | Timer_arm _ | Timer_fire _ | Phase _ | Crash | Drop _ ->
+      ()
+
+let as_sink t = Trace.fn_sink (fun ev -> observe t ev)
+
+let violations t = List.rev t.kept
+let violation_count t = t.total
+let deliveries_checked t = t.deliveries
+
+let check_events ?max_violations events =
+  let t = create ?max_violations () in
+  List.iter (observe t) events;
+  violations t
+
+let pp ppf t =
+  if t.total = 0 then
+    Format.fprintf ppf "invariants OK (%d deliveries checked)" t.deliveries
+  else begin
+    Format.fprintf ppf "%d violation(s) over %d deliveries:@." t.total
+      t.deliveries;
+    List.iter (fun v -> Format.fprintf ppf "  %s@." v) (violations t)
+  end

@@ -1,0 +1,29 @@
+(** Trace-driven EVS invariant checker.
+
+    Consumes the trace event stream (live as a sink, or post-hoc) and
+    asserts per configuration: total-order consistency across nodes
+    (same (ring, seq) ⇒ same originator everywhere), gap-free in-order
+    delivery (exactly-once cursor advance while operational; strictly
+    increasing during the transitional-to-regular recovery window, where
+    EVS permits skips), local-aru / safe-line monotonicity, and a single
+    token holder per (ring, token_id). *)
+
+type t
+
+val create : ?max_violations:int -> unit -> t
+(** Keeps the first [max_violations] (default 100) violation messages;
+    all are counted. *)
+
+val observe : t -> Trace.event -> unit
+val as_sink : t -> Trace.sink
+
+val violations : t -> string list
+(** Oldest first, capped at [max_violations]. *)
+
+val violation_count : t -> int
+val deliveries_checked : t -> int
+
+val check_events : ?max_violations:int -> Trace.event list -> string list
+(** One-shot: run a fresh checker over a recorded event list. *)
+
+val pp : Format.formatter -> t -> unit

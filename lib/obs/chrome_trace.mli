@@ -1,0 +1,15 @@
+(** Chrome trace-event exporter ([chrome://tracing] / Perfetto JSON).
+
+    Renders a trace as a per-node timeline: every node is a thread row,
+    the interval between consecutive accepted token receipts is a
+    duration slice on the receiving node's row (so one ring rotation
+    reads as a staircase across the rows), data sends / deliveries /
+    retransmissions / views / faults are instant events, and the token's
+    [fcc] field is exported as a counter track. *)
+
+val to_json : Trace.event list -> Json.t
+(** Events need not be sorted; output object has a ["traceEvents"] list. *)
+
+val to_string : Trace.event list -> string
+val write_channel : out_channel -> Trace.event list -> unit
+val write_file : string -> Trace.event list -> unit

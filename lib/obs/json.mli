@@ -1,0 +1,28 @@
+(** Minimal JSON values: just enough to write and read back the JSONL
+    trace format and to emit Chrome trace-event files, without pulling an
+    external JSON dependency into the observability layer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering with string escaping. *)
+
+val of_string : string -> t
+(** Parse one JSON value; raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up [key]; [None] on other values. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,75 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    The unified surface over the per-subsystem stats records: each
+    subsystem exports its counters under a stable dotted name (e.g.
+    ["engine.rounds"], ["netsim.switch_drops"]), per-node registries
+    merge into cluster totals, and the result prints as one table.
+    Handles are mutable records — a hot path holding a handle pays one
+    store per update. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Get or create. The same name always returns the same handle. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val counter_value : t -> string -> int
+(** 0 when the counter does not exist. *)
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val default_bounds : float array
+(** Latency-flavored µs buckets, 1 µs … 10 s. *)
+
+val exponential_bounds : lo:float -> factor:float -> count:int -> float array
+
+val histogram : ?bounds:float array -> t -> string -> histogram
+(** Get or create with the given strictly-increasing upper bounds (plus
+    an implicit overflow bucket). [bounds] is ignored when the histogram
+    already exists. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] with [q] in [0,1]: linear interpolation within
+    the landing bucket; [nan] when empty. *)
+
+val hist_bucket_counts : histogram -> int array
+(** Per-bucket counts, overflow bucket last. *)
+
+val hist_bounds : histogram -> float array
+
+val hist_merge : histogram -> histogram -> histogram
+(** Sum of both; raises [Invalid_argument] on differing bounds. *)
+
+(** {1 Registry operations} *)
+
+val merge : t -> t -> t
+(** Counters sum, histograms merge, gauges take the later registry's
+    value. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+module Stats = Aring_util.Stats
+
+(* Per-round token-rotation profiling — the paper's Section IV
+   instruments. An observer node anchors the measurement: each accepted
+   token receipt at that node closes one full rotation, and the window
+   between two receipts yields
+
+   - rotation time (ns between anchor receipts),
+   - messages per round (data sends ring-wide inside the window,
+     retransmissions included),
+   - aru progress (anchor-token aru delta across the window),
+   - post-token overlap fraction (share of sends that ride behind the
+     token — the accelerated protocol's defining behavior).
+
+   Membership changes reset the anchor so half-rotations across a view
+   change never pollute the sample. *)
+
+type t = {
+  node : int;
+  mutable last_recv : (int * int) option;  (* t_ns, aru at anchor receipt *)
+  mutable window_sends : int;
+  mutable window_post : int;
+  mutable total_sends : int;
+  mutable total_post : int;
+  rotation_us : Stats.t;
+  msgs_per_round : Stats.t;
+  aru_per_round : Stats.t;
+}
+
+type summary = {
+  observer : int;
+  rotations : int;
+  rotation_us : Stats.t;
+  msgs_per_round : Stats.t;
+  aru_per_round : Stats.t;
+  post_token_fraction : float;
+}
+
+let create ~node () =
+  {
+    node;
+    last_recv = None;
+    window_sends = 0;
+    window_post = 0;
+    total_sends = 0;
+    total_post = 0;
+    rotation_us = Stats.create ();
+    msgs_per_round = Stats.create ();
+    aru_per_round = Stats.create ();
+  }
+
+let observe t (ev : Trace.event) =
+  match ev.kind with
+  | Data_send { post_token; retrans = _; _ } ->
+      t.window_sends <- t.window_sends + 1;
+      t.total_sends <- t.total_sends + 1;
+      if post_token then begin
+        t.window_post <- t.window_post + 1;
+        t.total_post <- t.total_post + 1
+      end
+  | Token_recv { aru; _ } when ev.node = t.node ->
+      (match t.last_recv with
+      | Some (prev_ns, prev_aru) ->
+          Stats.add t.rotation_us (float_of_int (ev.t_ns - prev_ns) /. 1e3);
+          Stats.add t.msgs_per_round (float_of_int t.window_sends);
+          Stats.add t.aru_per_round (float_of_int (aru - prev_aru))
+      | None -> ());
+      t.last_recv <- Some (ev.t_ns, aru);
+      t.window_sends <- 0;
+      t.window_post <- 0
+  | View_install _ ->
+      t.last_recv <- None;
+      t.window_sends <- 0;
+      t.window_post <- 0
+  | _ -> ()
+
+let as_sink t = Trace.fn_sink (fun ev -> observe t ev)
+
+let summary t =
+  {
+    observer = t.node;
+    rotations = Stats.count t.rotation_us;
+    rotation_us = t.rotation_us;
+    msgs_per_round = t.msgs_per_round;
+    aru_per_round = t.aru_per_round;
+    post_token_fraction =
+      (if t.total_sends = 0 then 0.0
+       else float_of_int t.total_post /. float_of_int t.total_sends);
+  }
+
+let record_metrics s reg =
+  Metrics.add (Metrics.counter reg "rotation.rotations") s.rotations;
+  let h =
+    Metrics.histogram
+      ~bounds:(Metrics.exponential_bounds ~lo:10.0 ~factor:1.6 ~count:24)
+      reg "rotation.time_us"
+  in
+  (* Re-observe the samples into the mergeable histogram form. *)
+  let n = Stats.count s.rotation_us in
+  if n > 0 then
+    for i = 1 to n do
+      Metrics.observe h (Stats.percentile s.rotation_us (100.0 *. float_of_int i /. float_of_int n))
+    done;
+  Metrics.set (Metrics.gauge reg "rotation.post_token_fraction") s.post_token_fraction
+
+let pp_summary ppf s =
+  if s.rotations = 0 then
+    Format.fprintf ppf "no complete rotations observed at node %d" s.observer
+  else
+    Format.fprintf ppf
+      "rotations=%d rotation_us(mean=%.1f p50=%.1f p99=%.1f) msgs/round(mean=%.1f \
+       p99=%.0f) aru/round(mean=%.1f) post_token=%.1f%%"
+      s.rotations (Stats.mean s.rotation_us)
+      (Stats.median s.rotation_us)
+      (Stats.percentile s.rotation_us 99.0)
+      (Stats.mean s.msgs_per_round)
+      (Stats.percentile s.msgs_per_round 99.0)
+      (Stats.mean s.aru_per_round)
+      (100.0 *. s.post_token_fraction)

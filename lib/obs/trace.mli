@@ -1,0 +1,129 @@
+(** Structured protocol tracing.
+
+    A trace event records one observable step of one node: token motion,
+    data motion, delivery, timer activity, flow-control decisions,
+    membership phase changes and faults. Events flow into a pluggable
+    {!sink}; when no sink is installed, instrumentation costs one branch
+    ([enabled ()] is false), so production and benchmark runs are
+    unaffected — pay for what you use.
+
+    The clock is pluggable so the same hooks serve the discrete-event
+    simulator (virtual nanoseconds) and the UDP runtime (wall clock). *)
+
+open Aring_wire
+
+type kind =
+  | Token_recv of {
+      ring : Types.ring_id;
+      token_id : int;
+      round : int;
+      seq : int;
+      aru : int;
+      local_aru : int;
+      safe_line : int;
+    }  (** A regular token accepted (not a duplicate). *)
+  | Token_send of {
+      ring : Types.ring_id;
+      token_id : int;
+      round : int;
+      seq : int;
+      aru : int;
+      fcc : int;
+      rtr : int;
+      local_aru : int;
+      safe_line : int;
+    }  (** The updated token forwarded to the successor. *)
+  | Token_dup of { token_id : int }
+  | Token_retransmit of { token_id : int; attempt : int }
+  | Token_lost
+  | Data_send of {
+      ring : Types.ring_id;
+      seq : int;
+      size : int;
+      post_token : bool;
+      retrans : bool;
+    }
+  | Data_recv of { ring : Types.ring_id; seq : int; sender : int; dup : bool }
+  | Deliver of { ring : Types.ring_id; seq : int; sender : int; service : string }
+  | Flow_control of {
+      allowed_new : int;
+      n_post : int;
+      fcc : int;
+      pending : int;
+      by_global : int;
+      by_gap : int;
+    }  (** The per-round window decision (Section III-A.1). *)
+  | Timer_arm of { timer : string; delay_ns : int }
+  | Timer_fire of { timer : string }
+  | View_install of {
+      ring : Types.ring_id;
+      members : Types.pid list;
+      transitional : bool;
+    }
+  | Phase of { phase : string }  (** Membership phase entered. *)
+  | Crash
+  | Drop of { reason : string; size : int }
+
+type event = { t_ns : int; node : int; kind : kind }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+(** {1 Global sink and clock} *)
+
+val enabled : unit -> bool
+(** True when a sink is installed. Call sites guard event construction
+    with this so disabled tracing is one load+branch. *)
+
+val current : unit -> sink option
+val install : sink -> unit
+
+val uninstall : unit -> unit
+(** Flushes the installed sink, then removes it. *)
+
+val set_clock : (unit -> int) -> unit
+(** Timestamp source for {!emit}, in nanoseconds. The simulator installs
+    its virtual clock; the UDP runtime installs a wall clock. *)
+
+val emit : node:int -> kind -> unit
+(** Emit with a timestamp from the clock. No-op when no sink installed. *)
+
+val emit_at : t_ns:int -> node:int -> kind -> unit
+(** Emit with an explicit timestamp (interpreter layers that model CPU
+    cursors know a better time than the global clock). *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s] (stacking over any current sink, which
+    is restored afterwards), runs [f], and flushes [s]. *)
+
+(** {1 Sinks} *)
+
+val tee : sink list -> sink
+val null_sink : sink
+val fn_sink : (event -> unit) -> sink
+
+type memory
+(** Unbounded in-memory collector, for tests and exporters. *)
+
+val memory : unit -> memory
+val memory_sink : memory -> sink
+val memory_events : memory -> event list
+(** In emission order. *)
+
+val memory_count : memory -> int
+
+type ring_buffer
+(** Bounded buffer keeping the last [capacity] events. *)
+
+val ring_buffer : capacity:int -> ring_buffer
+val ring_sink : ring_buffer -> sink
+val ring_events : ring_buffer -> event list
+(** Oldest first; at most [capacity] events. *)
+
+val ring_total : ring_buffer -> int
+(** Total events ever emitted (including overwritten ones). *)
+
+(** {1 Printing} *)
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,4 +1,6 @@
 open Aring_wire
+module Trace = Aring_obs.Trace
+module Metrics = Aring_obs.Metrics
 
 type timer_kind = Token_retransmit | Token_loss
 
@@ -195,7 +197,11 @@ let is_progress_evidence t (d : Message.data) =
 
 let handle_data t (d : Message.data) =
   if is_progress_evidence t d then t.progress_gen <- t.progress_gen + 1;
-  if d.seq <= t.discard_floor || Hashtbl.mem t.buffer d.seq then begin
+  let dup = d.seq <= t.discard_floor || Hashtbl.mem t.buffer d.seq in
+  if Trace.enabled () then
+    Trace.emit ~node:t.me
+      (Trace.Data_recv { ring = t.ring_id; seq = d.seq; sender = d.pid; dup });
+  if dup then begin
     t.stats.dup_data <- t.stats.dup_data + 1;
     []
   end
@@ -220,6 +226,8 @@ let missing_requests t ~cap ~already =
 let handle_token t (tok : Message.token) =
   if tok.token_id <= t.last_token_id then begin
     t.stats.dup_tokens <- t.stats.dup_tokens + 1;
+    if Trace.enabled () then
+      Trace.emit ~node:t.me (Trace.Token_dup { token_id = tok.token_id });
     []
   end
   else begin
@@ -229,6 +237,18 @@ let handle_token t (tok : Message.token) =
     t.progress_gen <- t.progress_gen + 1;
     t.loss_gen <- t.loss_gen + 1;
     t.retransmit_count <- 0;
+    if Trace.enabled () then
+      Trace.emit ~node:t.me
+        (Trace.Token_recv
+           {
+             ring = t.ring_id;
+             token_id = tok.token_id;
+             round = t.round;
+             seq = tok.t_seq;
+             aru = tok.aru;
+             local_aru = t.local_aru;
+             safe_line = t.safe_line;
+           });
     (* 1. Answer retransmission requests we can serve (always pre-token). *)
     let answered, retrans_sends =
       List.fold_left
@@ -236,6 +256,16 @@ let handle_token t (tok : Message.token) =
           match Hashtbl.find_opt t.buffer seq with
           | Some d ->
               t.stats.retrans_sent <- t.stats.retrans_sent + 1;
+              if Trace.enabled () then
+                Trace.emit ~node:t.me
+                  (Trace.Data_send
+                     {
+                       ring = t.ring_id;
+                       seq = d.seq;
+                       size = Message.wire_size (Message.Data d);
+                       post_token = false;
+                       retrans = true;
+                     });
               (seq :: answered, Send_data d :: sends)
           | None -> (answered, sends))
         ([], []) tok.rtr
@@ -243,9 +273,9 @@ let handle_token t (tok : Message.token) =
     let retrans_sends = List.rev retrans_sends in
     let num_retrans = List.length answered in
     (* 2. Flow control (Section III-A.1). *)
+    let by_global = t.params.global_window - tok.fcc - num_retrans in
+    let by_gap = tok.aru + t.params.max_seq_gap - tok.t_seq in
     let allowed_new =
-      let by_global = t.params.global_window - tok.fcc - num_retrans in
-      let by_gap = tok.aru + t.params.max_seq_gap - tok.t_seq in
       max 0
         (min
            (Queue.length t.pending)
@@ -255,6 +285,17 @@ let handle_token t (tok : Message.token) =
        pre-token phase and the post-token phase (at most
        accelerated_window messages follow the token). *)
     let n_pre = max 0 (allowed_new - t.params.accelerated_window) in
+    if Trace.enabled () then
+      Trace.emit ~node:t.me
+        (Trace.Flow_control
+           {
+             allowed_new;
+             n_post = allowed_new - n_pre;
+             fcc = tok.fcc;
+             pending = Queue.length t.pending;
+             by_global;
+             by_gap;
+           });
     let new_msgs =
       List.init allowed_new (fun i ->
           let service, payload = Queue.pop t.pending in
@@ -272,6 +313,16 @@ let handle_token t (tok : Message.token) =
           (* We trivially "have" our own message the moment it exists. *)
           Hashtbl.replace t.buffer d.seq d;
           t.stats.new_sent <- t.stats.new_sent + 1;
+          if Trace.enabled () then
+            Trace.emit ~node:t.me
+              (Trace.Data_send
+                 {
+                   ring = t.ring_id;
+                   seq = d.seq;
+                   size = Message.wire_size (Message.Data d);
+                   post_token = d.post_token;
+                   retrans = false;
+                 });
           d)
     in
     let new_seq = tok.t_seq + allowed_new in
@@ -323,6 +374,29 @@ let handle_token t (tok : Message.token) =
     t.last_sent_aru <- new_aru;
     let line = min t.prev_sent_aru t.last_sent_aru in
     if line > t.safe_line then t.safe_line <- line;
+    if Trace.enabled () then begin
+      Trace.emit ~node:t.me
+        (Trace.Token_send
+           {
+             ring = t.ring_id;
+             token_id = token'.token_id;
+             round = token'.t_round;
+             seq = token'.t_seq;
+             aru = token'.aru;
+             fcc = token'.fcc;
+             rtr = List.length token'.rtr;
+             local_aru = t.local_aru;
+             safe_line = t.safe_line;
+           });
+      Trace.emit ~node:t.me
+        (Trace.Timer_arm
+           {
+             timer = "token_retransmit";
+             delay_ns = t.params.token_retransmit_ns;
+           });
+      Trace.emit ~node:t.me
+        (Trace.Timer_arm { timer = "token_loss"; delay_ns = t.params.token_loss_ns })
+    end;
     (* 8. Deliver and discard. *)
     let deliveries = deliver_ready t in
     collect_garbage t;
@@ -360,13 +434,28 @@ let handle_timer t kind gen =
             else begin
               t.retransmit_count <- t.retransmit_count + 1;
               t.stats.token_retransmits <- t.stats.token_retransmits + 1;
+              if Trace.enabled () then begin
+                Trace.emit ~node:t.me
+                  (Trace.Timer_fire { timer = "token_retransmit" });
+                Trace.emit ~node:t.me
+                  (Trace.Token_retransmit
+                     { token_id = tok.token_id; attempt = t.retransmit_count })
+              end;
               [
                 Send_token (successor t, tok);
                 Set_timer
                   (Token_retransmit, t.progress_gen, t.params.token_retransmit_ns);
               ]
             end)
-  | Token_loss -> if gen <> t.loss_gen then [] else [ Token_lost ]
+  | Token_loss ->
+      if gen <> t.loss_gen then []
+      else begin
+        if Trace.enabled () then begin
+          Trace.emit ~node:t.me (Trace.Timer_fire { timer = "token_loss" });
+          Trace.emit ~node:t.me Trace.Token_lost
+        end;
+        [ Token_lost ]
+      end
 
 let handle t input =
   match input with
@@ -390,3 +479,14 @@ let drain_pending t =
 
 let start_timers t =
   [ Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns) ]
+
+let record_metrics t reg =
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  c "engine.rounds" t.stats.rounds;
+  c "engine.new_sent" t.stats.new_sent;
+  c "engine.retrans_sent" t.stats.retrans_sent;
+  c "engine.rtr_requested" t.stats.rtr_requested;
+  c "engine.delivered" t.stats.delivered;
+  c "engine.dup_tokens" t.stats.dup_tokens;
+  c "engine.dup_data" t.stats.dup_data;
+  c "engine.token_retransmits" t.stats.token_retransmits

@@ -123,6 +123,11 @@ val buffered_count : t -> int
 
 val stats : t -> stats
 
+val record_metrics : t -> Aring_obs.Metrics.t -> unit
+(** Export the engine counters into a metrics registry under
+    ["engine.*"] names, adding to any values already there (so per-node
+    exports accumulate into cluster totals). *)
+
 val buffered_message : t -> Types.seqno -> Message.data option
 (** [buffered_message t seq] is the retained message with sequence [seq],
     if any — used by recovery to re-originate old-ring messages. *)

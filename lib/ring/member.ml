@@ -98,6 +98,12 @@ let state_name t =
   | Commit_wait _ -> "commit"
   | Recover _ -> "recover"
 
+(* Emit a trace event for the phase just entered (call after updating
+   [t.phase]). Free when no sink is installed. *)
+let trace_phase t =
+  if Aring_obs.Trace.enabled () then
+    Aring_obs.Trace.emit ~node:t.me (Phase { phase = state_name t })
+
 let create ~params ~me ?initial_ring () =
   let singleton_ring : Types.ring_id = { rep = me; ring_seq = 0 } in
   {
@@ -195,6 +201,7 @@ and enter_gather t =
   in
   Hashtbl.replace g.joins t.me (my_join t g);
   t.phase <- Gather g;
+  trace_phase t;
   Log.debug (fun m -> m "pid %d entering gather (join_seq %d)" t.me t.join_seq);
   [
     multicast_join t g;
@@ -271,6 +278,7 @@ and propose t g =
   in
   t.memb_gen <- t.memb_gen + 1;
   t.phase <- Commit_wait { cp_ring = new_ring; cp_order = order };
+  trace_phase t;
   Log.debug (fun m ->
       m "pid %d proposing %a with %d members" t.me Types.pp_ring_id new_ring
         (List.length members));
@@ -382,6 +390,7 @@ and install t (r : recover) =
       ~ring:r.r_order ~me:t.me ()
   in
   t.phase <- Operational node;
+  trace_phase t;
   (* Unsequenced client messages carry over into the new configuration. *)
   let rec resubmit () =
     match Queue.take_opt t.client_pending with
@@ -495,6 +504,7 @@ and enter_recover t (c : Message.commit) order =
   in
   t.memb_gen <- t.memb_gen + 1;
   t.phase <- Recover r;
+  trace_phase t;
   ( r,
     !floods
     @ [
@@ -570,6 +580,7 @@ and handle_commit t (c : Message.commit) =
         in
         t.memb_gen <- t.memb_gen + 1;
         t.phase <- Commit_wait { cp_ring = c.c_ring; cp_order = order };
+        trace_phase t;
         [
           forward 1 memb;
           Participant.Arm_timer
@@ -785,6 +796,7 @@ let start t =
       t.old_ring <- ring_id;
       t.installs <- 1;
       t.phase <- Operational node;
+      trace_phase t;
       let probe =
         if ring.(0) = t.me then
           [

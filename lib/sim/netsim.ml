@@ -2,6 +2,8 @@ open Aring_wire
 open Aring_ring
 module Heap = Aring_util.Heap
 module Prng = Aring_util.Prng
+module Trace = Aring_obs.Trace
+module Metrics = Aring_obs.Metrics
 
 type event =
   | Arrival of int * Message.t
@@ -80,15 +82,26 @@ let transmit t ~at src msg dsts =
   let nic_start = max at t.nic_free.(src) in
   let at_switch = nic_start + tx in
   t.nic_free.(src) <- at_switch;
+  let dropped dst reason =
+    if Trace.enabled () then
+      Trace.emit ~node:dst (Drop { reason; size })
+  in
   List.iter
     (fun dst ->
       if not t.alive.(dst) then ()
-      else if t.drop ~src ~dst msg then
-        t.stats.partition_drops <- t.stats.partition_drops + 1
+      else if t.drop ~src ~dst msg then begin
+        t.stats.partition_drops <- t.stats.partition_drops + 1;
+        dropped dst "partition"
+      end
       else if t.net.loss_prob > 0.0 && Prng.bernoulli t.prng t.net.loss_prob
-      then t.stats.random_losses <- t.stats.random_losses + 1
-      else if t.port_bytes.(dst) + size > t.net.switch_port_buffer then
-        t.stats.switch_drops <- t.stats.switch_drops + 1
+      then begin
+        t.stats.random_losses <- t.stats.random_losses + 1;
+        dropped dst "random"
+      end
+      else if t.port_bytes.(dst) + size > t.net.switch_port_buffer then begin
+        t.stats.switch_drops <- t.stats.switch_drops + 1;
+        dropped dst "switch"
+      end
       else begin
         t.port_bytes.(dst) <- t.port_bytes.(dst) + size;
         let port_start = max at_switch t.port_free.(dst) in
@@ -126,10 +139,27 @@ let interpret t node actions ~cursor =
           cursor
       | Participant.Deliver d ->
           let cursor = cursor + tier.Profile.deliver_ns in
+          if Trace.enabled () then
+            Trace.emit_at ~t_ns:cursor ~node
+              (Deliver
+                 {
+                   ring = d.d_ring;
+                   seq = d.seq;
+                   sender = d.pid;
+                   service = Types.service_to_string d.service;
+                 });
           t.deliver_cb ~at:node ~now:cursor d;
           cursor
       | Participant.Deliver_config v ->
           let cursor = cursor + tier.Profile.deliver_ns in
+          if Trace.enabled () then
+            Trace.emit_at ~t_ns:cursor ~node
+              (View_install
+                 {
+                   ring = v.view_id;
+                   members = v.members;
+                   transitional = v.transitional;
+                 });
           t.view_cb ~at:node ~now:cursor v;
           cursor
       | Participant.Arm_timer (timer, delay) ->
@@ -214,6 +244,9 @@ let create ~net ~tiers ~participants ?(seed = 1L) () =
         };
     }
   in
+  (* Trace timestamps follow the simulated clock while this simulator is
+     the active runtime. *)
+  Trace.set_clock (fun () -> t.now);
   Array.iteri
     (fun i p ->
       schedule t 0
@@ -236,7 +269,16 @@ let submit_at t ~at ~node service payload =
 
 let call_at t ~at f = schedule t at (Call f)
 
-let crash t node = t.alive.(node) <- false
+let crash t node =
+  t.alive.(node) <- false;
+  if Trace.enabled () then Trace.emit ~node Crash
+
+let record_metrics t reg =
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  c "netsim.packets_sent" t.stats.packets_sent;
+  c "netsim.switch_drops" t.stats.switch_drops;
+  c "netsim.random_losses" t.stats.random_losses;
+  c "netsim.partition_drops" t.stats.partition_drops
 
 let run_until t horizon =
   let continue = ref true in

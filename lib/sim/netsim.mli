@@ -47,6 +47,15 @@ val now : t -> int
 val stats : t -> stats
 val participant : t -> int -> Participant.t
 
+val record_metrics : t -> Aring_obs.Metrics.t -> unit
+(** Export the network counters into a metrics registry under
+    ["netsim.*"] names.
+
+    [create] also points {!Aring_obs.Trace}'s clock at the simulated
+    clock, so trace events carry virtual-time timestamps; deliveries,
+    view installs, switch/loss/partition drops and crashes are emitted
+    as trace events whenever a sink is installed. *)
+
 (** {2 Instrumentation hooks} *)
 
 val on_deliver : t -> (at:int -> now:int -> Message.data -> unit) -> unit

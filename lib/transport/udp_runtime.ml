@@ -1,6 +1,8 @@
 open Aring_wire
 open Aring_ring
 module Heap = Aring_util.Heap
+module Trace = Aring_obs.Trace
+module Metrics = Aring_obs.Metrics
 
 type peer = {
   pid : Types.pid;
@@ -71,6 +73,11 @@ let packets_received t = t.packets_received
 let decode_errors t = t.decode_errors
 let stop t = t.stop_requested <- true
 
+let record_metrics t reg =
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  c "udp.packets_received" t.packets_received;
+  c "udp.decode_errors" t.decode_errors
+
 let close t =
   Unix.close t.data_sock;
   Unix.close t.token_sock
@@ -106,8 +113,27 @@ let rec interpret t actions =
       | Participant.Multicast msg ->
           let kind = route_of_message msg in
           List.iter (fun (pid, _, _) -> send_to t kind pid msg) t.peers
-      | Participant.Deliver d -> t.on_deliver d
-      | Participant.Deliver_config v -> t.on_view v
+      | Participant.Deliver d ->
+          if Trace.enabled () then
+            Trace.emit ~node:t.me
+              (Deliver
+                 {
+                   ring = d.d_ring;
+                   seq = d.seq;
+                   sender = d.pid;
+                   service = Types.service_to_string d.service;
+                 });
+          t.on_deliver d
+      | Participant.Deliver_config v ->
+          if Trace.enabled () then
+            Trace.emit ~node:t.me
+              (View_install
+                 {
+                   ring = v.view_id;
+                   members = v.members;
+                   transitional = v.transitional;
+                 });
+          t.on_view v
       | Participant.Arm_timer (timer, delay_ns) ->
           Heap.push t.timers (now_ns () + delay_ns, timer)
       | Participant.Token_loss_detected ->
@@ -145,6 +171,8 @@ let drain_socket t sock =
 
 let run t ~duration_s =
   t.stop_requested <- false;
+  (* Real deployments trace in wall-clock nanoseconds. *)
+  Trace.set_clock now_ns;
   if not t.started then begin
     t.started <- true;
     interpret t (t.participant.start ())

@@ -48,3 +48,9 @@ val close : t -> unit
 
 val packets_received : t -> int
 val decode_errors : t -> int
+
+val record_metrics : t -> Aring_obs.Metrics.t -> unit
+(** Export the socket counters into a metrics registry under ["udp.*"]
+    names. [run] points {!Aring_obs.Trace}'s clock at the wall clock, and
+    deliveries / view installs are emitted as trace events whenever a
+    sink is installed. *)

@@ -70,6 +70,7 @@ let percentile t p =
   end
 
 let median t = percentile t 50.0
+let p999 t = percentile t 99.9
 
 let merge a b =
   let t = create () in
@@ -84,5 +85,5 @@ let merge a b =
 let pp ppf t =
   if t.size = 0 then Format.fprintf ppf "n=0"
   else
-    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f" t.size
-      (mean t) (median t) (percentile t 99.0) (max_value t)
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f p99.9=%.1f max=%.1f"
+      t.size (mean t) (median t) (percentile t 99.0) (p999 t) (max_value t)

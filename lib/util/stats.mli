@@ -29,8 +29,11 @@ val percentile : t -> float -> float
 
 val median : t -> float
 
+val p999 : t -> float
+(** The 99.9th percentile — tail behavior at bench sample sizes. *)
+
 val merge : t -> t -> t
 (** [merge a b] is a statistic over the union of both sample sets. *)
 
 val pp : Format.formatter -> t -> unit
-(** Prints ["n=… mean=… p50=… p99=… max=…"]. *)
+(** Prints ["n=… mean=… p50=… p99=… p99.9=… max=…"]. *)

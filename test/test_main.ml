@@ -9,6 +9,7 @@ let () =
       ("params", Test_params.suite);
       ("engine", Test_engine.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("member", Test_member.suite);
       ("daemon", Test_daemon.suite);
       ("baselines", Test_baselines.suite);

@@ -1,0 +1,372 @@
+(* Observability stack tests: metrics registry, histograms and merging,
+   trace sinks, JSONL round-trip, the Chrome exporter against a golden
+   file, the rotation profiler, and the trace-driven invariant checker —
+   unit-tested on synthetic traces and integration-tested on clean,
+   lossy and crashing simulated clusters. *)
+
+open Aring_wire
+open Aring_ring
+open Aring_sim
+module Trace = Aring_obs.Trace
+module Trace_json = Aring_obs.Trace_json
+module Chrome_trace = Aring_obs.Chrome_trace
+module Metrics = Aring_obs.Metrics
+module Checker = Aring_obs.Checker
+module Rotation = Aring_obs.Rotation
+
+let check = Alcotest.check
+let ms n = n * 1_000_000
+let rid : Types.ring_id = { rep = 0; ring_seq = 1 }
+let ev t_ns node kind : Trace.event = { t_ns; node; kind }
+
+(* -------------------------------------------------------------------- *)
+(* Metrics registry                                                      *)
+
+let test_counters_and_gauges () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "engine.rounds" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check Alcotest.int "counter value" 5 (Metrics.value c);
+  check Alcotest.int "by name" 5 (Metrics.counter_value reg "engine.rounds");
+  check Alcotest.int "absent counter reads 0" 0
+    (Metrics.counter_value reg "no.such");
+  (* Same name returns the same handle. *)
+  Metrics.incr (Metrics.counter reg "engine.rounds");
+  check Alcotest.int "shared handle" 6 (Metrics.value c);
+  let g = Metrics.gauge reg "queue.depth" in
+  Metrics.set g 3.5;
+  check (Alcotest.float 1e-9) "gauge" 3.5 (Metrics.gauge_value g);
+  check
+    Alcotest.(list (pair string int))
+    "counters sorted"
+    [ ("engine.rounds", 6) ]
+    (Metrics.counters reg)
+
+let test_histogram () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 1.0; 10.0; 100.0 |] reg "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 5.0; 50.0; 1000.0 ];
+  check Alcotest.int "count" 5 (Metrics.hist_count h);
+  check (Alcotest.float 1e-6) "sum" 1060.5 (Metrics.hist_sum h);
+  check
+    Alcotest.(array int)
+    "bucket counts (overflow last)" [| 1; 2; 1; 1 |]
+    (Metrics.hist_bucket_counts h);
+  (* Median lands in the (1,10] bucket. *)
+  let q50 = Metrics.hist_quantile h 0.5 in
+  Alcotest.(check bool) "q50 within bucket" true (q50 > 1.0 && q50 <= 10.0);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan
+       (Metrics.hist_quantile (Metrics.histogram reg "empty") 0.5))
+
+let test_histogram_merge () =
+  let ra = Metrics.create () and rb = Metrics.create () in
+  let bounds = [| 1.0; 10.0 |] in
+  let ha = Metrics.histogram ~bounds ra "lat" in
+  let hb = Metrics.histogram ~bounds rb "lat" in
+  List.iter (Metrics.observe ha) [ 0.5; 2.0 ];
+  List.iter (Metrics.observe hb) [ 5.0; 50.0 ];
+  let m = Metrics.hist_merge ha hb in
+  check Alcotest.int "merged count" 4 (Metrics.hist_count m);
+  check
+    Alcotest.(array int)
+    "merged buckets" [| 1; 2; 1 |]
+    (Metrics.hist_bucket_counts m);
+  check (Alcotest.float 1e-6) "merged sum" 57.5 (Metrics.hist_sum m);
+  (* Differing bounds refuse to merge. *)
+  let hc = Metrics.histogram ~bounds:[| 2.0; 20.0 |] (Metrics.create ()) "x" in
+  Alcotest.check_raises "bounds mismatch"
+    (Invalid_argument "Metrics.hist_merge: incompatible bucket bounds")
+    (fun () -> ignore (Metrics.hist_merge ha hc))
+
+let test_registry_merge () =
+  let ra = Metrics.create () and rb = Metrics.create () in
+  Metrics.add (Metrics.counter ra "n") 2;
+  Metrics.add (Metrics.counter rb "n") 3;
+  Metrics.add (Metrics.counter rb "only_b") 7;
+  Metrics.set (Metrics.gauge ra "g") 1.0;
+  Metrics.set (Metrics.gauge rb "g") 9.0;
+  Metrics.observe (Metrics.histogram ~bounds:[| 1.0 |] ra "h") 0.5;
+  Metrics.observe (Metrics.histogram ~bounds:[| 1.0 |] rb "h") 2.0;
+  let m = Metrics.merge ra rb in
+  check Alcotest.int "counters sum" 5 (Metrics.counter_value m "n");
+  check Alcotest.int "disjoint counter kept" 7 (Metrics.counter_value m "only_b");
+  check (Alcotest.float 1e-9) "gauge later-wins" 9.0
+    (Metrics.gauge_value (Metrics.gauge m "g"));
+  check Alcotest.int "histograms merge" 2
+    (Metrics.hist_count (Metrics.histogram m "h"))
+
+(* -------------------------------------------------------------------- *)
+(* Trace sinks                                                           *)
+
+let test_sinks () =
+  check Alcotest.bool "disabled by default" false (Trace.enabled ());
+  let mem = Trace.memory () in
+  Trace.with_sink (Trace.memory_sink mem) (fun () ->
+      check Alcotest.bool "enabled under with_sink" true (Trace.enabled ());
+      Trace.emit_at ~t_ns:1 ~node:0 Trace.Token_lost;
+      Trace.emit_at ~t_ns:2 ~node:1 Trace.Crash);
+  check Alcotest.bool "restored" false (Trace.enabled ());
+  check Alcotest.int "memory collected" 2 (Trace.memory_count mem);
+  (* Ring buffer keeps only the newest [capacity] events. *)
+  let rb = Trace.ring_buffer ~capacity:3 in
+  Trace.with_sink (Trace.ring_sink rb) (fun () ->
+      for i = 1 to 5 do
+        Trace.emit_at ~t_ns:i ~node:0 Trace.Token_lost
+      done);
+  check Alcotest.int "ring total" 5 (Trace.ring_total rb);
+  check
+    Alcotest.(list int)
+    "ring keeps newest, oldest first" [ 3; 4; 5 ]
+    (List.map (fun (e : Trace.event) -> e.t_ns) (Trace.ring_events rb))
+
+(* dune runtest runs in the sandboxed test dir; dune exec from the root. *)
+let golden path =
+  let p = Filename.concat "golden" path in
+  if Sys.file_exists p then p else Filename.concat "test/golden" path
+
+let test_jsonl_roundtrip () =
+  let events = Trace_json.read_file (golden "events.jsonl") in
+  check Alcotest.int "golden event count" 20 (List.length events);
+  List.iter
+    (fun e ->
+      let e' = Trace_json.of_line (Trace_json.to_line e) in
+      check Alcotest.bool
+        (Printf.sprintf "round-trip %s" (Trace.kind_name e.Trace.kind))
+        true (e = e'))
+    events
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_chrome_golden () =
+  let events = Trace_json.read_file (golden "events.jsonl") in
+  let expected = String.trim (read_whole (golden "chrome_trace.json")) in
+  check Alcotest.string "chrome exporter output" expected
+    (Chrome_trace.to_string events)
+
+(* -------------------------------------------------------------------- *)
+(* Invariant checker on synthetic traces                                 *)
+
+let token_recv ?(ring = rid) ~id ~aru () =
+  Trace.Token_recv
+    {
+      ring;
+      token_id = id;
+      round = 1;
+      seq = aru;
+      aru;
+      local_aru = aru;
+      safe_line = 0;
+    }
+
+let deliver ?(ring = rid) ~seq ~sender () =
+  Trace.Deliver { ring; seq; sender; service = "agreed" }
+
+let violations evs = List.length (Checker.check_events evs)
+
+let test_checker_clean () =
+  check Alcotest.int "clean trace" 0
+    (violations
+       [
+         ev 1 0 (token_recv ~id:0 ~aru:0 ());
+         ev 2 1 (token_recv ~id:1 ~aru:1 ());
+         ev 3 0 (deliver ~seq:1 ~sender:0 ());
+         ev 4 0 (deliver ~seq:2 ~sender:1 ());
+         ev 5 1 (deliver ~seq:1 ~sender:0 ());
+         ev 6 1 (deliver ~seq:2 ~sender:1 ());
+       ])
+
+let test_checker_two_holders () =
+  check Alcotest.int "duplicate token holder flagged" 1
+    (violations
+       [
+         ev 1 0 (token_recv ~id:7 ~aru:0 ());
+         ev 2 3 (token_recv ~id:7 ~aru:0 ());
+       ])
+
+let test_checker_order_mismatch () =
+  check Alcotest.int "diverging sender flagged" 1
+    (violations
+       [
+         ev 1 0 (deliver ~seq:1 ~sender:0 ());
+         ev 2 1 (deliver ~seq:1 ~sender:5 ());
+       ])
+
+let test_checker_gap () =
+  (* A skip while operational is a violation... *)
+  check Alcotest.int "gap flagged" 1
+    (violations [ ev 1 0 (deliver ~seq:1 ~sender:0 ()); ev 2 0 (deliver ~seq:3 ~sender:0 ()) ]);
+  (* ...but legal inside a transitional->regular recovery window. *)
+  check Alcotest.int "gap allowed during recovery" 0
+    (violations
+       [
+         ev 1 0 (deliver ~seq:1 ~sender:0 ());
+         ev 2 0
+           (Trace.View_install { ring = rid; members = [ 0 ]; transitional = true });
+         ev 3 0 (deliver ~seq:3 ~sender:0 ());
+         ev 4 0
+           (Trace.View_install
+              { ring = { rep = 0; ring_seq = 2 }; members = [ 0 ]; transitional = false });
+       ]);
+  (* Repeated delivery is never legal. *)
+  check Alcotest.int "regressing delivery flagged" 1
+    (violations [ ev 1 0 (deliver ~seq:1 ~sender:0 ()); ev 2 0 (deliver ~seq:1 ~sender:0 ()) ])
+
+let test_checker_aru_monotonic () =
+  check Alcotest.int "aru regression flagged" 1
+    (violations
+       [ ev 1 0 (token_recv ~id:0 ~aru:5 ()); ev 2 0 (token_recv ~id:2 ~aru:3 ()) ])
+
+(* -------------------------------------------------------------------- *)
+(* Integration: checker + profiler attached to simulated clusters        *)
+
+(* Steady-state ring of bare nodes (installed configuration, no
+   membership), as in Scenario.run. *)
+let run_node_cluster ~n ~net ~seed ~horizon_ms ~rate_per_node =
+  let ring = Array.init n (fun i -> i) in
+  let nodes =
+    Array.init n (fun me ->
+        Node.create ~params:(Params.accelerated ()) ~ring_id:rid ~ring ~me ())
+  in
+  let sim =
+    Netsim.create ~net
+      ~tiers:(Array.make n Profile.library)
+      ~participants:(Array.map Node.participant nodes)
+      ~seed ()
+  in
+  let deliveries = ref 0 in
+  Netsim.on_deliver sim (fun ~at:_ ~now:_ _ -> incr deliveries);
+  let interval = 1_000_000_000 / rate_per_node in
+  for node = 0 to n - 1 do
+    let rec tick () =
+      let now = Netsim.now sim in
+      if now < ms horizon_ms then begin
+        Netsim.submit_now sim ~node Types.Agreed (Bytes.create 256);
+        Netsim.call_at sim ~at:(now + interval) tick
+      end
+    in
+    Netsim.call_at sim ~at:(node * 50_000) tick
+  done;
+  Netsim.run_until sim (ms horizon_ms);
+  !deliveries
+
+let test_sim_invariants_clean () =
+  let checker = Checker.create () in
+  let delivered =
+    Trace.with_sink (Checker.as_sink checker) (fun () ->
+        run_node_cluster ~n:8 ~net:Profile.gigabit ~seed:11L ~horizon_ms:80
+          ~rate_per_node:2_000)
+  in
+  Alcotest.(check bool) "plenty delivered" true (delivered > 1_000);
+  check Alcotest.int "checked every delivery" delivered
+    (Checker.deliveries_checked checker);
+  check Alcotest.int "no violations (clean)" 0 (Checker.violation_count checker)
+
+let test_sim_invariants_lossy () =
+  let checker = Checker.create () in
+  let delivered =
+    Trace.with_sink (Checker.as_sink checker) (fun () ->
+        run_node_cluster ~n:8
+          ~net:(Profile.with_loss Profile.gigabit 0.01)
+          ~seed:12L ~horizon_ms:80 ~rate_per_node:2_000)
+  in
+  Alcotest.(check bool) "plenty delivered under loss" true (delivered > 1_000);
+  check Alcotest.int "no violations (1% loss)" 0 (Checker.violation_count checker)
+
+let test_sim_invariants_crash () =
+  (* Member-based cluster: crash one node mid-run and let the ring
+     reform; recovery deliveries must still satisfy every invariant. *)
+  let params =
+    {
+      (Params.accelerated ()) with
+      token_loss_ns = ms 50;
+      token_retransmit_ns = ms 10;
+      join_retransmit_ns = ms 20;
+      consensus_timeout_ns = ms 100;
+      merge_probe_ns = ms 80;
+    }
+  in
+  let n = 8 in
+  let initial_ring = Array.init n (fun i -> i) in
+  let members =
+    Array.init n (fun me -> Member.create ~params ~me ~initial_ring ())
+  in
+  let checker = Checker.create () in
+  Trace.with_sink (Checker.as_sink checker) (fun () ->
+      let sim =
+        Netsim.create ~net:Profile.gigabit
+          ~tiers:(Array.make n Profile.library)
+          ~participants:(Array.map Member.participant members)
+          ~seed:13L ()
+      in
+      for node = 0 to n - 1 do
+        let rec tick () =
+          let now = Netsim.now sim in
+          if now < ms 500 && Netsim.is_alive sim node then begin
+            Netsim.submit_now sim ~node Types.Agreed (Bytes.create 200);
+            Netsim.call_at sim ~at:(now + 1_000_000) tick
+          end
+        in
+        Netsim.call_at sim ~at:(node * 100_000) tick
+      done;
+      Netsim.call_at sim ~at:(ms 100) (fun () -> Netsim.crash sim 3);
+      Netsim.run_until sim (ms 800);
+      let survivors = List.filter (fun i -> i <> 3) (List.init n Fun.id) in
+      List.iter
+        (fun i ->
+          check Alcotest.string
+            (Printf.sprintf "node %d reformed" i)
+            "operational"
+            (Member.state_name members.(i)))
+        survivors);
+  Alcotest.(check bool) "deliveries checked" true
+    (Checker.deliveries_checked checker > 100);
+  (match Checker.violations checker with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "first violation: %s" v);
+  check Alcotest.int "no violations (crash + reformation)" 0
+    (Checker.violation_count checker)
+
+let test_rotation_profiler () =
+  let prof = Rotation.create ~node:0 () in
+  let delivered =
+    Trace.with_sink (Rotation.as_sink prof) (fun () ->
+        run_node_cluster ~n:4 ~net:Profile.gigabit ~seed:14L ~horizon_ms:50
+          ~rate_per_node:2_000)
+  in
+  Alcotest.(check bool) "delivered" true (delivered > 0);
+  let s = Rotation.summary prof in
+  Alcotest.(check bool) "observed rotations" true (s.Rotation.rotations > 10);
+  Alcotest.(check bool) "positive rotation time" true
+    (Aring_util.Stats.mean s.Rotation.rotation_us > 0.0);
+  Alcotest.(check bool) "post-token fraction in [0,1]" true
+    (s.Rotation.post_token_fraction >= 0.0 && s.Rotation.post_token_fraction <= 1.0);
+  let reg = Metrics.create () in
+  Rotation.record_metrics s reg;
+  check Alcotest.int "rotations exported" s.Rotation.rotations
+    (Metrics.counter_value reg "rotation.rotations")
+
+let suite =
+  [
+    Alcotest.test_case "metrics: counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "metrics: histogram" `Quick test_histogram;
+    Alcotest.test_case "metrics: histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "metrics: registry merge" `Quick test_registry_merge;
+    Alcotest.test_case "trace: sinks" `Quick test_sinks;
+    Alcotest.test_case "trace: jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "trace: chrome exporter golden" `Quick test_chrome_golden;
+    Alcotest.test_case "checker: clean trace" `Quick test_checker_clean;
+    Alcotest.test_case "checker: two token holders" `Quick test_checker_two_holders;
+    Alcotest.test_case "checker: order mismatch" `Quick test_checker_order_mismatch;
+    Alcotest.test_case "checker: delivery gaps" `Quick test_checker_gap;
+    Alcotest.test_case "checker: aru monotonicity" `Quick test_checker_aru_monotonic;
+    Alcotest.test_case "sim: invariants hold (clean)" `Quick test_sim_invariants_clean;
+    Alcotest.test_case "sim: invariants hold (lossy)" `Quick test_sim_invariants_lossy;
+    Alcotest.test_case "sim: invariants hold (crash)" `Slow test_sim_invariants_crash;
+    Alcotest.test_case "rotation profiler" `Quick test_rotation_profiler;
+  ]
