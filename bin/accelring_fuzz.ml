@@ -1,0 +1,151 @@
+(* CLI: deterministic simulation fuzzer for the Accelerated Ring stack.
+
+   Generates random fault schedules from a campaign seed, runs each on the
+   discrete-event simulator with the EVS invariant checker attached, and
+   on the first failure shrinks the schedule to a minimal reproducer.
+   Output for a fixed seed is byte-for-byte reproducible (no wall-clock
+   content); --time-budget can only cut a campaign short between trials,
+   never change what an executed trial does. *)
+
+open Aring_fuzz
+
+let run trials seed bug_name shrink max_shrink_runs time_budget replay_path
+    corpus_dir quiet =
+  let bug =
+    match Bug.of_string bug_name with
+    | Ok b -> b
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let log line = if not quiet then print_endline line in
+  match replay_path with
+  | Some path ->
+      (* Replay one schedule file, or every *.json entry of a directory. *)
+      let entries =
+        if Sys.is_directory path then Corpus.load_dir path
+        else [ (Filename.basename path, Corpus.load_file path) ]
+      in
+      if entries = [] then begin
+        Printf.printf "no corpus entries under %s\n" path;
+        exit 0
+      end;
+      let failed = ref 0 in
+      List.iter
+        (fun (name, schedule) ->
+          let outcome = Fuzzer.replay ~bug schedule in
+          Format.printf "%s: %a@." name Runner.pp_outcome outcome;
+          if not (Runner.passed outcome) then incr failed)
+        entries;
+      Printf.printf "replayed %d entries, %d failed\n" (List.length entries)
+        !failed;
+      exit (if !failed > 0 then 1 else 0)
+  | None ->
+      let stop =
+        match time_budget with
+        | None -> fun () -> false
+        | Some seconds ->
+            let deadline = Unix.gettimeofday () +. seconds in
+            fun () -> Unix.gettimeofday () > deadline
+      in
+      let cfg =
+        {
+          Fuzzer.trials;
+          seed = Int64.of_int seed;
+          bug;
+          shrink;
+          max_shrink_runs;
+          stop;
+          log;
+        }
+      in
+      let report = Fuzzer.run_campaign cfg in
+      (match report.Fuzzer.failure with
+      | None ->
+          Printf.printf "campaign seed=%d: %d trials, no failures\n" seed
+            report.Fuzzer.trials_run;
+          exit 0
+      | Some t ->
+          let reproducer =
+            match report.Fuzzer.shrunk with
+            | Some r -> r.Shrink.schedule
+            | None -> t.Fuzzer.schedule
+          in
+          Printf.printf "campaign seed=%d: failure at trial %d\n" seed
+            t.Fuzzer.index;
+          Printf.printf "reproducer: %s\n" (Schedule.to_string reproducer);
+          (match corpus_dir with
+          | Some dir ->
+              let label =
+                match t.Fuzzer.outcome.Runner.failure with
+                | Some f -> Runner.failure_label f
+                | None -> "unknown"
+              in
+              let path = Corpus.save ~dir ~label reproducer in
+              Printf.printf "saved to %s\n" path
+          | None -> ());
+          exit 1)
+
+open Cmdliner
+
+let trials =
+  Arg.(value & opt int 200 & info [ "trials" ] ~doc:"Maximum schedules to try.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign master seed.")
+
+let bug_name =
+  Arg.(
+    value & opt string "clean"
+    & info [ "bug" ]
+        ~doc:
+          "Inject a known protocol defect: clean, skip-delivery or \
+           skip-retransmission. Used to validate the fuzzer itself.")
+
+let shrink =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~doc:"Minimize the first failing schedule.")
+
+let max_shrink_runs =
+  Arg.(
+    value & opt int 200
+    & info [ "max-shrink-runs" ] ~doc:"Execution budget for shrinking.")
+
+let time_budget =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Stop starting new trials after $(docv) wall-clock seconds (the \
+           trial in flight completes).")
+
+let replay_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"PATH"
+        ~doc:
+          "Replay a saved schedule (a reproducer file, or every *.json in \
+           a corpus directory) instead of fuzzing.")
+
+let corpus_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Save the (shrunk) reproducer of a failure under $(docv).")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-trial log lines.")
+
+let cmd =
+  let doc = "Fuzz the Accelerated Ring stack with random fault schedules" in
+  Cmd.v
+    (Cmd.info "accelring_fuzz" ~doc)
+    Term.(
+      const run $ trials $ seed $ bug_name $ shrink $ max_shrink_runs
+      $ time_budget $ replay_path $ corpus_dir $ quiet)
+
+let () = exit (Cmd.eval cmd)

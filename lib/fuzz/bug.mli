@@ -1,0 +1,25 @@
+(** Intentional protocol bugs, injected at the participant boundary.
+
+    The fuzzer is itself tested by seeding a known invariant violation
+    and checking the campaign finds and shrinks it. A bug is a wrapper
+    over {!Aring_ring.Participant.t} that tampers with the action stream
+    the real protocol emits — the protocol code is untouched. *)
+
+type t =
+  | Clean  (** No tampering. *)
+  | Skip_delivery of { node : int; every : int }
+      (** Silently drop every [every]-th application delivery at [node]:
+          a direct gap in that node's delivered sequence, caught by the
+          trace checker's gap-free invariant. *)
+  | Skip_retransmission
+      (** Suppress every retransmitted data multicast at every node (a
+          multicast whose sequence number is not above the highest that
+          node has multicast in the ring so far). Any message actually
+          lost on the wire then stays lost, stalling its losers — caught
+          by the liveness (probe-convergence) check. *)
+
+val label : t -> string
+val of_string : string -> (t, string) result
+(** ["clean"], ["skip-delivery"] or ["skip-retransmission"]. *)
+
+val wrap : t -> node:int -> Aring_ring.Participant.t -> Aring_ring.Participant.t

@@ -1,0 +1,26 @@
+let entry_name ~label (s : Schedule.t) =
+  Printf.sprintf "%s-seed%Lu-f%d.json" label s.Schedule.seed
+    (Schedule.fault_count s)
+
+let save ~dir ~label s =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (entry_name ~label s) in
+  let oc = open_out path in
+  output_string oc (Schedule.to_string s);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load_file path =
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> close_in ic; "" in
+  close_in ic;
+  Schedule.of_string line
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (fun f -> (f, load_file (Filename.concat dir f)))

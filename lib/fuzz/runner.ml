@@ -1,0 +1,324 @@
+module Prng = Aring_util.Prng
+module Checker = Aring_obs.Checker
+module Trace = Aring_obs.Trace
+module Trace_json = Aring_obs.Trace_json
+open Aring_wire
+open Aring_ring
+open Aring_sim
+
+type failure =
+  | Invariant of Checker.verdict
+  | No_merge of { states : (int * string) list }
+  | No_convergence of { missing : (int * string) list }
+  | Run_exception of string
+
+type outcome = {
+  schedule : Schedule.t;
+  failure : failure option;
+  verdict : Checker.verdict;
+  deliveries : int;
+  views : int;
+  trace_hash : int64;
+  end_ns : int;
+}
+
+let passed o = o.failure = None
+
+let failure_label = function
+  | Invariant _ -> "invariant"
+  | No_merge _ -> "no_merge"
+  | No_convergence _ -> "no_convergence"
+  | Run_exception _ -> "exception"
+
+let ms n = n * 1_000_000
+
+(* FNV-1a, 64-bit, over the JSONL rendering of each trace event. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let probe_payload node = Printf.sprintf "probe:%d" node
+
+(* One static drop predicate closing over the simulated clock handles
+   arbitrarily overlapping fault windows (the LIFO-scoped
+   [Netsim.set_drop_until] cannot). Burst losses consume a dedicated PRNG;
+   predicate evaluation order is deterministic, so the draw stream is
+   too. *)
+let install_faults sim (s : Schedule.t) =
+  let n = s.config.Schedule.n_nodes in
+  let partitions =
+    List.filter_map
+      (function
+        | Schedule.Partition { at_ns; until_ns; island } ->
+            let inside = Array.make n false in
+            List.iter
+              (fun i -> if i >= 0 && i < n then inside.(i) <- true)
+              island;
+            Some (at_ns, until_ns, inside)
+        | _ -> None)
+      s.faults
+  in
+  let bursts =
+    List.filter_map
+      (function
+        | Schedule.Loss_burst { at_ns; until_ns; permille } ->
+            Some (at_ns, until_ns, permille)
+        | _ -> None)
+      s.faults
+  in
+  let blackouts =
+    List.filter_map
+      (function
+        | Schedule.Token_blackout { at_ns; until_ns } -> Some (at_ns, until_ns)
+        | _ -> None)
+      s.faults
+  in
+  let burst_prng = Prng.create ~seed:(Int64.logxor s.seed 0x6275727374L) in
+  Netsim.set_drop sim (fun ~src ~dst msg ->
+      let now = Netsim.now sim in
+      let active at until = now >= at && now < until in
+      List.exists
+        (fun (at, until, inside) ->
+          active at until && inside.(src) <> inside.(dst))
+        partitions
+      || (match msg with
+         | Message.Token _ | Message.Commit _ ->
+             List.exists (fun (at, until) -> active at until) blackouts
+         | _ -> false)
+      ||
+      let permille =
+        List.fold_left
+          (fun acc (at, until, p) -> if active at until then max acc p else acc)
+          0 bursts
+      in
+      permille > 0 && Prng.int burst_prng 1000 < permille);
+  List.iter
+    (function
+      | Schedule.Crash { at_ns; node } ->
+          if node >= 0 && node < n then
+            Netsim.call_at sim ~at:at_ns (fun () -> Netsim.crash sim node)
+      | _ -> ())
+    s.faults
+
+let install_workload sim (s : Schedule.t) (members : Member.t array) =
+  let c = s.config in
+  let n = c.Schedule.n_nodes in
+  let wl_prng = Prng.create ~seed:(Int64.logxor s.seed 0x776F726BL) in
+  let pad tag =
+    let len = max (String.length tag) c.Schedule.payload in
+    let b = Bytes.make len '.' in
+    Bytes.blit_string tag 0 b 0 (String.length tag);
+    b
+  in
+  for node = 0 to n - 1 do
+    let counter = ref 0 in
+    let rec tick () =
+      if Netsim.now sim < c.Schedule.horizon_ns && Netsim.is_alive sim node
+      then begin
+        incr counter;
+        let service =
+          if
+            c.Schedule.safe_permille > 0
+            && Prng.int wl_prng 1000 < c.Schedule.safe_permille
+          then Types.Safe
+          else Types.Agreed
+        in
+        Member.submit members.(node) service
+          (pad (Printf.sprintf "m:%d:%d" node !counter));
+        Netsim.call_at sim
+          ~at:(Netsim.now sim + c.Schedule.submit_gap_ns)
+          tick
+      end
+    in
+    (* Stagger the start so nodes do not tick in lockstep. *)
+    Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
+  done
+
+let run ?(bug = Bug.Clean) (s : Schedule.t) =
+  let c = s.config in
+  let n = c.Schedule.n_nodes in
+  let params = Schedule.params c in
+  let tiers =
+    Array.of_list (List.map Schedule.tier c.Schedule.tier_ids)
+  in
+  let initial_ring = Array.init n (fun i -> i) in
+  let members =
+    Array.init n (fun me -> Member.create ~params ~me ~initial_ring ())
+  in
+  let participants =
+    Array.init n (fun i -> Bug.wrap bug ~node:i (Member.participant members.(i)))
+  in
+  let sim =
+    Netsim.create ~net:(Schedule.net c) ~tiers ~participants ~seed:s.seed ()
+  in
+  let checker = Checker.create () in
+  let hash = ref fnv_offset in
+  let hash_sink =
+    Trace.fn_sink (fun ev ->
+        hash := fnv_string (fnv_string !hash (Trace_json.to_line ev)) "\n")
+  in
+  let deliveries = ref 0 in
+  let views = ref 0 in
+  (* (node, probe payload) pairs actually delivered. *)
+  let got : (int * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Netsim.on_deliver sim (fun ~at:node ~now:_ (d : Message.data) ->
+      incr deliveries;
+      let p = Bytes.to_string d.Message.payload in
+      if String.length p >= 6 && String.sub p 0 6 = "probe:" then
+        Hashtbl.replace got (node, p) ());
+  Netsim.on_view sim (fun ~at:_ ~now:_ _ -> incr views);
+  install_faults sim s;
+  install_workload sim s members;
+  let alive () = List.filter (Netsim.is_alive sim) (List.init n Fun.id) in
+  (* Liveness stage 1: all survivors operational in one common regular
+     view whose membership is exactly the survivor set. All fault windows
+     close inside the horizon and crashes are permanent, so once reached
+     this is stable (absent real liveness bugs). *)
+  let merged () =
+    match alive () with
+    | [] -> true
+    | survivors ->
+        let views =
+          List.map (fun i -> Member.current_view members.(i)) survivors
+        in
+        List.for_all
+          (function
+            | Some v ->
+                (not v.Participant.transitional)
+                && List.sort compare v.Participant.members = survivors
+            | None -> false)
+          views
+        && (match views with
+           | Some v0 :: rest ->
+               List.for_all
+                 (function
+                   | Some v ->
+                       Types.ring_id_equal v.Participant.view_id
+                         v0.Participant.view_id
+                   | None -> false)
+                 rest
+           | _ -> true)
+  in
+  let probes = ref [] in
+  let probes_sent = ref false in
+  let send_probes () =
+    probes_sent := true;
+    List.iter
+      (fun node ->
+        probes := probe_payload node :: !probes;
+        Member.submit members.(node) Types.Agreed
+          (Bytes.of_string (probe_payload node)))
+      (alive ());
+    probes := List.rev !probes
+  in
+  let missing_probes () =
+    List.concat_map
+      (fun node ->
+        List.filter_map
+          (fun p ->
+            if Hashtbl.mem got (node, p) then None else Some (node, p))
+          !probes)
+      (alive ())
+  in
+  let converged () = !probes_sent && missing_probes () = [] in
+  let deadline = c.Schedule.horizon_ns + c.Schedule.drain_ns in
+  let chunk = ms 25 in
+  (* Chunked execution: stop at the first chunk boundary with a violation
+     (fast failure) or with full probe convergence (fast success). Chunk
+     boundaries and the probe-submission point depend only on the
+     schedule and the trace so far, so stopping early keeps the trace
+     hash reproducible. *)
+  let failure = ref None in
+  let finished = ref false in
+  let sink = Trace.tee [ Checker.as_sink checker; hash_sink ] in
+  (try
+     Trace.with_sink sink (fun () ->
+         let t = ref 0 in
+         while not !finished do
+           t := min deadline (!t + chunk);
+           Netsim.run_until sim !t;
+           if Checker.violation_count checker > 0 then begin
+             failure := Some (Invariant (Checker.verdict checker));
+             finished := true
+           end
+           else begin
+             if
+               (not !probes_sent)
+               && !t > c.Schedule.horizon_ns
+               && merged ()
+             then send_probes ();
+             if c.Schedule.liveness && converged () then finished := true
+             else if !t >= deadline then begin
+               if c.Schedule.liveness then
+                 if not !probes_sent then
+                   failure :=
+                     Some
+                       (No_merge
+                          {
+                            states =
+                              List.map
+                                (fun i -> (i, Member.state_name members.(i)))
+                                (alive ());
+                          })
+                 else begin
+                   let missing = List.sort compare (missing_probes ()) in
+                   if missing <> [] then
+                     failure := Some (No_convergence { missing })
+                 end;
+               finished := true
+             end
+           end
+         done)
+   with e -> failure := Some (Run_exception (Printexc.to_string e)));
+  {
+    schedule = s;
+    failure = !failure;
+    verdict = Checker.verdict checker;
+    deliveries = !deliveries;
+    views = !views;
+    trace_hash = !hash;
+    end_ns = Netsim.now sim;
+  }
+
+let pp_failure ppf = function
+  | Invariant v ->
+      Format.fprintf ppf "invariant violations (%d):" v.Checker.violation_total;
+      List.iteri
+        (fun i viol ->
+          if i < 5 then
+            Format.fprintf ppf "@,  %s" (Checker.violation_message viol))
+        v.Checker.recorded
+  | No_merge { states } ->
+      Format.fprintf ppf "survivors never merged into one view:";
+      List.iter
+        (fun (node, st) -> Format.fprintf ppf "@,  node %d: %s" node st)
+        states
+  | No_convergence { missing } ->
+      Format.fprintf ppf "no convergence; %d missing probe deliveries:"
+        (List.length missing);
+      List.iteri
+        (fun i (node, p) ->
+          if i < 8 then Format.fprintf ppf "@,  node %d never saw %s" node p)
+        missing
+  | Run_exception e -> Format.fprintf ppf "exception: %s" e
+
+let pp_outcome ppf o =
+  match o.failure with
+  | None ->
+      Format.fprintf ppf
+        "@[<v>PASS deliveries=%d views=%d end=%dms hash=%Lx@]" o.deliveries
+        o.views
+        (o.end_ns / ms 1)
+        o.trace_hash
+  | Some f ->
+      Format.fprintf ppf "@[<v>FAIL (%s) deliveries=%d views=%d end=%dms@,%a@]"
+        (failure_label f) o.deliveries o.views
+        (o.end_ns / ms 1)
+        pp_failure f

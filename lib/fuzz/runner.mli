@@ -1,0 +1,60 @@
+(** Execute one fault schedule on the simulator and judge it.
+
+    The runner builds a full membership-capable cluster ({!Aring_ring.Member})
+    from the schedule's config, attaches the trace-driven EVS invariant
+    checker as a live sink, injects the schedule's faults, drives a padded
+    workload until the horizon, then submits per-node convergence probes
+    and drains. Two oracles:
+
+    - {b Safety}: any {!Aring_obs.Checker} violation (total order, delivery
+      gaps, aru/safe-line regressions, duplicate token holders) fails the
+      run immediately at the next chunk boundary.
+    - {b Liveness}, in two EVS-compatible stages. After all fault windows
+      close (the generator keeps them inside the horizon; crashes are
+      permanent), every surviving node must first install one common
+      regular configuration containing exactly the survivors — partitioned
+      rings must re-merge. Only then are the probes submitted: EVS allows
+      a message sequenced in a pre-merge configuration to be delivered
+      only within it, so probing earlier would flag correct behavior.
+      Once probed, every survivor must deliver every survivor's probe
+      within the remaining drain budget.
+
+    Everything — including the early-exit points — is a deterministic
+    function of the schedule, so [run] is referentially transparent:
+    {!outcome.trace_hash} is byte-stable across replays of equal
+    schedules. *)
+
+type failure =
+  | Invariant of Aring_obs.Checker.verdict
+      (** Safety violation; the verdict carries the recorded violations. *)
+  | No_merge of { states : (int * string) list }
+      (** Liveness stage 1: the survivors never installed a common
+          all-survivor regular view within the drain budget; [states] is
+          each survivor's membership state name at the deadline. *)
+  | No_convergence of { missing : (int * string) list }
+      (** Liveness stage 2: (node, probe) pairs never delivered within
+          the drain budget, sorted. *)
+  | Run_exception of string
+      (** The protocol or simulator raised; the string is the exception. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  failure : failure option;
+  verdict : Aring_obs.Checker.verdict;
+  deliveries : int;  (** Application deliveries across all nodes. *)
+  views : int;  (** Configuration installations across all nodes. *)
+  trace_hash : int64;
+      (** FNV-1a over the JSONL rendering of the full trace stream. *)
+  end_ns : int;  (** Simulated time at which the run stopped. *)
+}
+
+val run : ?bug:Bug.t -> Schedule.t -> outcome
+(** Execute the schedule. [bug] (default {!Bug.Clean}) wraps every
+    participant before the cluster is built — used to prove the fuzzer
+    catches seeded protocol defects. *)
+
+val passed : outcome -> bool
+val failure_label : failure -> string
+(** ["invariant"], ["no_merge"], ["no_convergence"] or ["exception"]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,319 @@
+module Prng = Aring_util.Prng
+module Json = Aring_obs.Json
+open Aring_sim
+
+type fault =
+  | Crash of { at_ns : int; node : int }
+  | Partition of { at_ns : int; until_ns : int; island : int list }
+  | Loss_burst of { at_ns : int; until_ns : int; permille : int }
+  | Token_blackout of { at_ns : int; until_ns : int }
+
+type config = {
+  n_nodes : int;
+  tier_ids : int list;
+  ten_gig : bool;
+  base_loss_permille : int;
+  small_switch_buffer : bool;
+  accelerated_window : int;
+  personal_window : int;
+  aggressive : bool;
+  max_seq_gap : int;
+  payload : int;
+  submit_gap_ns : int;
+  safe_permille : int;
+  horizon_ns : int;
+  drain_ns : int;
+  liveness : bool;
+}
+
+type t = { seed : int64; config : config; faults : fault list }
+
+let fault_count t = List.length t.faults
+
+let fault_window = function
+  | Crash { at_ns; _ } -> (at_ns, at_ns)
+  | Partition { at_ns; until_ns; _ }
+  | Loss_burst { at_ns; until_ns; _ }
+  | Token_blackout { at_ns; until_ns } ->
+      (at_ns, until_ns)
+
+let ms n = n * 1_000_000
+
+(* Failure-detection timeouts are fixed short (as in the membership test
+   suite) so gather/commit/recover cycles complete in a few hundred
+   simulated milliseconds; the schedule varies the dimensions the paper's
+   correctness argument actually depends on. *)
+let params (c : config) : Aring_ring.Params.t =
+  {
+    (Aring_ring.Params.default) with
+    personal_window = c.personal_window;
+    accelerated_window = c.accelerated_window;
+    max_seq_gap = c.max_seq_gap;
+    priority_method =
+      (if c.aggressive then Aring_ring.Params.Aggressive
+       else Aring_ring.Params.Conservative);
+    token_retransmit_ns = ms 10;
+    token_loss_ns = ms 50;
+    join_retransmit_ns = ms 20;
+    consensus_timeout_ns = ms 100;
+    merge_probe_ns = ms 80;
+  }
+
+let tier = function
+  | 0 -> Profile.library
+  | 1 -> Profile.daemon
+  | _ -> Profile.spread
+
+let net (c : config) =
+  let base = if c.ten_gig then Profile.ten_gigabit else Profile.gigabit in
+  let base =
+    if c.base_loss_permille > 0 then
+      Profile.with_loss base (float_of_int c.base_loss_permille /. 1000.0)
+    else base
+  in
+  if c.small_switch_buffer then
+    { base with Profile.switch_port_buffer = 32 * 1024 }
+  else base
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let gen_island prng n =
+  (* A nonempty proper subset of the nodes. *)
+  let size = 1 + Prng.int prng (n - 1) in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Prng.int prng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  List.sort compare (Array.to_list (Array.sub perm 0 size))
+
+let gen_window prng ~horizon ~max_len =
+  let at_ns = Prng.int prng horizon in
+  let len = 1 + Prng.int prng (min max_len (horizon - at_ns)) in
+  (at_ns, at_ns + len)
+
+let gen_fault prng ~n ~horizon =
+  match Prng.int prng 4 with
+  | 0 -> Crash { at_ns = Prng.int prng horizon; node = Prng.int prng n }
+  | 1 ->
+      let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 120) in
+      Partition { at_ns; until_ns; island = gen_island prng n }
+  | 2 ->
+      let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 80) in
+      Loss_burst { at_ns; until_ns; permille = 20 + Prng.int prng 280 }
+  | _ ->
+      let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 60) in
+      Token_blackout { at_ns; until_ns }
+
+let generate ~seed =
+  let prng = Prng.create ~seed in
+  let n_nodes = 2 + Prng.int prng 7 in
+  let tier_ids = List.init n_nodes (fun _ -> Prng.int prng 3) in
+  let ten_gig = Prng.bool prng in
+  let base_loss_permille =
+    if Prng.int prng 2 = 0 then 0 else 1 + Prng.int prng 30
+  in
+  let small_switch_buffer = Prng.int prng 4 = 0 in
+  let accelerated_window = Prng.int prng 21 in
+  let personal_window = max accelerated_window (10 + Prng.int prng 51) in
+  let aggressive = Prng.bool prng in
+  (* Default global_window is 300; keep max_seq_gap >= that, with the low
+     end deliberately tight (sequencing bumps into the stability line). *)
+  let max_seq_gap = 300 + Prng.int prng 1701 in
+  let payload = 16 + Prng.int prng 1335 in
+  let submit_gap_ns = 200_000 + Prng.int prng 1_800_001 in
+  let safe_permille = if Prng.int prng 3 = 0 then Prng.int prng 301 else 0 in
+  let horizon_ns = ms (80 + Prng.int prng 171) in
+  let n_faults = Prng.int prng 7 in
+  let faults =
+    List.init n_faults (fun _ -> gen_fault prng ~n:n_nodes ~horizon:horizon_ns)
+  in
+  let faults =
+    List.sort (fun a b -> compare (fault_window a) (fault_window b)) faults
+  in
+  {
+    seed;
+    config =
+      {
+        n_nodes;
+        tier_ids;
+        ten_gig;
+        base_loss_permille;
+        small_switch_buffer;
+        accelerated_window;
+        personal_window;
+        aggressive;
+        max_seq_gap;
+        payload;
+        submit_gap_ns;
+        safe_permille;
+        horizon_ns;
+        drain_ns = ms 2_000;
+        liveness = true;
+      };
+    faults;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let fault_to_json = function
+  | Crash { at_ns; node } ->
+      Json.Obj [ ("fault", Json.String "crash"); ("at", Json.Int at_ns); ("node", Json.Int node) ]
+  | Partition { at_ns; until_ns; island } ->
+      Json.Obj
+        [
+          ("fault", Json.String "partition");
+          ("at", Json.Int at_ns);
+          ("until", Json.Int until_ns);
+          ("island", Json.List (List.map (fun i -> Json.Int i) island));
+        ]
+  | Loss_burst { at_ns; until_ns; permille } ->
+      Json.Obj
+        [
+          ("fault", Json.String "loss_burst");
+          ("at", Json.Int at_ns);
+          ("until", Json.Int until_ns);
+          ("permille", Json.Int permille);
+        ]
+  | Token_blackout { at_ns; until_ns } ->
+      Json.Obj
+        [
+          ("fault", Json.String "token_blackout");
+          ("at", Json.Int at_ns);
+          ("until", Json.Int until_ns);
+        ]
+
+let malformed what = raise (Json.Parse_error ("schedule: missing " ^ what))
+
+let get_int j key =
+  match Option.bind (Json.member key j) Json.to_int with
+  | Some v -> v
+  | None -> malformed key
+
+let get_bool j key =
+  match Option.bind (Json.member key j) Json.to_bool with
+  | Some v -> v
+  | None -> malformed key
+
+let get_str j key =
+  match Option.bind (Json.member key j) Json.to_str with
+  | Some v -> v
+  | None -> malformed key
+
+let get_int_list j key =
+  match Option.bind (Json.member key j) Json.to_list with
+  | Some l ->
+      List.map
+        (fun v -> match Json.to_int v with Some i -> i | None -> malformed key)
+        l
+  | None -> malformed key
+
+let fault_of_json j =
+  match get_str j "fault" with
+  | "crash" -> Crash { at_ns = get_int j "at"; node = get_int j "node" }
+  | "partition" ->
+      Partition
+        {
+          at_ns = get_int j "at";
+          until_ns = get_int j "until";
+          island = get_int_list j "island";
+        }
+  | "loss_burst" ->
+      Loss_burst
+        {
+          at_ns = get_int j "at";
+          until_ns = get_int j "until";
+          permille = get_int j "permille";
+        }
+  | "token_blackout" ->
+      Token_blackout { at_ns = get_int j "at"; until_ns = get_int j "until" }
+  | k -> raise (Json.Parse_error ("schedule: unknown fault kind " ^ k))
+
+let to_json t =
+  let c = t.config in
+  Json.Obj
+    [
+      ("seed", Json.String (Int64.to_string t.seed));
+      ("n_nodes", Json.Int c.n_nodes);
+      ("tier_ids", Json.List (List.map (fun i -> Json.Int i) c.tier_ids));
+      ("ten_gig", Json.Bool c.ten_gig);
+      ("base_loss_permille", Json.Int c.base_loss_permille);
+      ("small_switch_buffer", Json.Bool c.small_switch_buffer);
+      ("accelerated_window", Json.Int c.accelerated_window);
+      ("personal_window", Json.Int c.personal_window);
+      ("aggressive", Json.Bool c.aggressive);
+      ("max_seq_gap", Json.Int c.max_seq_gap);
+      ("payload", Json.Int c.payload);
+      ("submit_gap_ns", Json.Int c.submit_gap_ns);
+      ("safe_permille", Json.Int c.safe_permille);
+      ("horizon_ns", Json.Int c.horizon_ns);
+      ("drain_ns", Json.Int c.drain_ns);
+      ("liveness", Json.Bool c.liveness);
+      ("faults", Json.List (List.map fault_to_json t.faults));
+    ]
+
+let of_json j =
+  let faults =
+    match Option.bind (Json.member "faults" j) Json.to_list with
+    | Some l -> List.map fault_of_json l
+    | None -> malformed "faults"
+  in
+  {
+    seed = Int64.of_string (get_str j "seed");
+    config =
+      {
+        n_nodes = get_int j "n_nodes";
+        tier_ids = get_int_list j "tier_ids";
+        ten_gig = get_bool j "ten_gig";
+        base_loss_permille = get_int j "base_loss_permille";
+        small_switch_buffer = get_bool j "small_switch_buffer";
+        accelerated_window = get_int j "accelerated_window";
+        personal_window = get_int j "personal_window";
+        aggressive = get_bool j "aggressive";
+        max_seq_gap = get_int j "max_seq_gap";
+        payload = get_int j "payload";
+        submit_gap_ns = get_int j "submit_gap_ns";
+        safe_permille = get_int j "safe_permille";
+        horizon_ns = get_int j "horizon_ns";
+        drain_ns = get_int j "drain_ns";
+        liveness = get_bool j "liveness";
+      };
+    faults;
+  }
+
+let to_string t = Json.to_string (to_json t)
+let of_string s = of_json (Json.of_string s)
+
+let pp_fault ppf = function
+  | Crash { at_ns; node } ->
+      Format.fprintf ppf "crash(node=%d at=%dus)" node (at_ns / 1000)
+  | Partition { at_ns; until_ns; island } ->
+      Format.fprintf ppf "partition({%s} %d-%dus)"
+        (String.concat "," (List.map string_of_int island))
+        (at_ns / 1000) (until_ns / 1000)
+  | Loss_burst { at_ns; until_ns; permille } ->
+      Format.fprintf ppf "loss(%d%%o %d-%dus)" permille (at_ns / 1000)
+        (until_ns / 1000)
+  | Token_blackout { at_ns; until_ns } ->
+      Format.fprintf ppf "token_blackout(%d-%dus)" (at_ns / 1000)
+        (until_ns / 1000)
+
+let pp ppf t =
+  let c = t.config in
+  Format.fprintf ppf
+    "schedule(seed=%Ld n=%d net=%s loss=%d%%o aw=%d pw=%d gap=%d %s payload=%d \
+     horizon=%dms faults=[%a])"
+    t.seed c.n_nodes
+    (if c.ten_gig then "10g" else "1g")
+    c.base_loss_permille c.accelerated_window c.personal_window c.max_seq_gap
+    (if c.aggressive then "aggr" else "cons")
+    c.payload
+    (c.horizon_ns / ms 1)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       pp_fault)
+    t.faults

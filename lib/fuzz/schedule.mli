@@ -1,0 +1,78 @@
+(** Fault schedules: the genotype of the simulation fuzzer.
+
+    A schedule is a fully explicit description of one adversarial run —
+    cluster shape, protocol parameters, workload, and a list of timed
+    fault events — plus the PRNG seed that drives the simulator's own
+    randomness (per-receiver loss, workload jitter, burst sampling).
+    Everything the runner does is a deterministic function of the
+    schedule, so a schedule is also a reproducer: serialize it, commit
+    it to the corpus, replay it forever.
+
+    Schedules are generated from a single {!Aring_util.Prng} seed
+    ({!generate}), mutated structurally by the shrinker, and serialized
+    as single-line JSON ({!to_string}/{!of_string}) with integer-only
+    fields so round-trips are exact. *)
+
+(** One timed fault event. All times are simulated nanoseconds; the
+    generator keeps every window inside [[0, horizon_ns)], so the network
+    is whole again when the drain phase starts (crashes are permanent). *)
+type fault =
+  | Crash of { at_ns : int; node : int }
+  | Partition of { at_ns : int; until_ns : int; island : int list }
+      (** Nodes in [island] are cut from the rest in both directions;
+          each side keeps talking internally. *)
+  | Loss_burst of { at_ns : int; until_ns : int; permille : int }
+      (** Extra random per-receiver loss during the window, on top of the
+          configured base loss. *)
+  | Token_blackout of { at_ns : int; until_ns : int }
+      (** All regular and commit tokens are dropped at the switch:
+          forces token-retransmission, token-loss declaration, and
+          membership re-formation. *)
+
+type config = {
+  n_nodes : int;
+  tier_ids : int list;  (** Per node: 0 = library, 1 = daemon, 2 = spread. *)
+  ten_gig : bool;
+  base_loss_permille : int;
+  small_switch_buffer : bool;
+  accelerated_window : int;
+  personal_window : int;
+  aggressive : bool;  (** Priority method 1 (true) or 2 (false). *)
+  max_seq_gap : int;
+  payload : int;
+  submit_gap_ns : int;  (** Per-node inter-submission interval. *)
+  safe_permille : int;  (** Fraction of workload using Safe delivery. *)
+  horizon_ns : int;  (** Fault + load window. *)
+  drain_ns : int;  (** Post-heal settling budget for the liveness check. *)
+  liveness : bool;  (** Require probe convergence after the drain. *)
+}
+
+type t = { seed : int64; config : config; faults : fault list }
+
+val generate : seed:int64 -> t
+(** Derive a complete random schedule from [seed]. Equal seeds yield
+    equal schedules. *)
+
+val params : config -> Aring_ring.Params.t
+(** Protocol parameters encoded by the schedule: windows, priority method
+    and [max_seq_gap] vary per schedule; failure-detection timeouts are
+    fixed short so membership events resolve quickly in simulated time. *)
+
+val tier : int -> Aring_sim.Profile.tier
+(** Decode one entry of [tier_ids]. *)
+
+val net : config -> Aring_sim.Profile.net
+(** Network profile: 1G/10G, base loss, optionally a tiny switch buffer. *)
+
+val fault_count : t -> int
+val fault_window : fault -> int * int  (** (start, end] of a fault's effect. *)
+
+val to_json : t -> Aring_obs.Json.t
+val of_json : Aring_obs.Json.t -> t
+(** @raise Aring_obs.Json.Parse_error on missing or ill-typed fields. *)
+
+val to_string : t -> string
+(** Single-line JSON; [of_string (to_string s) = s] exactly. *)
+
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit

@@ -17,8 +17,43 @@ open Aring_wire
      one node — two concurrent tokens would break total order at the
      root.
 
-   Violations are recorded as human-readable strings (first
-   [max_violations] kept, all counted). *)
+   Violations are recorded as structured {!violation} records (first
+   [max_violations] kept, all counted); strings are rendered on demand. *)
+
+type violation_kind =
+  | Total_order
+  | Delivery_regression
+  | Delivery_gap
+  | Aru_regression
+  | Safe_line_regression
+  | Duplicate_token_holder
+  | Duplicate_token_accept
+
+type violation = {
+  v_t_ns : int;
+  v_node : int;
+  v_kind : violation_kind;
+  v_detail : string;
+}
+
+type verdict = {
+  deliveries : int;
+  violation_total : int;
+  recorded : violation list;
+}
+
+let kind_label = function
+  | Total_order -> "total_order"
+  | Delivery_regression -> "delivery_regression"
+  | Delivery_gap -> "delivery_gap"
+  | Aru_regression -> "aru_regression"
+  | Safe_line_regression -> "safe_line_regression"
+  | Duplicate_token_holder -> "duplicate_token_holder"
+  | Duplicate_token_accept -> "duplicate_token_accept"
+
+let violation_message v =
+  Printf.sprintf "[%d] node %d %s: %s" v.v_t_ns v.v_node (kind_label v.v_kind)
+    v.v_detail
 
 type ring_key = int * int (* rep, ring_seq *)
 
@@ -28,7 +63,7 @@ let ring_str (r : Types.ring_id) = Printf.sprintf "%d.%d" r.rep r.ring_seq
 
 type t = {
   max_violations : int;
-  mutable kept : string list;  (* newest first *)
+  mutable kept : violation list;  (* newest first *)
   mutable total : int;
   mutable deliveries : int;
   (* (ring, seq) -> (sender, service) as first delivered anywhere *)
@@ -56,11 +91,14 @@ let create ?(max_violations = 100) () =
     holders = Hashtbl.create 4096;
   }
 
-let violation t fmt =
+let violation t ~t_ns ~node kind fmt =
   Printf.ksprintf
-    (fun msg ->
+    (fun detail ->
       t.total <- t.total + 1;
-      if List.length t.kept < t.max_violations then t.kept <- msg :: t.kept)
+      if List.length t.kept < t.max_violations then
+        t.kept <-
+          { v_t_ns = t_ns; v_node = node; v_kind = kind; v_detail = detail }
+          :: t.kept)
     fmt
 
 let check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns =
@@ -68,11 +106,13 @@ let check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns =
   (match Hashtbl.find_opt t.monotone key with
   | Some (prev_aru, prev_safe) ->
       if local_aru < prev_aru then
-        violation t "[%d] node %d ring %s: local aru moved backward %d -> %d"
-          t_ns node (ring_str ring) prev_aru local_aru;
+        violation t ~t_ns ~node Aru_regression
+          "ring %s: local aru moved backward %d -> %d" (ring_str ring) prev_aru
+          local_aru;
       if safe_line < prev_safe then
-        violation t "[%d] node %d ring %s: safe line moved backward %d -> %d"
-          t_ns node (ring_str ring) prev_safe safe_line
+        violation t ~t_ns ~node Safe_line_regression
+          "ring %s: safe line moved backward %d -> %d" (ring_str ring)
+          prev_safe safe_line
   | None -> ());
   Hashtbl.replace t.monotone key (local_aru, safe_line)
 
@@ -83,13 +123,13 @@ let observe t (ev : Trace.event) =
       let key = (ring_key ring, token_id) in
       (match Hashtbl.find_opt t.holders key with
       | Some holder when holder <> node ->
-          violation t
-            "[%d] ring %s token_id %d accepted by node %d and node %d (two \
-             token holders)"
-            ev.t_ns (ring_str ring) token_id holder node
+          violation t ~t_ns:ev.t_ns ~node Duplicate_token_holder
+            "ring %s token_id %d accepted by node %d and node %d (two token \
+             holders)"
+            (ring_str ring) token_id holder node
       | Some _ ->
-          violation t "[%d] ring %s token_id %d accepted twice by node %d"
-            ev.t_ns (ring_str ring) token_id node
+          violation t ~t_ns:ev.t_ns ~node Duplicate_token_accept
+            "ring %s token_id %d accepted twice" (ring_str ring) token_id
       | None -> Hashtbl.replace t.holders key node);
       check_monotone t ~node ~ring ~local_aru ~safe_line ~t_ns:ev.t_ns
   | Token_send { ring; local_aru; safe_line; _ } ->
@@ -100,23 +140,21 @@ let observe t (ev : Trace.event) =
       (match Hashtbl.find_opt t.order okey with
       | Some (s0, svc0) ->
           if s0 <> sender || svc0 <> service then
-            violation t
-              "[%d] ring %s seq %d: node %d delivered sender=%d/%s but it was \
-               first delivered as sender=%d/%s (total order broken)"
-              ev.t_ns (ring_str ring) seq node sender service s0 svc0
+            violation t ~t_ns:ev.t_ns ~node Total_order
+              "ring %s seq %d: delivered sender=%d/%s but it was first \
+               delivered as sender=%d/%s (total order broken)"
+              (ring_str ring) seq sender service s0 svc0
       | None -> Hashtbl.replace t.order okey (sender, service));
       let ckey = (node, ring_key ring) in
       let cursor = Option.value ~default:0 (Hashtbl.find_opt t.cursors ckey) in
       if seq <= cursor then
-        violation t
-          "[%d] node %d ring %s: delivery not increasing (seq %d after cursor \
-           %d)"
-          ev.t_ns node (ring_str ring) seq cursor
+        violation t ~t_ns:ev.t_ns ~node Delivery_regression
+          "ring %s: delivery not increasing (seq %d after cursor %d)"
+          (ring_str ring) seq cursor
       else if seq <> cursor + 1 && not (Hashtbl.mem t.in_recovery node) then
-        violation t
-          "[%d] node %d ring %s: delivery gap (seq %d after cursor %d outside \
-           recovery)"
-          ev.t_ns node (ring_str ring) seq cursor;
+        violation t ~t_ns:ev.t_ns ~node Delivery_gap
+          "ring %s: delivery gap (seq %d after cursor %d outside recovery)"
+          (ring_str ring) seq cursor;
       Hashtbl.replace t.cursors ckey seq
   | View_install { transitional; _ } ->
       if transitional then Hashtbl.replace t.in_recovery node ()
@@ -127,7 +165,14 @@ let observe t (ev : Trace.event) =
 
 let as_sink t = Trace.fn_sink (fun ev -> observe t ev)
 
-let violations t = List.rev t.kept
+let verdict t =
+  {
+    deliveries = t.deliveries;
+    violation_total = t.total;
+    recorded = List.rev t.kept;
+  }
+
+let violations t = List.rev_map violation_message t.kept
 let violation_count t = t.total
 let deliveries_checked t = t.deliveries
 

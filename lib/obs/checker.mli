@@ -8,17 +8,52 @@
     EVS permits skips), local-aru / safe-line monotonicity, and a single
     token holder per (ring, token_id). *)
 
+(** Which invariant a violation breaks. *)
+type violation_kind =
+  | Total_order  (** Same (ring, seq) delivered with different contents. *)
+  | Delivery_regression  (** Delivery seq not strictly increasing. *)
+  | Delivery_gap  (** Cursor skipped outside a recovery window. *)
+  | Aru_regression  (** A node's local aru moved backward. *)
+  | Safe_line_regression  (** A node's stability line moved backward. *)
+  | Duplicate_token_holder  (** Two nodes accepted one (ring, token_id). *)
+  | Duplicate_token_accept  (** One node accepted one token_id twice. *)
+
+type violation = {
+  v_t_ns : int;  (** Trace timestamp of the offending event. *)
+  v_node : int;  (** Node at which the violation was observed. *)
+  v_kind : violation_kind;
+  v_detail : string;  (** Human-readable specifics (ring, seqs, peers). *)
+}
+
+(** One-shot summary of a finished (or in-flight) check, as data — the
+    fuzzer and CI tooling branch on this rather than parsing strings. *)
+type verdict = {
+  deliveries : int;  (** Deliveries examined. *)
+  violation_total : int;  (** All violations counted. *)
+  recorded : violation list;
+      (** The first [max_violations] violations, oldest first. *)
+}
+
+val kind_label : violation_kind -> string
+(** Stable snake_case label (e.g. ["delivery_gap"]), for reports. *)
+
+val violation_message : violation -> string
+(** Render one violation the way {!violations} does. *)
+
 type t
 
 val create : ?max_violations:int -> unit -> t
-(** Keeps the first [max_violations] (default 100) violation messages;
+(** Keeps the first [max_violations] (default 100) violation records;
     all are counted. *)
 
 val observe : t -> Trace.event -> unit
 val as_sink : t -> Trace.sink
 
+val verdict : t -> verdict
+
 val violations : t -> string list
-(** Oldest first, capped at [max_violations]. *)
+(** Rendered {!verdict} records; oldest first, capped at
+    [max_violations]. *)
 
 val violation_count : t -> int
 val deliveries_checked : t -> int

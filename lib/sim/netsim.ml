@@ -269,6 +269,11 @@ let submit_at t ~at ~node service payload =
 
 let call_at t ~at f = schedule t at (Call f)
 
+let set_drop_until t ~until f =
+  let prev = t.drop in
+  t.drop <- (fun ~src ~dst msg -> f ~src ~dst msg || prev ~src ~dst msg);
+  schedule t until (Call (fun () -> t.drop <- prev))
+
 let crash t node =
   t.alive.(node) <- false;
   if Trace.enabled () then Trace.emit ~node Crash

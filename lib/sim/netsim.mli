@@ -86,6 +86,14 @@ val set_drop : t -> (src:int -> dst:int -> Message.t -> bool) -> unit
     [fun ~src ~dst _ -> ...] returning [true] drops. Use it to create
     partitions; replace with [fun ~src:_ ~dst:_ _ -> false] to heal. *)
 
+val set_drop_until : t -> until:int -> (src:int -> dst:int -> Message.t -> bool) -> unit
+(** Timed fault window with automatic heal: layer a drop predicate over
+    whatever is currently installed (a packet drops when either says so)
+    and schedule its removal at simulated time [until], restoring the
+    predicate that was in force when this call was made. Windows opened
+    while another is active must close in LIFO order to restore cleanly;
+    for arbitrary overlap, recompute with {!set_drop} instead. *)
+
 val crash : t -> int -> unit
 (** Node stops processing and receiving, permanently. *)
 

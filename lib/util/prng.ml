@@ -13,11 +13,24 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+(* Draw uniformly from [0, 2^62) and reject the tail that does not divide
+   evenly into [bound]: a plain [r mod bound] over-represents the low
+   residues by one part in 2^62/bound, which is measurable for bounds near
+   max_int. Rejection probability is bound/2^62 < 1/4, so the loop
+   terminates after ~1 draw in expectation. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  (* Mask to 62 bits so the value is a non-negative OCaml int. *)
-  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
-  r mod bound
+  (* 2^62 mod bound, computed in Int64 because 2^62 overflows OCaml int. *)
+  let rem62 = Int64.to_int (Int64.rem 0x4000_0000_0000_0000L (Int64.of_int bound)) in
+  let rec draw () =
+    (* Mask to 62 bits so the value is a non-negative OCaml int. *)
+    let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+    (* Accept r < 2^62 - rem62, i.e. the largest multiple of bound. *)
+    if rem62 > 0 && r >= Int64.to_int (Int64.sub 0x4000_0000_0000_0000L (Int64.of_int rem62))
+    then draw ()
+    else r mod bound
+  in
+  draw ()
 
 let float t bound =
   (* 53 uniform bits, as in the standard double construction. *)

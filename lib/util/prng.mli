@@ -19,7 +19,8 @@ val next_int64 : t -> int64
 (** [next_int64 t] is the next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling rather than a biased [mod]. Requires [bound > 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -54,7 +54,7 @@ let max_value t = if t.size = 0 then nan else t.hi
 let ensure_sorted t =
   if not t.sorted then begin
     let view = Array.sub t.samples 0 t.size in
-    Array.sort compare view;
+    Array.sort Float.compare view;
     Array.blit view 0 t.samples 0 t.size;
     t.sorted <- true
   end

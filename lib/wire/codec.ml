@@ -72,7 +72,19 @@ let read_bytes d =
 let read_list d f =
   let n = read_i32 d in
   if n < 0 then raise (Decode_error "negative list length");
-  List.init n (fun _ -> f ())
+  (* Every encoded element occupies at least one byte, so a count larger
+     than the remaining input is malformed. Checking before allocating
+     keeps a bit-flipped count field from provoking a giant List.init. *)
+  if n > remaining d then
+    raise
+      (Decode_error
+         (Printf.sprintf "list length %d exceeds %d remaining bytes" n
+            (remaining d)));
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := f () :: !acc
+  done;
+  List.rev !acc
 
 let expect_end d =
   if remaining d <> 0 then

@@ -39,6 +39,9 @@ val read_i32 : decoder -> int
 val read_i64 : decoder -> int
 val read_bytes : decoder -> bytes
 val read_list : decoder -> (unit -> 'a) -> 'a list
+(** Elements are read in order. The count is validated against the bytes
+    remaining (each element occupies at least one byte), so corrupted
+    counts fail with {!Decode_error} instead of allocating. *)
 
 val expect_end : decoder -> unit
 (** [expect_end d] raises {!Decode_error} unless the input was fully

@@ -191,6 +191,11 @@ let decode buf =
   Codec.expect_end d;
   m
 
+let decode_result buf =
+  match decode buf with
+  | m -> Ok m
+  | exception Codec.Decode_error msg -> Error msg
+
 let header_overhead =
   let empty =
     Data

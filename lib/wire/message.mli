@@ -88,6 +88,12 @@ val decode : bytes -> t
 (** [decode b] parses a wire message.
     @raise Codec.Decode_error on malformed input. *)
 
+val decode_result : bytes -> (t, string) result
+(** [decode_result b] is [decode] with the {!Codec.Decode_error} captured
+    as [Error]. Any truncation or corruption of a valid encoding lands
+    here — decoding never raises any other exception and never allocates
+    proportionally to a corrupted length field. *)
+
 val header_overhead : int
 (** Encoded size of a data message with an empty payload — used when
     accounting clean-payload vs on-wire throughput. *)

@@ -1,0 +1,187 @@
+(* Tests for the deterministic simulation fuzzer: schedule generation and
+   serialization, runner determinism (the Netsim regression test — equal
+   seeds must produce bit-equal trace streams), seeded-bug detection with
+   shrinking, and replay of the committed corpus. *)
+
+open Aring_fuzz
+
+(* A small hand-built schedule with both fault kinds that exercise the
+   drop predicate; converges in well under a simulated second. *)
+let small_schedule seed =
+  {
+    Schedule.seed;
+    config =
+      {
+        Schedule.n_nodes = 3;
+        tier_ids = [ 1; 1; 1 ];
+        ten_gig = true;
+        base_loss_permille = 10;
+        small_switch_buffer = false;
+        accelerated_window = 5;
+        personal_window = 20;
+        aggressive = true;
+        max_seq_gap = 400;
+        payload = 64;
+        submit_gap_ns = 1_000_000;
+        safe_permille = 100;
+        horizon_ns = 60_000_000;
+        drain_ns = 2_000_000_000;
+        liveness = true;
+      };
+    faults =
+      [
+        Schedule.Token_blackout { at_ns = 10_000_000; until_ns = 25_000_000 };
+        Schedule.Partition
+          { at_ns = 30_000_000; until_ns = 50_000_000; island = [ 0 ] };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule generation and serialization                               *)
+
+let test_generate_deterministic () =
+  let a = Schedule.generate ~seed:42L in
+  let b = Schedule.generate ~seed:42L in
+  Alcotest.(check string)
+    "same seed, same schedule" (Schedule.to_string a) (Schedule.to_string b);
+  let c = Schedule.generate ~seed:43L in
+  Alcotest.(check bool)
+    "different seed, different schedule" false
+    (Schedule.to_string a = Schedule.to_string c)
+
+let test_generate_well_formed () =
+  for seed = 0 to 49 do
+    let s = Schedule.generate ~seed:(Int64.of_int seed) in
+    let c = s.Schedule.config in
+    Alcotest.(check bool) "node count" true (c.Schedule.n_nodes >= 2);
+    Alcotest.(check int)
+      "one tier per node" c.Schedule.n_nodes
+      (List.length c.Schedule.tier_ids);
+    (* The generated parameters must satisfy the engine's own validator. *)
+    (match Aring_ring.Params.validate (Schedule.params c) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: invalid params: %s" seed e);
+    (* Every fault window must close inside the horizon, so the network
+       is whole when the drain starts. *)
+    List.iter
+      (fun f ->
+        let at, until = Schedule.fault_window f in
+        Alcotest.(check bool) "window starts in run" true (at >= 0);
+        Alcotest.(check bool)
+          "window closes before horizon" true
+          (until <= c.Schedule.horizon_ns))
+      s.Schedule.faults
+  done
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"schedule JSON round-trips exactly"
+    QCheck.int64 (fun seed ->
+      let s = Schedule.generate ~seed in
+      Schedule.of_string (Schedule.to_string s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Runner determinism (Netsim regression: same seed + same schedule ⇒
+   identical trace event stream)                                       *)
+
+let test_runner_deterministic () =
+  let s = small_schedule 7L in
+  let a = Runner.run s in
+  let b = Runner.run s in
+  Alcotest.(check bool) "clean schedule passes" true (Runner.passed a);
+  Alcotest.(check int64) "identical trace hash" a.Runner.trace_hash
+    b.Runner.trace_hash;
+  Alcotest.(check int) "identical delivery count" a.Runner.deliveries
+    b.Runner.deliveries;
+  Alcotest.(check int) "identical stop time" a.Runner.end_ns b.Runner.end_ns;
+  let c = Runner.run (small_schedule 8L) in
+  Alcotest.(check bool)
+    "different seed diverges" false
+    (a.Runner.trace_hash = c.Runner.trace_hash)
+
+let test_clean_schedule_delivers () =
+  let o = Runner.run (small_schedule 7L) in
+  Alcotest.(check bool) "passed" true (Runner.passed o);
+  Alcotest.(check bool) "delivered workload" true (o.Runner.deliveries > 100);
+  (* The partition forces at least one re-formation and one re-merge. *)
+  Alcotest.(check bool) "membership churned" true (o.Runner.views > 3)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs: the fuzzer must find them and shrink the reproducer    *)
+
+let quiet_campaign ~bug ~shrink =
+  {
+    Fuzzer.default_config with
+    Fuzzer.trials = 200;
+    seed = 1L;
+    bug;
+    shrink;
+    max_shrink_runs = 100;
+  }
+
+let test_finds_skip_delivery () =
+  let report =
+    Fuzzer.run_campaign
+      (quiet_campaign ~bug:(Bug.Skip_delivery { node = 0; every = 10 })
+         ~shrink:true)
+  in
+  match (report.Fuzzer.failure, report.Fuzzer.shrunk) with
+  | None, _ -> Alcotest.fail "skip-delivery bug not found within 200 trials"
+  | Some t, Some r ->
+      (match t.Fuzzer.outcome.Runner.failure with
+      | Some (Runner.Invariant v) ->
+          Alcotest.(check bool)
+            "checker recorded violations" true
+            (v.Aring_obs.Checker.violation_total > 0)
+      | _ -> Alcotest.fail "expected an invariant violation");
+      Alcotest.(check bool)
+        "shrunk to <= 5 faults" true
+        (Schedule.fault_count r.Shrink.schedule <= 5);
+      Alcotest.(check bool)
+        "shrunk schedule still fails" false
+        (Runner.passed r.Shrink.outcome)
+  | Some _, None -> Alcotest.fail "shrinking was requested but did not run"
+
+let test_finds_skip_retransmission () =
+  let report =
+    Fuzzer.run_campaign (quiet_campaign ~bug:Bug.Skip_retransmission ~shrink:false)
+  in
+  match report.Fuzzer.failure with
+  | None ->
+      Alcotest.fail "skip-retransmission bug not found within 200 trials"
+  | Some _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay: every committed reproducer must stay green           *)
+
+let test_corpus_replays_green () =
+  let entries = Corpus.load_dir "corpus" in
+  Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 3);
+  List.iter
+    (fun (name, schedule) ->
+      let o = Fuzzer.replay schedule in
+      if not (Runner.passed o) then
+        Alcotest.failf "corpus entry %s regressed: %s" name
+          (Format.asprintf "%a" Runner.pp_outcome o))
+    entries
+
+let test_corpus_save_load () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "aring-corpus-test" in
+  let s = Schedule.generate ~seed:99L in
+  let path = Corpus.save ~dir ~label:"unit" s in
+  let s' = Corpus.load_file path in
+  Alcotest.(check string) "save/load round-trip" (Schedule.to_string s)
+    (Schedule.to_string s');
+  Sys.remove path
+
+let suite =
+  [
+    ("schedule generation deterministic", `Quick, test_generate_deterministic);
+    ("schedules well-formed", `Quick, test_generate_well_formed);
+    QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+    ("runner deterministic per seed", `Quick, test_runner_deterministic);
+    ("clean schedule passes with churn", `Quick, test_clean_schedule_delivers);
+    ("finds + shrinks skip-delivery", `Quick, test_finds_skip_delivery);
+    ("finds skip-retransmission", `Quick, test_finds_skip_retransmission);
+    ("corpus replays green", `Quick, test_corpus_replays_green);
+    ("corpus save/load", `Quick, test_corpus_save_load);
+  ]

@@ -14,4 +14,5 @@ let () =
       ("daemon", Test_daemon.suite);
       ("baselines", Test_baselines.suite);
       ("udp", Test_udp.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

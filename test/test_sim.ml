@@ -154,6 +154,25 @@ let test_partition_blocks_progress () =
   check Alcotest.int "isolated node delivered nothing" 0
     (List.length (delivery_list c 3))
 
+let test_drop_until_auto_heals () =
+  (* A timed partition window: node 3 is cut off from ms 5 to ms 20, then
+     the saved predicate is restored automatically and retransmissions
+     catch everyone up. *)
+  let c = make_cluster ~n:4 () in
+  Netsim.call_at c.sim ~at:(ms 5) (fun () ->
+      Netsim.set_drop_until c.sim ~until:(ms 20) (fun ~src ~dst _ ->
+          src = 3 || dst = 3));
+  submit_burst c ~per_node:20 ~payload_len:100;
+  Netsim.run_until c.sim (ms 400);
+  check Alcotest.bool "packets dropped during the window" true
+    ((Netsim.stats c.sim).partition_drops > 0);
+  for i = 0 to 3 do
+    check Alcotest.int
+      (Printf.sprintf "node %d recovered after auto-heal" i)
+      80
+      (List.length (delivery_list c i))
+  done
+
 let test_tiny_switch_buffer_drops_and_recovers () =
   let net = { Profile.gigabit with switch_port_buffer = 16 * 1024 } in
   let c = make_cluster ~n:8 ~net () in
@@ -317,6 +336,7 @@ let suite =
     ("accelerated rotates faster", `Slow, test_accelerated_rotates_faster);
     ("crash triggers token loss", `Quick, test_crash_triggers_token_loss);
     ("partition blocks isolated node", `Quick, test_partition_blocks_progress);
+    ("set_drop_until auto-heals", `Quick, test_drop_until_auto_heals);
     ("switch overflow drops and recovers", `Slow,
       test_tiny_switch_buffer_drops_and_recovers);
     ("total order respects causality", `Quick, test_total_order_respects_causality);

@@ -199,6 +199,41 @@ let test_stats_add_after_percentile () =
   Stats.add s 0.5;
   check (Alcotest.float 1e-9) "resorts after add" 1.0 (Stats.median s)
 
+let nonempty_floats =
+  QCheck.(list_of_size Gen.(1 -- 80) (float_bound_exclusive 1000.))
+
+let stats_of xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let prop_stats_percentile_endpoints =
+  QCheck.Test.make ~name:"p0 is min and p100 is max" ~count:300 nonempty_floats
+    (fun xs ->
+      let s = stats_of xs in
+      Stats.percentile s 0.0 = Stats.min_value s
+      && Stats.percentile s 100.0 = Stats.max_value s)
+
+let prop_stats_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(
+      triple nonempty_floats (float_bound_inclusive 100.)
+        (float_bound_inclusive 100.))
+    (fun (xs, p, q) ->
+      let s = stats_of xs in
+      let p, q = if p <= q then (p, q) else (q, p) in
+      Stats.percentile s p <= Stats.percentile s q)
+
+let prop_stats_merge_preserves =
+  QCheck.Test.make ~name:"merge preserves count, lo and hi" ~count:300
+    QCheck.(pair nonempty_floats nonempty_floats)
+    (fun (xs, ys) ->
+      let a = stats_of xs and b = stats_of ys in
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count a + Stats.count b
+      && Stats.min_value m = Float.min (Stats.min_value a) (Stats.min_value b)
+      && Stats.max_value m = Float.max (Stats.max_value a) (Stats.max_value b))
+
 let prop_stats_percentile_bounds =
   QCheck.Test.make ~name:"percentiles lie within [min,max]" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -238,6 +273,55 @@ let prop_prng_int_bounds =
       let x = Prng.int p bound in
       x >= 0 && x < bound)
 
+let prop_prng_int_bounds_extreme =
+  (* Bounds near max_int are where rejection sampling actually matters. *)
+  QCheck.Test.make ~name:"Prng.int stays in bounds for extreme bounds"
+    ~count:200
+    QCheck.(
+      pair int64
+        (oneofl
+           [ 1; 2; 3; 7; 1 lsl 61; (1 lsl 61) + 1; 3 * (1 lsl 60); max_int - 1; max_int ]))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      List.for_all
+        (fun x -> x >= 0 && x < bound)
+        (List.init 50 (fun _ -> Prng.int p bound)))
+
+let prop_prng_int_unbiased_high_bound =
+  (* With bound = 3·2^60, 2^62 mod bound = 2^60: the pre-rejection-sampling
+     [r mod bound] put probability 1/2 (instead of 1/3) on [0, 2^60). A few
+     thousand draws separate the two decisively. *)
+  QCheck.Test.make ~name:"Prng.int is unbiased near max_int" ~count:20
+    QCheck.int64
+    (fun seed ->
+      let p = Prng.create ~seed in
+      let bound = 3 * (1 lsl 60) in
+      let n = 3000 in
+      let low = ref 0 in
+      for _ = 1 to n do
+        if Prng.int p bound < 1 lsl 60 then incr low
+      done;
+      let f = float_of_int !low /. float_of_int n in
+      f > 0.26 && f < 0.41)
+
+let prop_prng_int_uniform_small_bound =
+  (* Chi-square-lite: every residue of a small bound drawn ~1000 times
+     stays within 20% of expectation. *)
+  QCheck.Test.make ~name:"Prng.int roughly uniform for small bounds" ~count:20
+    QCheck.(pair int64 (int_range 2 20))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let per_bucket = 1000 in
+      let n = bound * per_bucket in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let x = Prng.int p bound in
+        counts.(x) <- counts.(x) + 1
+      done;
+      Array.for_all
+        (fun c -> abs (c - per_bucket) < per_bucket / 5)
+        counts)
+
 let test_prng_bernoulli_extremes () =
   let p = Prng.create ~seed:11L in
   for _ = 1 to 100 do
@@ -270,9 +354,15 @@ let suite =
     ("stats merge", `Quick, test_stats_merge);
     ("stats resort", `Quick, test_stats_add_after_percentile);
     qtest prop_stats_percentile_bounds;
+    qtest prop_stats_percentile_endpoints;
+    qtest prop_stats_percentile_monotone;
+    qtest prop_stats_merge_preserves;
     ("prng deterministic", `Quick, test_prng_deterministic);
     ("prng split", `Quick, test_prng_split_independent);
     qtest prop_prng_int_bounds;
+    qtest prop_prng_int_bounds_extreme;
+    qtest prop_prng_int_unbiased_high_bound;
+    qtest prop_prng_int_uniform_small_bound;
     ("prng bernoulli extremes", `Quick, test_prng_bernoulli_extremes);
     ("prng exponential positive", `Quick, test_prng_exponential_positive);
   ]

@@ -268,16 +268,40 @@ let prop_wire_size_exact =
       Message.wire_size m = Bytes.length (Message.encode m))
 
 let prop_decode_truncated_fails =
-  QCheck.Test.make ~name:"any strict prefix fails to decode" ~count:200
-    message_arbitrary (fun m ->
+  QCheck.Test.make ~name:"any strict prefix fails to decode cleanly" ~count:400
+    QCheck.(pair message_arbitrary small_nat)
+    (fun (m, cut_choice) ->
       let b = Message.encode m in
       let n = Bytes.length b in
       n = 0
       ||
-      let cut = n / 2 in
-      match Message.decode (Bytes.sub b 0 cut) with
-      | _ -> false
-      | exception Codec.Decode_error _ -> true)
+      let cut = cut_choice mod n in
+      match Message.decode_result (Bytes.sub b 0 cut) with
+      | Ok _ -> false (* a strict prefix must never parse *)
+      | Error _ -> true
+      | exception _ -> false (* only Decode_error, mapped to Error *))
+
+let prop_decode_bitflip_never_raises =
+  QCheck.Test.make
+    ~name:"bit-flipped encodings decode to Ok or Error, never raise"
+    ~count:500
+    QCheck.(triple message_arbitrary small_nat (int_range 0 7))
+    (fun (m, byte_choice, bit) ->
+      let b = Message.encode m in
+      let i = byte_choice mod Bytes.length b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Message.decode_result b with
+      | Ok _ | Error _ -> true (* some flips (e.g. payload bytes) are benign *)
+      | exception _ -> false)
+
+let prop_decode_garbage_never_raises =
+  QCheck.Test.make ~name:"random bytes decode to Ok or Error, never raise"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Message.decode_result (Bytes.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
 
 let test_header_overhead_positive () =
   check Alcotest.bool "header overhead sane" true
@@ -305,4 +329,6 @@ let suite =
     qtest prop_roundtrip;
     qtest prop_wire_size_exact;
     qtest prop_decode_truncated_fails;
+    qtest prop_decode_bitflip_never_raises;
+    qtest prop_decode_garbage_never_raises;
   ]
