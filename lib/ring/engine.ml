@@ -156,15 +156,16 @@ let advance_local_aru t =
 (* Deliver every message the cursor can reach: in sequence order, stopping
    at a gap or at an undelivered Safe message above the stability line.
    Agreed messages beyond an undelivered Safe message are thereby held back,
-   preserving the total order. *)
-let deliver_ready t =
+   preserving the total order. [deliver_ready_into] prepends the deliveries
+   to [tail] so callers assembling an action list pay no extra append. *)
+let deliver_ready_into t tail =
   let rec loop acc =
     let next = t.delivered + 1 in
     match Hashtbl.find_opt t.buffer next with
-    | None -> List.rev acc
+    | None -> List.rev_append acc tail
     | Some d ->
         if Types.service_requires_stability d.service && next > t.safe_line
-        then List.rev acc
+        then List.rev_append acc tail
         else begin
           t.delivered <- next;
           t.stats.delivered <- t.stats.delivered + 1;
@@ -172,6 +173,8 @@ let deliver_ready t =
         end
   in
   loop []
+
+let deliver_ready t = deliver_ready_into t []
 
 (* Garbage-collect messages that are both delivered locally and known
    received by every participant: they can never be requested again. *)
@@ -213,15 +216,30 @@ let handle_data t (d : Message.data) =
   end
 
 (* Sequence numbers we have not received, in (local_aru, cap], that are not
-   already requested on the token. *)
+   already requested on the token. [already] is ascending (the token's rtr
+   invariant), so one lockstep cursor replaces the seed's O(n^2) List.mem
+   probe per candidate. *)
 let missing_requests t ~cap ~already =
-  let rec loop seq budget acc =
+  let rec loop seq budget already acc =
     if seq > cap || budget = 0 then List.rev acc
-    else if Hashtbl.mem t.buffer seq || List.mem seq already then
-      loop (seq + 1) budget acc
-    else loop (seq + 1) (budget - 1) (seq :: acc)
+    else
+      match already with
+      | a :: rest when a < seq -> loop seq budget rest acc
+      | a :: rest when a = seq -> loop (seq + 1) budget rest acc
+      | _ ->
+          if Hashtbl.mem t.buffer seq then loop (seq + 1) budget already acc
+          else loop (seq + 1) (budget - 1) already (seq :: acc)
   in
-  loop (t.local_aru + 1) max_rtr_per_round []
+  loop (t.local_aru + 1) max_rtr_per_round already []
+
+(* Merge two ascending, disjoint seqno lists — equivalent to
+   [List.sort compare (a @ b)] for such inputs, without the intermediate
+   concatenation or the sort. *)
+let rec merge_sorted a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, (y :: _ as yl) when x <= y -> x :: merge_sorted xs yl
+  | xl, y :: ys -> y :: merge_sorted xl ys
 
 let handle_token t (tok : Message.token) =
   if tok.token_id <= t.last_token_id then begin
@@ -249,10 +267,15 @@ let handle_token t (tok : Message.token) =
              local_aru = t.local_aru;
              safe_line = t.safe_line;
            });
-    (* 1. Answer retransmission requests we can serve (always pre-token). *)
-    let answered, retrans_sends =
-      List.fold_left
-        (fun (answered, sends) seq ->
+    (* 1. Answer retransmission requests we can serve (always pre-token).
+       The same pass partitions the token's rtr into answered (counted,
+       dropped) and kept (still missing here) — new messages this round all
+       carry seqs above tok.t_seq, so nothing buffered later in the round
+       can retroactively answer an rtr entry. *)
+    let rec scan_rtr rtr rev_sends num kept_rev =
+      match rtr with
+      | [] -> (rev_sends, num, List.rev kept_rev)
+      | seq :: rest -> (
           match Hashtbl.find_opt t.buffer seq with
           | Some d ->
               t.stats.retrans_sent <- t.stats.retrans_sent + 1;
@@ -266,12 +289,10 @@ let handle_token t (tok : Message.token) =
                        post_token = false;
                        retrans = true;
                      });
-              (seq :: answered, Send_data d :: sends)
-          | None -> (answered, sends))
-        ([], []) tok.rtr
+              scan_rtr rest (Send_data d :: rev_sends) (num + 1) kept_rev
+          | None -> scan_rtr rest rev_sends num (seq :: kept_rev))
     in
-    let retrans_sends = List.rev retrans_sends in
-    let num_retrans = List.length answered in
+    let rev_retrans, num_retrans, kept_rtr = scan_rtr tok.rtr [] 0 [] in
     (* 2. Flow control (Section III-A.1). *)
     let by_global = t.params.global_window - tok.fcc - num_retrans in
     let by_gap = tok.aru + t.params.max_seq_gap - tok.t_seq in
@@ -296,35 +317,36 @@ let handle_token t (tok : Message.token) =
              by_global;
              by_gap;
            });
-    let new_msgs =
-      List.init allowed_new (fun i ->
-          let service, payload = Queue.pop t.pending in
-          let d : Message.data =
-            {
-              d_ring = t.ring_id;
-              seq = tok.t_seq + i + 1;
-              pid = t.me;
-              d_round = t.round;
-              post_token = i >= n_pre;
-              service;
-              payload;
-            }
-          in
-          (* We trivially "have" our own message the moment it exists. *)
-          Hashtbl.replace t.buffer d.seq d;
-          t.stats.new_sent <- t.stats.new_sent + 1;
-          if Trace.enabled () then
-            Trace.emit ~node:t.me
-              (Trace.Data_send
-                 {
-                   ring = t.ring_id;
-                   seq = d.seq;
-                   size = Message.wire_size (Message.Data d);
-                   post_token = d.post_token;
-                   retrans = false;
-                 });
-          d)
-    in
+    let rev_pre = ref [] and rev_post = ref [] in
+    for i = 0 to allowed_new - 1 do
+      let service, payload = Queue.pop t.pending in
+      let d : Message.data =
+        {
+          d_ring = t.ring_id;
+          seq = tok.t_seq + i + 1;
+          pid = t.me;
+          d_round = t.round;
+          post_token = i >= n_pre;
+          service;
+          payload;
+        }
+      in
+      (* We trivially "have" our own message the moment it exists. *)
+      Hashtbl.replace t.buffer d.seq d;
+      t.stats.new_sent <- t.stats.new_sent + 1;
+      if Trace.enabled () then
+        Trace.emit ~node:t.me
+          (Trace.Data_send
+             {
+               ring = t.ring_id;
+               seq = d.seq;
+               size = Message.wire_size (Message.Data d);
+               post_token = d.post_token;
+               retrans = false;
+             });
+      if i < n_pre then rev_pre := Send_data d :: !rev_pre
+      else rev_post := Send_data d :: !rev_post
+    done;
     let new_seq = tok.t_seq + allowed_new in
     if new_seq > t.high_seq then t.high_seq <- new_seq;
     advance_local_aru t;
@@ -349,10 +371,9 @@ let handle_token t (tok : Message.token) =
        seq of the token we received in the *previous* round so that
        messages still in a predecessor's post-token phase are not requested
        (the key retransmission subtlety of the accelerated protocol). *)
-    let kept_rtr = List.filter (fun s -> not (List.mem s answered)) tok.rtr in
     let my_missing = missing_requests t ~cap:t.prev_recv_seq ~already:kept_rtr in
     t.stats.rtr_requested <- t.stats.rtr_requested + List.length my_missing;
-    let new_rtr = List.sort compare (kept_rtr @ my_missing) in
+    let new_rtr = merge_sorted kept_rtr my_missing in
     let token' : Message.token =
       {
         t_ring = t.ring_id;
@@ -397,26 +418,21 @@ let handle_token t (tok : Message.token) =
       Trace.emit ~node:t.me
         (Trace.Timer_arm { timer = "token_loss"; delay_ns = t.params.token_loss_ns })
     end;
-    (* 8. Deliver and discard. *)
-    let deliveries = deliver_ready t in
-    collect_garbage t;
-    let pre, post =
-      let rec split i = function
-        | [] -> ([], [])
-        | d :: rest ->
-            let pre, post = split (i + 1) rest in
-            if i < n_pre then (Send_data d :: pre, post)
-            else (pre, Send_data d :: post)
-      in
-      split 0 new_msgs
+    (* 8. Deliver and discard; assemble the action list back to front so
+       each phase is prepended once — no intermediate lists, no appends. *)
+    let deliveries_on =
+      deliver_ready_into t
+        [
+          Set_timer
+            (Token_retransmit, t.progress_gen, t.params.token_retransmit_ns);
+          Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns);
+        ]
     in
-    retrans_sends @ pre
-    @ [ Send_token (successor t, token') ]
-    @ post @ deliveries
-    @ [
-        Set_timer (Token_retransmit, t.progress_gen, t.params.token_retransmit_ns);
-        Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns);
-      ]
+    collect_garbage t;
+    List.rev_append rev_retrans
+      (List.rev_append !rev_pre
+         (Send_token (successor t, token')
+         :: List.rev_append !rev_post deliveries_on))
   end
 
 let max_token_retransmits t =

@@ -142,16 +142,22 @@ let create ~params ~me ?initial_ring () =
    torn-down configuration cannot fire into its successor (engine timer
    generations restart from zero in each new engine). *)
 let rec rewrap_node_actions t actions =
-  List.concat_map
-    (fun action ->
+  (* Direct recursion: one cons per action — the seed's [List.concat_map]
+     built a closure plus a singleton list for every action on the hot
+     token/data path. *)
+  match actions with
+  | [] -> []
+  | action :: rest -> (
       match action with
       | Participant.Arm_timer (timer, delay) ->
-          [ Participant.Arm_timer (Epoch_timer (t.node_epoch, timer), delay) ]
-      | Participant.Token_loss_detected -> enter_gather t
+          Participant.Arm_timer (Epoch_timer (t.node_epoch, timer), delay)
+          :: rewrap_node_actions t rest
+      | Participant.Token_loss_detected ->
+          let gather = enter_gather t in
+          gather @ rewrap_node_actions t rest
       | Participant.Unicast _ | Participant.Multicast _
       | Participant.Deliver _ | Participant.Deliver_config _ ->
-          [ action ])
-    actions
+          action :: rewrap_node_actions t rest)
 
 (* ------------------------------------------------------------------ *)
 (* Gather                                                              *)

@@ -5,12 +5,44 @@ module Prng = Aring_util.Prng
 module Trace = Aring_obs.Trace
 module Metrics = Aring_obs.Metrics
 
-type event =
-  | Arrival of int * Message.t
-  | Cpu_run of int
-  | Timer of int * Participant.timer
-  | Port_drain of int * int  (* node port, bytes to release *)
-  | Call of (unit -> unit)
+(* The event queue is allocation-free in steady state: events live in a
+   preallocated arena of mutable records, the heap orders arena {e indices}
+   (immediate ints), and freed slots are recycled through an index stack.
+   Scheduling a packet arrival touches no closure, no tuple and no variant
+   cell — it writes fields of a recycled record. Ordering is exactly the
+   seed semantics: (timestamp clamped to now, monotonic insertion seq). *)
+
+type Participant.timer += No_timer
+(* Placeholder stored in freed slots so they retain no live timer. Never
+   dispatched. *)
+
+type ev_kind = Free | Arrival | Cpu_run | Timer | Port_drain | Call
+
+type ev = {
+  mutable at : int;
+  mutable seq : int;
+  mutable kind : ev_kind;
+  mutable node : int;
+  mutable size : int;  (* Port_drain: bytes to release *)
+  mutable msg : Message.t;  (* Arrival payload *)
+  mutable timer : Participant.timer;
+  mutable fn : unit -> unit;  (* Call thunk *)
+}
+
+let dummy_msg =
+  Message.Join { j_pid = -1; proc_set = []; fail_set = []; join_seq = 0 }
+
+let fresh_ev () =
+  {
+    at = 0;
+    seq = 0;
+    kind = Free;
+    node = -1;
+    size = 0;
+    msg = dummy_msg;
+    timer = No_timer;
+    fn = ignore;
+  }
 
 type stats = {
   mutable packets_sent : int;
@@ -23,7 +55,11 @@ type t = {
   net : Profile.net;
   tiers : Profile.tier array;
   parts : Participant.t array;
-  events : (int * int * event) Heap.t;
+  events : int Heap.t;  (* arena indices, ordered by (at, seq) *)
+  arena : ev array ref;
+      (* Behind a ref so the heap's comparison closure follows growth. *)
+  mutable free_stack : int array;
+  mutable free_top : int;
   mutable event_seq : int;
   mutable now : int;
   prng : Prng.t;
@@ -49,10 +85,74 @@ let on_token_loss t f = t.token_loss_cb <- f
 let set_drop t f = t.drop <- f
 let is_alive t i = t.alive.(i)
 
-let schedule t at ev =
-  let at = max at t.now in
+(* ------------------------------------------------------------------ *)
+(* Event arena                                                          *)
+
+let grow_arena t =
+  let old = !(t.arena) in
+  let old_n = Array.length old in
+  let n = max 64 (2 * old_n) in
+  let arena = Array.init n (fun i -> if i < old_n then old.(i) else fresh_ev ()) in
+  t.arena := arena;
+  let stack = Array.make n 0 in
+  Array.blit t.free_stack 0 stack 0 t.free_top;
+  t.free_stack <- stack;
+  for i = old_n to n - 1 do
+    t.free_stack.(t.free_top) <- i;
+    t.free_top <- t.free_top + 1
+  done
+
+let alloc_ev t =
+  if t.free_top = 0 then grow_arena t;
+  t.free_top <- t.free_top - 1;
+  t.free_stack.(t.free_top)
+
+let enqueue t at i =
+  let e = (!(t.arena)).(i) in
+  e.at <- (if at < t.now then t.now else at);
   t.event_seq <- t.event_seq + 1;
-  Heap.push t.events (at, t.event_seq, ev)
+  e.seq <- t.event_seq;
+  Heap.push t.events i
+
+let sched_arrival t at node msg =
+  let i = alloc_ev t in
+  let e = (!(t.arena)).(i) in
+  e.kind <- Arrival;
+  e.node <- node;
+  e.msg <- msg;
+  enqueue t at i
+
+let sched_cpu t at node =
+  let i = alloc_ev t in
+  let e = (!(t.arena)).(i) in
+  e.kind <- Cpu_run;
+  e.node <- node;
+  enqueue t at i
+
+let sched_timer t at node timer =
+  let i = alloc_ev t in
+  let e = (!(t.arena)).(i) in
+  e.kind <- Timer;
+  e.node <- node;
+  e.timer <- timer;
+  enqueue t at i
+
+let sched_drain t at node size =
+  let i = alloc_ev t in
+  let e = (!(t.arena)).(i) in
+  e.kind <- Port_drain;
+  e.node <- node;
+  e.size <- size;
+  enqueue t at i
+
+let sched_call t at fn =
+  let i = alloc_ev t in
+  let e = (!(t.arena)).(i) in
+  e.kind <- Call;
+  e.fn <- fn;
+  enqueue t at i
+
+(* ------------------------------------------------------------------ *)
 
 (* Packet size on the wire: base format plus the sending tier's extra
    protocol headers on data messages. *)
@@ -68,107 +168,117 @@ let wake_cpu t dst =
   if t.alive.(dst) && not t.cpu_scheduled.(dst) && t.parts.(dst).has_work ()
   then begin
     t.cpu_scheduled.(dst) <- true;
-    schedule t (max t.now t.cpu_busy.(dst)) (Cpu_run dst)
+    sched_cpu t (max t.now t.cpu_busy.(dst)) dst
   end
 
-(* Transmit [msg] from [src] to [dsts], starting serialization at the NIC
-   no earlier than [at]. One NIC serialization per send (IP-multicast); the
-   switch replicates into each destination's output-port queue, dropping on
-   overflow. *)
-let transmit t ~at src msg dsts =
-  let size = packet_size t src msg in
+(* Replicate an already-serialized packet into [dst]'s output-port queue,
+   dropping on overflow. [at_switch]/[tx] come from the one NIC
+   serialization shared by every destination (IP-multicast). *)
+let port_enqueue t ~at_switch ~tx ~size ~src ~dst msg =
+  if not t.alive.(dst) then ()
+  else if t.drop ~src ~dst msg then begin
+    t.stats.partition_drops <- t.stats.partition_drops + 1;
+    if Trace.enabled () then Trace.emit ~node:dst (Drop { reason = "partition"; size })
+  end
+  else if t.net.loss_prob > 0.0 && Prng.bernoulli t.prng t.net.loss_prob
+  then begin
+    t.stats.random_losses <- t.stats.random_losses + 1;
+    if Trace.enabled () then Trace.emit ~node:dst (Drop { reason = "random"; size })
+  end
+  else if t.port_bytes.(dst) + size > t.net.switch_port_buffer then begin
+    t.stats.switch_drops <- t.stats.switch_drops + 1;
+    if Trace.enabled () then Trace.emit ~node:dst (Drop { reason = "switch"; size })
+  end
+  else begin
+    t.port_bytes.(dst) <- t.port_bytes.(dst) + size;
+    let port_start = max at_switch t.port_free.(dst) in
+    let port_done = port_start + tx in
+    t.port_free.(dst) <- port_done;
+    sched_drain t port_done dst size;
+    sched_arrival t (port_done + t.net.latency_ns) dst msg
+  end
+
+(* Serialize [msg] out of [src]'s NIC no earlier than [at]; returns the
+   instant the packet reaches the switch, having advanced the NIC clock. *)
+let nic_serialize t ~at src size =
   t.stats.packets_sent <- t.stats.packets_sent + 1;
   let tx = Profile.tx_ns t.net size in
   let nic_start = max at t.nic_free.(src) in
   let at_switch = nic_start + tx in
   t.nic_free.(src) <- at_switch;
-  let dropped dst reason =
-    if Trace.enabled () then
-      Trace.emit ~node:dst (Drop { reason; size })
-  in
-  List.iter
-    (fun dst ->
-      if not t.alive.(dst) then ()
-      else if t.drop ~src ~dst msg then begin
-        t.stats.partition_drops <- t.stats.partition_drops + 1;
-        dropped dst "partition"
-      end
-      else if t.net.loss_prob > 0.0 && Prng.bernoulli t.prng t.net.loss_prob
-      then begin
-        t.stats.random_losses <- t.stats.random_losses + 1;
-        dropped dst "random"
-      end
-      else if t.port_bytes.(dst) + size > t.net.switch_port_buffer then begin
-        t.stats.switch_drops <- t.stats.switch_drops + 1;
-        dropped dst "switch"
-      end
-      else begin
-        t.port_bytes.(dst) <- t.port_bytes.(dst) + size;
-        let port_start = max at_switch t.port_free.(dst) in
-        let port_done = port_start + tx in
-        t.port_free.(dst) <- port_done;
-        schedule t port_done (Port_drain (dst, size));
-        schedule t (port_done + t.net.latency_ns) (Arrival (dst, msg))
-      end)
-    dsts
+  at_switch
 
-let all_except t src =
-  let dsts = ref [] in
-  for i = Array.length t.parts - 1 downto 0 do
-    if i <> src then dsts := i :: !dsts
-  done;
-  !dsts
+let transmit_unicast t ~at src msg dst =
+  let size = packet_size t src msg in
+  let tx = Profile.tx_ns t.net size in
+  let at_switch = nic_serialize t ~at src size in
+  port_enqueue t ~at_switch ~tx ~size ~src ~dst msg
+
+(* Fan out to every live participant but the source, in pid order — the
+   same destination order the seed built as an explicit list. *)
+let transmit_multicast t ~at src msg =
+  let size = packet_size t src msg in
+  let tx = Profile.tx_ns t.net size in
+  let at_switch = nic_serialize t ~at src size in
+  let n = Array.length t.parts in
+  for dst = 0 to n - 1 do
+    if dst <> src then port_enqueue t ~at_switch ~tx ~size ~src ~dst msg
+  done
 
 (* Interpret a participant's actions, advancing a CPU cursor so that each
-   send and each delivery occupies the CPU serially in action order. *)
-let interpret t node actions ~cursor =
-  let tier = t.tiers.(node) in
-  List.fold_left
-    (fun cursor action ->
-      match action with
-      | Participant.Unicast (dst, msg) ->
-          let cursor = cursor + tier.Profile.send_op_ns in
-          if dst = node then
-            (* Loopback (e.g. handing oneself the initial token). *)
-            schedule t (cursor + 1_000) (Arrival (dst, msg))
-          else transmit t ~at:cursor node msg [ dst ];
-          cursor
-      | Participant.Multicast msg ->
-          let cursor = cursor + tier.Profile.send_op_ns in
-          transmit t ~at:cursor node msg (all_except t node);
-          cursor
-      | Participant.Deliver d ->
-          let cursor = cursor + tier.Profile.deliver_ns in
-          if Trace.enabled () then
-            Trace.emit_at ~t_ns:cursor ~node
-              (Deliver
-                 {
-                   ring = d.d_ring;
-                   seq = d.seq;
-                   sender = d.pid;
-                   service = Types.service_to_string d.service;
-                 });
-          t.deliver_cb ~at:node ~now:cursor d;
-          cursor
-      | Participant.Deliver_config v ->
-          let cursor = cursor + tier.Profile.deliver_ns in
-          if Trace.enabled () then
-            Trace.emit_at ~t_ns:cursor ~node
-              (View_install
-                 {
-                   ring = v.view_id;
-                   members = v.members;
-                   transitional = v.transitional;
-                 });
-          t.view_cb ~at:node ~now:cursor v;
-          cursor
-      | Participant.Arm_timer (timer, delay) ->
-          schedule t (cursor + delay) (Timer (node, timer));
-          cursor
-      | Participant.Token_loss_detected ->
-          t.token_loss_cb ~at:node ~now:cursor;
-          cursor)
-    cursor actions
+   send and each delivery occupies the CPU serially in action order.
+   Explicit recursion: no fold closure per call. *)
+let rec interpret t node actions ~cursor =
+  match actions with
+  | [] -> cursor
+  | action :: rest ->
+      let tier = t.tiers.(node) in
+      let cursor =
+        match action with
+        | Participant.Unicast (dst, msg) ->
+            let cursor = cursor + tier.Profile.send_op_ns in
+            if dst = node then
+              (* Loopback (e.g. handing oneself the initial token). *)
+              sched_arrival t (cursor + 1_000) dst msg
+            else transmit_unicast t ~at:cursor node msg dst;
+            cursor
+        | Participant.Multicast msg ->
+            let cursor = cursor + tier.Profile.send_op_ns in
+            transmit_multicast t ~at:cursor node msg;
+            cursor
+        | Participant.Deliver d ->
+            let cursor = cursor + tier.Profile.deliver_ns in
+            if Trace.enabled () then
+              Trace.emit_at ~t_ns:cursor ~node
+                (Deliver
+                   {
+                     ring = d.d_ring;
+                     seq = d.seq;
+                     sender = d.pid;
+                     service = Types.service_to_string d.service;
+                   });
+            t.deliver_cb ~at:node ~now:cursor d;
+            cursor
+        | Participant.Deliver_config v ->
+            let cursor = cursor + tier.Profile.deliver_ns in
+            if Trace.enabled () then
+              Trace.emit_at ~t_ns:cursor ~node
+                (View_install
+                   {
+                     ring = v.view_id;
+                     members = v.members;
+                     transitional = v.transitional;
+                   });
+            t.view_cb ~at:node ~now:cursor v;
+            cursor
+        | Participant.Arm_timer (timer, delay) ->
+            sched_timer t (cursor + delay) node timer;
+            cursor
+        | Participant.Token_loss_detected ->
+            t.token_loss_cb ~at:node ~now:cursor;
+            cursor
+      in
+      interpret t node rest ~cursor
 
 let proc_cost t node msg =
   let tier = t.tiers.(node) in
@@ -181,13 +291,14 @@ let proc_cost t node msg =
       Profile.data_proc_cost tier ~mtu:t.net.Profile.mtu ~wire_bytes
   | Message.Join _ -> tier.Profile.token_proc_ns
 
-let handle_event t = function
-  | Arrival (dst, msg) ->
-      if t.alive.(dst) then begin
-        ignore (t.parts.(dst).receive msg);
-        wake_cpu t dst
+let dispatch t kind node size msg timer fn =
+  match kind with
+  | Arrival ->
+      if t.alive.(node) then begin
+        ignore (t.parts.(node).receive msg);
+        wake_cpu t node
       end
-  | Cpu_run node ->
+  | Cpu_run ->
       t.cpu_scheduled.(node) <- false;
       if t.alive.(node) then begin
         match t.parts.(node).take_next () with
@@ -199,7 +310,7 @@ let handle_event t = function
             t.cpu_busy.(node) <- busy;
             wake_cpu t node
       end
-  | Timer (node, timer) ->
+  | Timer ->
       if t.alive.(node) then begin
         let actions = t.parts.(node).fire_timer timer in
         if actions <> [] then begin
@@ -208,20 +319,48 @@ let handle_event t = function
           t.cpu_busy.(node) <- busy
         end
       end
-  | Port_drain (node, size) -> t.port_bytes.(node) <- t.port_bytes.(node) - size
-  | Call f -> f ()
+  | Port_drain -> t.port_bytes.(node) <- t.port_bytes.(node) - size
+  | Call -> fn ()
+  | Free -> assert false
+
+(* Pop the minimum event, copy its fields out, recycle the slot, then
+   dispatch — handlers may schedule into (and reuse) the freed slot. *)
+let step t =
+  let i = Heap.pop_exn t.events in
+  let e = (!(t.arena)).(i) in
+  t.now <- e.at;
+  let kind = e.kind and node = e.node and size = e.size in
+  let msg = e.msg and timer = e.timer and fn = e.fn in
+  e.kind <- Free;
+  e.msg <- dummy_msg;
+  e.timer <- No_timer;
+  e.fn <- ignore;
+  t.free_stack.(t.free_top) <- i;
+  t.free_top <- t.free_top + 1;
+  dispatch t kind node size msg timer fn
+
+let initial_arena = 256
 
 let create ~net ~tiers ~participants ?(seed = 1L) () =
   let n = Array.length participants in
   if Array.length tiers <> n then
     invalid_arg "Netsim.create: tiers and participants must align";
+  let arena = ref (Array.init initial_arena (fun _ -> fresh_ev ())) in
+  let events =
+    Heap.create ~cmp:(fun i j ->
+        let a = (!arena).(i) and b = (!arena).(j) in
+        if a.at <> b.at then compare a.at b.at else compare a.seq b.seq)
+  in
+  Heap.reserve events initial_arena;
   let t =
     {
       net;
       tiers;
       parts = participants;
-      events = Heap.create ~cmp:(fun (ta, sa, _) (tb, sb, _) ->
-          match compare ta tb with 0 -> compare sa sb | c -> c);
+      events;
+      arena;
+      free_stack = Array.init initial_arena (fun i -> i);
+      free_top = initial_arena;
       event_seq = 0;
       now = 0;
       prng = Prng.create ~seed;
@@ -249,8 +388,8 @@ let create ~net ~tiers ~participants ?(seed = 1L) () =
   Trace.set_clock (fun () -> t.now);
   Array.iteri
     (fun i p ->
-      schedule t 0
-        (Call (fun () -> ignore (interpret t i (p.Participant.start ()) ~cursor:t.now))))
+      sched_call t 0 (fun () ->
+          ignore (interpret t i (p.Participant.start ()) ~cursor:t.now)))
     participants;
   t
 
@@ -265,14 +404,14 @@ let submit_now t ~node service payload =
   end
 
 let submit_at t ~at ~node service payload =
-  schedule t at (Call (fun () -> submit_now t ~node service payload))
+  sched_call t at (fun () -> submit_now t ~node service payload)
 
-let call_at t ~at f = schedule t at (Call f)
+let call_at t ~at f = sched_call t at f
 
 let set_drop_until t ~until f =
   let prev = t.drop in
   t.drop <- (fun ~src ~dst msg -> f ~src ~dst msg || prev ~src ~dst msg);
-  schedule t until (Call (fun () -> t.drop <- prev))
+  sched_call t until (fun () -> t.drop <- prev)
 
 let crash t node =
   t.alive.(node) <- false;
@@ -288,23 +427,22 @@ let record_metrics t reg =
 let run_until t horizon =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.events with
-    | Some (at, _, _) when at <= horizon ->
-        let at, _, ev = Heap.pop_exn t.events in
-        t.now <- at;
-        handle_event t ev
-    | Some _ | None ->
-        continue := false;
-        t.now <- max t.now horizon
+    if
+      (not (Heap.is_empty t.events))
+      && (!(t.arena)).(Heap.top_exn t.events).at <= horizon
+    then step t
+    else begin
+      continue := false;
+      t.now <- max t.now horizon
+    end
   done
 
 let run_while_work t ~max_ns =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.events with
-    | Some (at, _, _) when at <= max_ns ->
-        let at, _, ev = Heap.pop_exn t.events in
-        t.now <- at;
-        handle_event t ev
-    | Some _ | None -> continue := false
+    if
+      (not (Heap.is_empty t.events))
+      && (!(t.arena)).(Heap.top_exn t.events).at <= max_ns
+    then step t
+    else continue := false
   done

@@ -20,6 +20,10 @@ type t = {
   token_sock : Unix.file_descr;
   timers : (int * Participant.timer) Heap.t;  (* absolute ns *)
   recv_buf : bytes;
+  pool : Message.Pool.pool;
+      (* Reusable encode scratch + decode cursor: sends go straight from
+         the pool's buffer to [sendto], receives decode in place from
+         [recv_buf] — no per-packet [bytes] copies. *)
   on_deliver : Message.data -> unit;
   on_view : Participant.view -> unit;
   mutable stop_requested : bool;
@@ -61,6 +65,7 @@ let create ~me ~peers ~participant ?(on_deliver = fun _ -> ())
     token_sock = make_socket ~port:self.token_port;
     timers = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
     recv_buf = Bytes.create 65536;
+    pool = Message.Pool.create ~initial_capacity:65536 ();
     on_deliver;
     on_view;
     stop_requested = false;
@@ -92,10 +97,10 @@ let send_to t sock_kind pid msg =
         (* Self-delivery (e.g. the representative's initial token). *)
         ignore (t.participant.receive msg)
   | Some (_, data_addr, token_addr) ->
-      let buf = Message.encode msg in
+      let buf, len = Message.Pool.encode_view t.pool msg in
       let dst = match sock_kind with `Data -> data_addr | `Token -> token_addr in
       let sock = match sock_kind with `Data -> t.data_sock | `Token -> t.token_sock in
-      (try ignore (Unix.sendto sock buf 0 (Bytes.length buf) [] dst)
+      (try ignore (Unix.sendto sock buf 0 len [] dst)
        with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
          (* UDP best-effort: a full buffer or a dead peer is packet loss,
             which the protocol tolerates. *)
@@ -163,7 +168,7 @@ let drain_socket t sock =
     | len, _from -> (
         decr budget;
         t.packets_received <- t.packets_received + 1;
-        match Message.decode (Bytes.sub t.recv_buf 0 len) with
+        match Message.Pool.decode_sub t.pool t.recv_buf ~pos:0 ~len with
         | msg -> ignore (t.participant.receive msg)
         | exception Codec.Decode_error _ ->
             t.decode_errors <- t.decode_errors + 1)

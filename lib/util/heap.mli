@@ -22,11 +22,23 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** [peek h] is the minimum element of [h] without removing it. *)
 
+val top_exn : 'a t -> 'a
+(** [top_exn h] is the minimum element of [h] without removing it — the
+    non-allocating {!val:peek} ([Some] boxes) for hot loops.
+    @raise Invalid_argument if [h] is empty. *)
+
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element of [h]. *)
 
 val pop_exn : 'a t -> 'a
-(** [pop_exn h] is [pop h], raising [Invalid_argument] if [h] is empty. *)
+(** [pop_exn h] removes and returns the minimum element without boxing an
+    option. @raise Invalid_argument if [h] is empty. *)
+
+val reserve : 'a t -> int -> unit
+(** [reserve h n] grows the backing array to hold at least [n] elements so
+    subsequent pushes up to [n] never resize. On a heap that has never
+    held an element the request is remembered and applied at the first
+    push (there is no value to seed the array with yet). Never shrinks. *)
 
 val clear : 'a t -> unit
 (** [clear h] removes every element from [h]. *)

@@ -1,5 +1,81 @@
 exception Decode_error of string
 
+(* ------------------------------------------------------------------ *)
+(* Explicit-offset primitives into caller-owned bytes                   *)
+
+let set_u8 buf pos n =
+  if n < 0 || n > 0xFF then invalid_arg "Codec.set_u8: out of range";
+  Bytes.unsafe_set buf pos (Char.unsafe_chr n);
+  pos + 1
+
+let set_bool buf pos b = set_u8 buf pos (if b then 1 else 0)
+
+let set_i32 buf pos n =
+  if n < -0x8000_0000 || n > 0x7FFF_FFFF then
+    invalid_arg "Codec.set_i32: out of range";
+  Bytes.set_int32_be buf pos (Int32.of_int n);
+  pos + 4
+
+let set_i64 buf pos n =
+  Bytes.set_int64_be buf pos (Int64.of_int n);
+  pos + 8
+
+let set_bytes buf pos b =
+  let len = Bytes.length b in
+  let pos = set_i32 buf pos len in
+  Bytes.blit b 0 buf pos len;
+  pos + len
+
+(* ------------------------------------------------------------------ *)
+(* Reusable scratch buffer: grows in place, allocates nothing once warm *)
+
+type scratch = { mutable sbuf : bytes; mutable slen : int }
+
+let scratch ?(initial_capacity = 256) () =
+  { sbuf = Bytes.create (max 16 initial_capacity); slen = 0 }
+
+let scratch_reset s = s.slen <- 0
+let scratch_length s = s.slen
+let scratch_buffer s = s.sbuf
+let scratch_contents s = Bytes.sub s.sbuf 0 s.slen
+
+let scratch_ensure s extra =
+  let need = s.slen + extra in
+  if need > Bytes.length s.sbuf then begin
+    let cap = ref (2 * Bytes.length s.sbuf) in
+    while need > !cap do
+      cap := 2 * !cap
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit s.sbuf 0 bigger 0 s.slen;
+    s.sbuf <- bigger
+  end
+
+let put_u8 s n =
+  scratch_ensure s 1;
+  s.slen <- set_u8 s.sbuf s.slen n
+
+let put_bool s b = put_u8 s (if b then 1 else 0)
+
+let put_i32 s n =
+  scratch_ensure s 4;
+  s.slen <- set_i32 s.sbuf s.slen n
+
+let put_i64 s n =
+  scratch_ensure s 8;
+  s.slen <- set_i64 s.sbuf s.slen n
+
+let put_bytes s b =
+  scratch_ensure s (4 + Bytes.length b);
+  s.slen <- set_bytes s.sbuf s.slen b
+
+let put_list s f l =
+  put_i32 s (List.length l);
+  List.iter f l
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-based encoder (reference implementation)                      *)
+
 type encoder = Buffer.t
 
 let encoder () = Buffer.create 256
@@ -27,11 +103,23 @@ let write_list e f l =
   write_i32 e (List.length l);
   List.iter f l
 
-type decoder = { buf : bytes; mutable pos : int }
+(* ------------------------------------------------------------------ *)
+(* Decoder: a reusable cursor over a byte-string slice                  *)
 
-let decoder buf = { buf; pos = 0 }
+type decoder = { mutable dbuf : bytes; mutable pos : int; mutable limit : int }
 
-let remaining d = Bytes.length d.buf - d.pos
+let decoder buf = { dbuf = buf; pos = 0; limit = Bytes.length buf }
+
+let decoder_empty () = { dbuf = Bytes.empty; pos = 0; limit = 0 }
+
+let decoder_reset d buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.decoder_reset: slice out of bounds";
+  d.dbuf <- buf;
+  d.pos <- pos;
+  d.limit <- pos + len
+
+let remaining d = d.limit - d.pos
 
 let need d n =
   if remaining d < n then
@@ -39,7 +127,7 @@ let need d n =
 
 let read_u8 d =
   need d 1;
-  let n = Char.code (Bytes.get d.buf d.pos) in
+  let n = Char.code (Bytes.get d.dbuf d.pos) in
   d.pos <- d.pos + 1;
   n
 
@@ -51,13 +139,13 @@ let read_bool d =
 
 let read_i32 d =
   need d 4;
-  let n = Int32.to_int (Bytes.get_int32_be d.buf d.pos) in
+  let n = Int32.to_int (Bytes.get_int32_be d.dbuf d.pos) in
   d.pos <- d.pos + 4;
   n
 
 let read_i64 d =
   need d 8;
-  let n = Int64.to_int (Bytes.get_int64_be d.buf d.pos) in
+  let n = Int64.to_int (Bytes.get_int64_be d.dbuf d.pos) in
   d.pos <- d.pos + 8;
   n
 
@@ -65,7 +153,7 @@ let read_bytes d =
   let len = read_i32 d in
   if len < 0 then raise (Decode_error "negative byte-string length");
   need d len;
-  let b = Bytes.sub d.buf d.pos len in
+  let b = Bytes.sub d.dbuf d.pos len in
   d.pos <- d.pos + len;
   b
 

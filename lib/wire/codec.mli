@@ -4,9 +4,63 @@
     compactness: fixed 8-byte integers, 4-byte lengths. Decoding raises
     {!Decode_error} on malformed input rather than returning partial
     values, so a corrupted packet can be dropped whole (the system model
-    assumes no corruption; this guards against bugs and truncation). *)
+    assumes no corruption; this guards against bugs and truncation).
+
+    Two write paths produce byte-identical output:
+
+    - the original {!encoder} (a [Buffer.t]) — the {e reference}
+      implementation, kept for clarity and as the oracle in golden and
+      property tests;
+    - the {!scratch} path — explicit-offset stores into a caller-owned,
+      grow-in-place byte buffer. Once the buffer has grown to the working
+      set's frame size, encoding allocates {e nothing}; this is the hot
+      path used by the pooled message codec (see {!Aring_wire.Message.Pool}). *)
 
 exception Decode_error of string
+
+(** {2 Explicit-offset primitives}
+
+    Each [set_*] stores at [pos] in a caller-owned buffer and returns the
+    position one past the written field. The caller is responsible for
+    capacity ([Bytes.length buf]); these never grow the buffer. *)
+
+val set_u8 : bytes -> int -> int -> int
+val set_bool : bytes -> int -> bool -> int
+val set_i32 : bytes -> int -> int -> int
+(** [set_i32 buf pos n] requires [n] to fit in 32 signed bits. *)
+
+val set_i64 : bytes -> int -> int -> int
+val set_bytes : bytes -> int -> bytes -> int
+(** Length-prefixed (4 bytes) byte string. *)
+
+(** {2 Reusable scratch buffer}
+
+    A {!scratch} owns a byte buffer that doubles in place on demand and is
+    reused across encodes via {!scratch_reset} — steady-state writes are
+    allocation-free. *)
+
+type scratch
+
+val scratch : ?initial_capacity:int -> unit -> scratch
+val scratch_reset : scratch -> unit
+(** Forget the contents; the backing buffer (and its capacity) is kept. *)
+
+val scratch_length : scratch -> int
+val scratch_buffer : scratch -> bytes
+(** The backing buffer itself — valid up to {!scratch_length}, invalidated
+    by the next write or reset. Zero-copy read access for sends. *)
+
+val scratch_contents : scratch -> bytes
+(** A fresh copy of the written bytes. *)
+
+val put_u8 : scratch -> int -> unit
+val put_bool : scratch -> bool -> unit
+val put_i32 : scratch -> int -> unit
+val put_i64 : scratch -> int -> unit
+val put_bytes : scratch -> bytes -> unit
+val put_list : scratch -> ('a -> unit) -> 'a list -> unit
+
+(** {2 Buffer-based reference encoder} *)
 
 type encoder
 (** Mutable output buffer. *)
@@ -27,10 +81,23 @@ val write_bytes : encoder -> bytes -> unit
 val write_list : encoder -> ('a -> unit) -> 'a list -> unit
 (** Count-prefixed (4 bytes) list; elements written with the callback. *)
 
+(** {2 Decoder} *)
+
 type decoder
-(** Read cursor over an input byte string. *)
+(** Read cursor over a byte-string slice. Reusable: {!decoder_reset}
+    re-points an existing cursor without allocating, so a long-lived
+    decoder (e.g. over a receive buffer) costs nothing per packet. *)
 
 val decoder : bytes -> decoder
+(** Cursor over the whole byte string. *)
+
+val decoder_empty : unit -> decoder
+(** An exhausted cursor, for later {!decoder_reset}. *)
+
+val decoder_reset : decoder -> bytes -> pos:int -> len:int -> unit
+(** Re-point [d] at the slice [\[pos, pos+len)] of [buf].
+    @raise Invalid_argument if the slice is out of bounds. *)
+
 val remaining : decoder -> int
 
 val read_u8 : decoder -> int

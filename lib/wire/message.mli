@@ -82,7 +82,45 @@ val kind : t -> string
 (** Short human-readable tag ("data", "token", "join", "commit"). *)
 
 val encode : t -> bytes
-(** [encode m] is the wire representation of [m]. *)
+(** [encode m] is the wire representation of [m] — the {e reference}
+    encoder, built on [Buffer]. The pooled paths below produce
+    byte-identical output (asserted by the golden-vector and property
+    suites) while allocating nothing in steady state. *)
+
+val encode_into : Codec.scratch -> t -> unit
+(** [encode_into s m] resets [s] and writes [m]'s wire representation into
+    it. Once the scratch has grown to the working frame size this
+    allocates nothing; read the result with {!Codec.scratch_buffer} /
+    {!Codec.scratch_length} (zero-copy) or {!Codec.scratch_contents}. *)
+
+(** Pooled encode/decode for the hot paths (regular token and data).
+
+    A pool owns one scratch encoder and one decoder cursor, reused across
+    calls: encoding into the pool and decoding from a caller-owned receive
+    buffer touch no [Buffer], no intermediate [bytes], and no fresh cursor
+    records. Pools are not thread-safe; use one per runtime loop. *)
+module Pool : sig
+  type pool
+
+  val create : ?initial_capacity:int -> unit -> pool
+
+  val encode_view : pool -> t -> bytes * int
+  (** [(buf, len)] — the pool-owned encoding of the message, valid until
+      the next [encode]/[encode_view] on this pool. The zero-allocation
+      transmit path: hand [buf] up to [len] straight to [sendto]. *)
+
+  val encode : pool -> t -> bytes
+  (** Like {!encode_view} but returns a fresh copy (allocates only the
+      result). Byte-identical to the top-level reference {!val:encode}. *)
+
+  val decode_sub : pool -> bytes -> pos:int -> len:int -> t
+  (** Decode the message occupying [\[pos, pos+len)] of a caller-owned
+      buffer (e.g. a socket receive buffer) without copying the slice.
+      @raise Codec.Decode_error on malformed input. *)
+
+  val decode : pool -> bytes -> t
+  (** [decode_sub] over the whole byte string. *)
+end
 
 val decode : bytes -> t
 (** [decode b] parses a wire message.

@@ -1,0 +1,14 @@
+(* Regenerate the committed golden-vector file. Only run this when the
+   wire format changes ON PURPOSE; the golden test exists to make silent
+   format drift impossible.
+
+     dune exec test/gen_vectors.exe -- test/vectors/frames.bin *)
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/vectors/frames.bin"
+  in
+  Aring_test_vectors.Vectors_def.write_file path;
+  Printf.printf "wrote %d frames to %s\n"
+    (List.length Aring_test_vectors.Vectors_def.all)
+    path

@@ -153,15 +153,45 @@ let test_finds_skip_retransmission () =
 (* ------------------------------------------------------------------ *)
 (* Corpus replay: every committed reproducer must stay green           *)
 
+(* [corpus/trace_hashes.txt] pins the FNV-1a trace hash of every committed
+   schedule, captured before the hot-path rewrite. Lines are
+   "<basename> <16-hex-digit hash>"; '#' starts a comment. *)
+let committed_hashes () =
+  let ic = open_in "corpus/trace_hashes.txt" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then loop acc
+            else
+              Scanf.sscanf line "%s %Lx" (fun name h -> loop ((name, h) :: acc))
+      in
+      loop [])
+
 let test_corpus_replays_green () =
   let entries = Corpus.load_dir "corpus" in
   Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 3);
+  let oracle = committed_hashes () in
+  Alcotest.(check int)
+    "every corpus entry has a committed hash" (List.length entries)
+    (List.length oracle);
   List.iter
     (fun (name, schedule) ->
       let o = Fuzzer.replay schedule in
       if not (Runner.passed o) then
         Alcotest.failf "corpus entry %s regressed: %s" name
-          (Format.asprintf "%a" Runner.pp_outcome o))
+          (Format.asprintf "%a" Runner.pp_outcome o);
+      match List.assoc_opt (Filename.basename name) oracle with
+      | None -> Alcotest.failf "no committed trace hash for %s" name
+      | Some expected ->
+          if o.Runner.trace_hash <> expected then
+            Alcotest.failf
+              "corpus entry %s trace drifted: hash %Lx, committed %Lx" name
+              o.Runner.trace_hash expected)
     entries
 
 let test_corpus_save_load () =

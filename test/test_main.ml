@@ -6,6 +6,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("wire", Test_wire.suite);
+      ("vectors", Test_vectors.suite);
       ("params", Test_params.suite);
       ("engine", Test_engine.suite);
       ("sim", Test_sim.suite);

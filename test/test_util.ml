@@ -73,6 +73,79 @@ let prop_heap_interleaved =
             | None, _ :: _ | Some _, [] -> false)
         ops)
 
+let test_heap_top_exn () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "top_exn on empty"
+    (Invalid_argument "Heap.top_exn: empty heap") (fun () ->
+      ignore (Heap.top_exn h));
+  List.iter (Heap.push h) [ 4; 2; 9 ];
+  check Alcotest.int "top is min" 2 (Heap.top_exn h);
+  check Alcotest.int "top removes nothing" 3 (Heap.length h);
+  check Alcotest.int "pop agrees with top" 2 (Heap.pop_exn h)
+
+let test_heap_reserve () =
+  (* On a heap that never held an element the request is deferred to the
+     first push; either way pushes up to the reservation must succeed. *)
+  let h = Heap.create ~cmp:compare in
+  Heap.reserve h 100;
+  for i = 100 downto 1 do
+    Heap.push h i
+  done;
+  check Alcotest.int "all pushed" 100 (Heap.length h);
+  check Alcotest.int "min" 1 (Heap.top_exn h);
+  (* Reserving over a populated heap preserves contents and order. *)
+  let h2 = Heap.create ~cmp:compare in
+  List.iter (Heap.push h2) [ 5; 3; 8 ];
+  Heap.reserve h2 64;
+  check Alcotest.int "pop 3" 3 (Heap.pop_exn h2);
+  check Alcotest.int "pop 5" 5 (Heap.pop_exn h2);
+  check Alcotest.int "pop 8" 8 (Heap.pop_exn h2)
+
+let test_heap_growth_duplicates () =
+  (* Push far past the 16-slot seed array, with heavy duplication, and
+     check the drain is exactly the sorted multiset. *)
+  let h = Heap.create ~cmp:compare in
+  for i = 0 to 499 do
+    Heap.push h (i mod 50)
+  done;
+  check Alcotest.int "length" 500 (Heap.length h);
+  let rec drain acc =
+    if Heap.is_empty h then List.rev acc else drain (Heap.pop_exn h :: acc)
+  in
+  let expected = List.sort compare (List.init 500 (fun i -> i mod 50)) in
+  check (Alcotest.list Alcotest.int) "sorted multiset" expected (drain [])
+
+let prop_heap_drain_sorted_after_churn =
+  (* The heap-property invariant, observed externally: after any random
+     push/pop interleaving (crossing growth boundaries), draining yields
+     the surviving multiset in sorted order. *)
+  QCheck.Test.make ~name:"heap drains sorted after random interleavings"
+    ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := x :: !model
+          end
+          else
+            match Heap.pop h with
+            | None -> ()
+            | Some y ->
+                let rec remove_one = function
+                  | [] -> []
+                  | z :: rest -> if z = y then rest else z :: remove_one rest
+                in
+                model := remove_one !model)
+        ops;
+      let rec drain acc =
+        if Heap.is_empty h then List.rev acc else drain (Heap.pop_exn h :: acc)
+      in
+      drain [] = List.sort compare !model)
+
 (* -------------------------------------------------------------------- *)
 (* Deque                                                                 *)
 
@@ -336,6 +409,21 @@ let test_prng_exponential_positive () =
       (Prng.exponential p ~mean:5.0 >= 0.0)
   done
 
+let test_deque_push_front_wrap_growth () =
+  (* Alternating front/back pushes keep the head wrapped behind the tail
+     while the ring grows several times; the logical order must survive. *)
+  let d = Deque.create () in
+  for i = 1 to 200 do
+    if i mod 2 = 0 then Deque.push_back d i else Deque.push_front d i
+  done;
+  check Alcotest.int "length" 200 (Deque.length d);
+  let expected =
+    List.init 100 (fun k -> 199 - (2 * k)) @ List.init 100 (fun k -> (2 * k) + 2)
+  in
+  check (Alcotest.list Alcotest.int) "order preserved" expected (Deque.to_list d);
+  check (Alcotest.option Alcotest.int) "front" (Some 199) (Deque.pop_front d);
+  check (Alcotest.option Alcotest.int) "back" (Some 200) (Deque.pop_back d)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -343,10 +431,15 @@ let suite =
     ("heap basic", `Quick, test_heap_basic);
     ("heap clear", `Quick, test_heap_clear);
     ("heap pop_exn empty", `Quick, test_heap_pop_exn_empty);
+    ("heap top_exn", `Quick, test_heap_top_exn);
+    ("heap reserve", `Quick, test_heap_reserve);
+    ("heap growth with duplicates", `Quick, test_heap_growth_duplicates);
     qtest prop_heap_sorts;
     qtest prop_heap_interleaved;
+    qtest prop_heap_drain_sorted_after_churn;
     ("deque basic", `Quick, test_deque_basic);
     ("deque wraparound", `Quick, test_deque_wraparound);
+    ("deque push_front wrap + growth", `Quick, test_deque_push_front_wrap_growth);
     ("deque fold/iter", `Quick, test_deque_fold_iter);
     qtest prop_deque_model;
     ("stats basic", `Quick, test_stats_basic);

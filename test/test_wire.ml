@@ -303,6 +303,59 @@ let prop_decode_garbage_never_raises =
       | Ok _ | Error _ -> true
       | exception _ -> false)
 
+(* -------------------------------------------------------------------- *)
+(* Pooled codec: the zero-allocation paths must be byte-identical to the
+   Buffer-based reference encoder and lose nothing on decode.            *)
+
+(* One long-lived pool across all iterations — exactly the hot-path usage
+   pattern, and it makes cross-message state leakage visible. *)
+let shared_pool = Message.Pool.create ()
+
+let prop_pooled_encode_matches_reference =
+  QCheck.Test.make ~name:"pooled encode is byte-identical to reference"
+    ~count:500 message_arbitrary (fun m ->
+      Bytes.equal (Message.Pool.encode shared_pool m) (Message.encode m))
+
+let prop_scratch_encode_matches_reference =
+  QCheck.Test.make ~name:"encode_into is byte-identical to reference"
+    ~count:500 message_arbitrary
+    (let s = Codec.scratch ~initial_capacity:16 () in
+     fun m ->
+       Message.encode_into s m;
+       Bytes.equal (Codec.scratch_contents s) (Message.encode m))
+
+let prop_pooled_roundtrip =
+  QCheck.Test.make ~name:"pooled encode_view/decode_sub round-trips"
+    ~count:500 message_arbitrary (fun m ->
+      let buf, len = Message.Pool.encode_view shared_pool m in
+      Message.Pool.decode_sub shared_pool buf ~pos:0 ~len = m)
+
+let test_codec_set_primitives () =
+  let buf = Bytes.create 64 in
+  let pos = Codec.set_u8 buf 0 200 in
+  let pos = Codec.set_bool buf pos true in
+  let pos = Codec.set_i32 buf pos (-123456) in
+  let pos = Codec.set_i64 buf pos 0x1234_5678_9ABC_DEF in
+  let pos = Codec.set_bytes buf pos (Bytes.of_string "hello") in
+  let d = Codec.decoder_empty () in
+  Codec.decoder_reset d buf ~pos:0 ~len:pos;
+  check Alcotest.int "u8" 200 (Codec.read_u8 d);
+  check Alcotest.bool "bool" true (Codec.read_bool d);
+  check Alcotest.int "i32" (-123456) (Codec.read_i32 d);
+  check Alcotest.int "i64" 0x1234_5678_9ABC_DEF (Codec.read_i64 d);
+  check Alcotest.string "bytes" "hello" (Bytes.to_string (Codec.read_bytes d));
+  Codec.expect_end d
+
+let test_decoder_reset_bounds () =
+  let d = Codec.decoder_empty () in
+  let buf = Bytes.create 8 in
+  Alcotest.check_raises "slice past end"
+    (Invalid_argument "Codec.decoder_reset: slice out of bounds") (fun () ->
+      Codec.decoder_reset d buf ~pos:4 ~len:8);
+  Alcotest.check_raises "negative pos"
+    (Invalid_argument "Codec.decoder_reset: slice out of bounds") (fun () ->
+      Codec.decoder_reset d buf ~pos:(-1) ~len:2)
+
 let test_header_overhead_positive () =
   check Alcotest.bool "header overhead sane" true
     (Message.header_overhead > 0 && Message.header_overhead < 128);
@@ -326,7 +379,12 @@ let suite =
     ("unknown tag rejected", `Quick, test_unknown_tag);
     ("trailing bytes rejected", `Quick, test_decode_rejects_trailing);
     ("header overhead", `Quick, test_header_overhead_positive);
+    ("codec set_* primitives", `Quick, test_codec_set_primitives);
+    ("decoder_reset bounds", `Quick, test_decoder_reset_bounds);
     qtest prop_roundtrip;
+    qtest prop_pooled_encode_matches_reference;
+    qtest prop_scratch_encode_matches_reference;
+    qtest prop_pooled_roundtrip;
     qtest prop_wire_size_exact;
     qtest prop_decode_truncated_fails;
     qtest prop_decode_bitflip_never_raises;
