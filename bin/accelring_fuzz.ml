@@ -9,8 +9,8 @@
 
 open Aring_fuzz
 
-let run trials seed bug_name shrink max_shrink_runs time_budget replay_path
-    corpus_dir quiet =
+let run trials seed bug_name adaptive shrink max_shrink_runs time_budget
+    replay_path corpus_dir quiet =
   let bug =
     match Bug.of_string bug_name with
     | Ok b -> b
@@ -33,7 +33,7 @@ let run trials seed bug_name shrink max_shrink_runs time_budget replay_path
       let failed = ref 0 in
       List.iter
         (fun (name, schedule) ->
-          let outcome = Fuzzer.replay ~bug schedule in
+          let outcome = Fuzzer.replay ~bug ~adaptive schedule in
           Format.printf "%s: %a@." name Runner.pp_outcome outcome;
           if not (Runner.passed outcome) then incr failed)
         entries;
@@ -53,6 +53,7 @@ let run trials seed bug_name shrink max_shrink_runs time_budget replay_path
           Fuzzer.trials;
           seed = Int64.of_int seed;
           bug;
+          adaptive;
           shrink;
           max_shrink_runs;
           stop;
@@ -102,6 +103,15 @@ let bug_name =
           "Inject a known protocol defect: clean, skip-delivery or \
            skip-retransmission. Used to validate the fuzzer itself.")
 
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Run every node with the adaptive accelerated-window controller \
+           enabled, fuzzing the protocol while the per-node window moves. \
+           Trace hashes differ from static-window runs.")
+
 let shrink =
   Arg.(
     value & opt bool true
@@ -145,7 +155,7 @@ let cmd =
   Cmd.v
     (Cmd.info "accelring_fuzz" ~doc)
     Term.(
-      const run $ trials $ seed $ bug_name $ shrink $ max_shrink_runs
-      $ time_budget $ replay_path $ corpus_dir $ quiet)
+      const run $ trials $ seed $ bug_name $ adaptive $ shrink
+      $ max_shrink_runs $ time_budget $ replay_path $ corpus_dir $ quiet)
 
 let () = exit (Cmd.eval cmd)

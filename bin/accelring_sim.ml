@@ -25,7 +25,7 @@ let service_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown service %S" s))
 
 let run nodes net tier protocol service payload rate pw gw aw seconds
-    find_max seed verbose trace_file chrome_file check rotation =
+    find_max seed verbose trace_file chrome_file check rotation adaptive =
   if verbose then Aring_util.Log.setup ~level:Logs.Info ();
   let module Trace = Aring_obs.Trace in
   (* Assemble the requested trace sinks: a JSONL stream, an in-memory
@@ -67,6 +67,10 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
       measure_ns = int_of_float (seconds *. 1e9);
       seed = Int64.of_int seed;
       profile_rotation = rotation;
+      controller =
+        (if adaptive then
+           Some (Aring_control.Controller.default_config ~aw_max:pw ())
+         else None);
     }
   in
   let result =
@@ -180,6 +184,15 @@ let rotation =
     & info [ "rotation" ]
         ~doc:"Profile token rotations (rotation time, messages/round, post-token overlap).")
 
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Give every node an adaptive accelerated-window controller (AIMD, \
+           capped at the personal window); --aw only sets the starting \
+           window.")
+
 let cmd =
   let doc = "Simulate an Accelerated Ring cluster and measure its profile" in
   Cmd.v
@@ -187,6 +200,6 @@ let cmd =
     Term.(
       const run $ nodes $ net $ tier $ protocol $ service $ payload $ rate
       $ pw $ gw $ aw $ seconds $ find_max $ seed $ verbose $ trace_file
-      $ chrome_file $ check $ rotation)
+      $ chrome_file $ check $ rotation $ adaptive)
 
 let () = exit (Cmd.eval cmd)

@@ -4,6 +4,7 @@ type config = {
   trials : int;
   seed : int64;
   bug : Bug.t;
+  adaptive : bool;
   shrink : bool;
   max_shrink_runs : int;
   stop : unit -> bool;
@@ -15,6 +16,7 @@ let default_config =
     trials = 200;
     seed = 1L;
     bug = Bug.Clean;
+    adaptive = false;
     shrink = true;
     max_shrink_runs = 200;
     stop = (fun () -> false);
@@ -37,7 +39,7 @@ let run_campaign cfg =
    while !failure = None && !i < cfg.trials && not (cfg.stop ()) do
      let seed = Prng.next_int64 master in
      let schedule = Schedule.generate ~seed in
-     let outcome = Runner.run ~bug:cfg.bug schedule in
+     let outcome = Runner.run ~bug:cfg.bug ~adaptive:cfg.adaptive schedule in
      incr trials_run;
      (match outcome.Runner.failure with
      | None ->
@@ -57,7 +59,8 @@ let run_campaign cfg =
     match !failure with
     | Some t when cfg.shrink ->
         let r =
-          Shrink.shrink ~bug:cfg.bug ~max_runs:cfg.max_shrink_runs t.schedule
+          Shrink.shrink ~bug:cfg.bug ~adaptive:cfg.adaptive
+            ~max_runs:cfg.max_shrink_runs t.schedule
             t.outcome
         in
         cfg.log
@@ -72,4 +75,5 @@ let run_campaign cfg =
   in
   { trials_run = !trials_run; failure = !failure; shrunk }
 
-let replay ?(bug = Bug.Clean) schedule = Runner.run ~bug schedule
+let replay ?(bug = Bug.Clean) ?(adaptive = false) schedule =
+  Runner.run ~bug ~adaptive schedule

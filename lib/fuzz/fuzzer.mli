@@ -12,6 +12,10 @@ type config = {
   trials : int;  (** Maximum schedules to try. *)
   seed : int64;  (** Campaign master seed. *)
   bug : Bug.t;  (** Injected defect ({!Bug.Clean} for real fuzzing). *)
+  adaptive : bool;
+      (** Run every node with the AIMD accelerated-window controller
+          enabled, fuzzing the protocol while the window moves (see
+          {!Runner.run}). *)
   shrink : bool;  (** Minimize the first failure. *)
   max_shrink_runs : int;
   stop : unit -> bool;
@@ -21,8 +25,8 @@ type config = {
 }
 
 val default_config : config
-(** 200 trials, seed 1, clean, shrink on (budget 200), never stops
-    early, silent log. *)
+(** 200 trials, seed 1, clean, static window, shrink on (budget 200),
+    never stops early, silent log. *)
 
 type trial = { index : int; schedule : Schedule.t; outcome : Runner.outcome }
 
@@ -35,5 +39,5 @@ type report = {
 val run_campaign : config -> report
 (** Run schedules until one fails, [trials] pass, or [stop ()]. *)
 
-val replay : ?bug:Bug.t -> Schedule.t -> Runner.outcome
+val replay : ?bug:Bug.t -> ?adaptive:bool -> Schedule.t -> Runner.outcome
 (** Re-execute one schedule (corpus entry or pasted reproducer). *)

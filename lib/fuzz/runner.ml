@@ -141,7 +141,7 @@ let install_workload sim (s : Schedule.t) (members : Member.t array) =
     Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
   done
 
-let run ?(bug = Bug.Clean) (s : Schedule.t) =
+let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
   let c = s.config in
   let n = c.Schedule.n_nodes in
   let params = Schedule.params c in
@@ -149,8 +149,22 @@ let run ?(bug = Bug.Clean) (s : Schedule.t) =
     Array.of_list (List.map Schedule.tier c.Schedule.tier_ids)
   in
   let initial_ring = Array.init n (fun i -> i) in
+  (* One controller per member: the adaptive window is node-local state, so
+     each node learns independently. The controller draws no entropy of its
+     own, so runs stay deterministic per schedule. *)
+  let controller () =
+    if adaptive then
+      Some
+        (Aring_control.Controller.create
+           ~config:
+             (Aring_control.Controller.default_config
+                ~aw_max:params.Params.personal_window ())
+           ~init:params.Params.accelerated_window ())
+    else None
+  in
   let members =
-    Array.init n (fun me -> Member.create ~params ~me ~initial_ring ())
+    Array.init n (fun me ->
+        Member.create ~params ~me ~initial_ring ?controller:(controller ()) ())
   in
   let participants =
     Array.init n (fun i -> Bug.wrap bug ~node:i (Member.participant members.(i)))

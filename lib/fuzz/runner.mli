@@ -48,10 +48,15 @@ type outcome = {
   end_ns : int;  (** Simulated time at which the run stopped. *)
 }
 
-val run : ?bug:Bug.t -> Schedule.t -> outcome
+val run : ?bug:Bug.t -> ?adaptive:bool -> Schedule.t -> outcome
 (** Execute the schedule. [bug] (default {!Bug.Clean}) wraps every
     participant before the cluster is built — used to prove the fuzzer
-    catches seeded protocol defects. *)
+    catches seeded protocol defects. With [adaptive] (default [false]),
+    every member runs the AIMD accelerated-window controller
+    ({!Aring_control.Controller}), exercising the ordering and membership
+    invariants while the per-node window moves. Runs stay deterministic
+    per schedule either way; the trace hash differs between the two modes
+    because the controller changes send timing. *)
 
 val passed : outcome -> bool
 val failure_label : failure -> string

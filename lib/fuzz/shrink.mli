@@ -23,8 +23,15 @@ type result = {
 }
 
 val shrink :
-  ?bug:Bug.t -> ?max_runs:int -> Schedule.t -> Runner.outcome -> result
+  ?bug:Bug.t ->
+  ?adaptive:bool ->
+  ?max_runs:int ->
+  Schedule.t ->
+  Runner.outcome ->
+  result
 (** [shrink sched outcome] minimizes [sched], whose run produced the
     failing [outcome]. [max_runs] (default 200) bounds candidate
     executions; the best schedule found within the budget is returned.
-    If [outcome] did not fail, [sched] is returned unchanged. *)
+    If [outcome] did not fail, [sched] is returned unchanged. [adaptive]
+    must match the mode of the original run so candidates reproduce the
+    same behavior (see {!Runner.run}). *)

@@ -5,6 +5,7 @@ module Stats = Aring_util.Stats
 module Trace = Aring_obs.Trace
 module Metrics = Aring_obs.Metrics
 module Rotation = Aring_obs.Rotation
+module Controller = Aring_control.Controller
 
 type spec = {
   label : string;
@@ -15,10 +16,21 @@ type spec = {
   payload : int;
   service : Types.service;
   offered_mbps : float;
+  load : (int * float) list;
   warmup_ns : int;
   measure_ns : int;
   seed : int64;
   profile_rotation : bool;
+  controller : Controller.config option;
+}
+
+type phase = {
+  p_start_ns : int;
+  p_end_ns : int;
+  p_offered_mbps : float;
+  p_delivered_mbps : float;
+  p_latency_us : Stats.t;
+  p_deliveries : int;
 }
 
 type result = {
@@ -30,6 +42,7 @@ type result = {
   random_losses : int;
   retransmissions : int;
   token_rounds : int;
+  phases : phase list;
   metrics : Metrics.t;
   rotation : Rotation.summary option;
 }
@@ -44,13 +57,46 @@ let default_spec =
     payload = 1350;
     service = Types.Agreed;
     offered_mbps = 200.0;
+    load = [];
     warmup_ns = 100_000_000;
     measure_ns = 400_000_000;
     seed = 1L;
     profile_rotation = false;
+    controller = None;
   }
 
 let ring_id : Types.ring_id = { rep = 0; ring_seq = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Time-varying load profiles                                          *)
+
+(* The load schedule is piecewise constant: [(t, mbps)] means "from
+   simulated time t on, offer mbps (aggregate)". Before the first entry
+   the rate is [offered_mbps]. Entries must be ascending in t. *)
+let rate_at spec now =
+  List.fold_left
+    (fun rate (t, mbps) -> if now >= t then mbps else rate)
+    spec.offered_mbps spec.load
+
+let step_load ~low ~high ~at_ns ~until_ns =
+  [ (0, low); (at_ns, high); (until_ns, low) ]
+
+let ramp_load ~from_mbps ~to_mbps ~start_ns ~stop_ns ~steps =
+  if steps < 1 then invalid_arg "Scenario.ramp_load: steps < 1";
+  if stop_ns <= start_ns then invalid_arg "Scenario.ramp_load: empty ramp";
+  (0, from_mbps)
+  :: List.init steps (fun i ->
+         let frac = float_of_int (i + 1) /. float_of_int steps in
+         ( start_ns + ((stop_ns - start_ns) * i / steps),
+           from_mbps +. ((to_mbps -. from_mbps) *. frac) ))
+
+let square_load ~low ~high ~period_ns ~until_ns =
+  if period_ns <= 0 then invalid_arg "Scenario.square_load: period <= 0";
+  let rec segs t level acc =
+    if t >= until_ns then List.rev acc
+    else segs (t + (period_ns / 2)) (not level) ((t, if level then high else low) :: acc)
+  in
+  segs 0 true []
 
 (* Each sending client injects at a fixed rate; the aggregate offered load
    is split evenly. Node phases are staggered and each inter-submission
@@ -59,32 +105,44 @@ let ring_id : Types.ring_id = { rep = 0; ring_seq = 1 }
    resonance no real cluster exhibits. *)
 let start_workload sim spec ~until =
   if spec.payload < 8 then invalid_arg "Scenario: payload must hold a timestamp";
-  let per_node_msgs_per_sec =
-    spec.offered_mbps *. 1e6
-    /. float_of_int (spec.payload * 8)
-    /. float_of_int spec.n_nodes
+  (* Inter-submission interval for one sending node at the rate in force
+     at [now]; None while the schedule offers no load. *)
+  let interval_at now =
+    let per_node_msgs_per_sec =
+      rate_at spec now *. 1e6
+      /. float_of_int (spec.payload * 8)
+      /. float_of_int spec.n_nodes
+    in
+    if per_node_msgs_per_sec > 0.0 then
+      Some (int_of_float (1e9 /. per_node_msgs_per_sec))
+    else None
   in
-  if per_node_msgs_per_sec > 0.0 then begin
-    let prng = Aring_util.Prng.create ~seed:(Int64.add spec.seed 0x5EEDL) in
-    let interval_ns = int_of_float (1e9 /. per_node_msgs_per_sec) in
-    for node = 0 to spec.n_nodes - 1 do
-      let rec tick () =
-        let now = Netsim.now sim in
-        if now < until then begin
-          let payload = Bytes.create spec.payload in
-          Bytes.set_int64_be payload 0 (Int64.of_int now);
-          Netsim.submit_now sim ~node spec.service payload;
-          let jitter =
-            interval_ns / 4 |> fun j ->
-            if j = 0 then 0 else Aring_util.Prng.int prng (2 * j) - j
-          in
-          Netsim.call_at sim ~at:(now + interval_ns + jitter) tick
-        end
-      in
-      let phase = interval_ns * node / spec.n_nodes in
-      Netsim.call_at sim ~at:phase tick
-    done
-  end
+  let prng = Aring_util.Prng.create ~seed:(Int64.add spec.seed 0x5EEDL) in
+  for node = 0 to spec.n_nodes - 1 do
+    let rec tick () =
+      let now = Netsim.now sim in
+      if now < until then
+        match interval_at now with
+        | None ->
+            (* Idle segment: poll for the next segment start. *)
+            Netsim.call_at sim ~at:(now + 1_000_000) tick
+        | Some interval_ns ->
+            let payload = Bytes.create spec.payload in
+            Bytes.set_int64_be payload 0 (Int64.of_int now);
+            Netsim.submit_now sim ~node spec.service payload;
+            let jitter =
+              interval_ns / 4 |> fun j ->
+              if j = 0 then 0 else Aring_util.Prng.int prng (2 * j) - j
+            in
+            Netsim.call_at sim ~at:(now + interval_ns + jitter) tick
+    in
+    let start =
+      match interval_at 0 with
+      | Some interval_ns -> interval_ns * node / spec.n_nodes
+      | None -> 0
+    in
+    Netsim.call_at sim ~at:start tick
+  done
 
 let measure spec ~participants ~ring_stats =
   let sim =
@@ -96,12 +154,38 @@ let measure spec ~participants ~ring_stats =
   let latency_us = Stats.create () in
   let bytes_delivered = Array.make spec.n_nodes 0 in
   let deliveries = ref 0 in
+  (* Phase boundaries: the measurement window cut at every load-schedule
+     segment start falling inside it. A constant load is one phase. *)
+  let bounds =
+    let inner =
+      List.filter_map
+        (fun (t, _) -> if t > spec.warmup_ns && t < t_end then Some t else None)
+        spec.load
+      |> List.sort_uniq compare
+    in
+    Array.of_list ((spec.warmup_ns :: inner) @ [ t_end ])
+  in
+  let n_phases = Array.length bounds - 1 in
+  let phase_lat = Array.init n_phases (fun _ -> Stats.create ()) in
+  let phase_bytes = Array.make n_phases 0 in
+  let phase_count = Array.make n_phases 0 in
+  let phase_index now =
+    let rec find i =
+      if i >= n_phases - 1 || now < bounds.(i + 1) then i else find (i + 1)
+    in
+    find 0
+  in
   Netsim.on_deliver sim (fun ~at ~now (d : Message.data) ->
       if now >= spec.warmup_ns && now < t_end then begin
         incr deliveries;
         bytes_delivered.(at) <- bytes_delivered.(at) + Bytes.length d.payload;
         let submitted = Int64.to_int (Bytes.get_int64_be d.payload 0) in
-        Stats.add latency_us (float_of_int (now - submitted) /. 1e3)
+        let lat_us = float_of_int (now - submitted) /. 1e3 in
+        Stats.add latency_us lat_us;
+        let p = phase_index now in
+        Stats.add phase_lat.(p) lat_us;
+        phase_bytes.(p) <- phase_bytes.(p) + Bytes.length d.payload;
+        phase_count.(p) <- phase_count.(p) + 1
       end);
   start_workload sim spec ~until:t_end;
   (* Rotation profiling stacks its sink over whatever the caller installed
@@ -144,6 +228,22 @@ let measure spec ~participants ~ring_stats =
   in
   let retransmissions, token_rounds = ring_stats () in
   let sim_stats = Netsim.stats sim in
+  let phases =
+    List.init n_phases (fun p ->
+        let start = bounds.(p) and stop = bounds.(p + 1) in
+        let dur_s = float_of_int (stop - start) /. 1e9 in
+        {
+          p_start_ns = start;
+          p_end_ns = stop;
+          p_offered_mbps = rate_at spec start;
+          p_delivered_mbps =
+            float_of_int (phase_bytes.(p) * 8)
+            /. dur_s /. 1e6
+            /. float_of_int spec.n_nodes;
+          p_latency_us = phase_lat.(p);
+          p_deliveries = phase_count.(p);
+        })
+  in
   {
     spec;
     delivered_mbps;
@@ -153,6 +253,7 @@ let measure spec ~participants ~ring_stats =
     random_losses = sim_stats.random_losses;
     retransmissions;
     token_rounds;
+    phases;
     metrics;
     rotation;
   }
@@ -161,7 +262,14 @@ let run spec =
   let ring = Array.init spec.n_nodes (fun i -> i) in
   let nodes =
     Array.init spec.n_nodes (fun me ->
-        Node.create ~params:spec.params ~ring_id ~ring ~me ())
+        let controller =
+          Option.map
+            (fun config ->
+              Controller.create ~config
+                ~init:spec.params.Params.accelerated_window ())
+            spec.controller
+        in
+        Node.create ~params:spec.params ~ring_id ~ring ~me ?controller ())
   in
   let ring_stats () =
     ( Array.fold_left
@@ -170,7 +278,13 @@ let run spec =
       (Engine.stats (Node.engine nodes.(0))).rounds )
   in
   let r = measure spec ~participants:(Array.map Node.participant nodes) ~ring_stats in
-  Array.iter (fun node -> Engine.record_metrics (Node.engine node) r.metrics) nodes;
+  Array.iter
+    (fun node ->
+      Engine.record_metrics (Node.engine node) r.metrics;
+      match Node.controller node with
+      | Some c -> Controller.record_metrics c r.metrics
+      | None -> ())
+    nodes;
   r
 
 let run_custom spec ~participants =
@@ -203,3 +317,13 @@ let pp_result ppf r =
     (Stats.mean r.latency_us) (Stats.median r.latency_us)
     (Stats.percentile r.latency_us 99.0)
     r.deliveries r.token_rounds r.retransmissions r.switch_drops
+
+let pp_phase ppf p =
+  Format.fprintf ppf
+    "[%3d..%3d ms] offered=%7.0f Mbps delivered=%7.1f Mbps lat(mean=%7.1f \
+     p99=%8.1f us) n=%d"
+    (p.p_start_ns / 1_000_000)
+    (p.p_end_ns / 1_000_000)
+    p.p_offered_mbps p.p_delivered_mbps (Stats.mean p.p_latency_us)
+    (Stats.percentile p.p_latency_us 99.0)
+    p.p_deliveries

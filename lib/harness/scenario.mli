@@ -19,6 +19,12 @@ type spec = {
   payload : int;  (** Clean application payload bytes per message. *)
   service : Types.service;
   offered_mbps : float;  (** Aggregate offered load, clean payload only. *)
+  load : (int * float) list;
+      (** Piecewise-constant load schedule: [(t_ns, mbps)] switches the
+          aggregate offered load to [mbps] from simulated time [t_ns] on.
+          Before the first entry the rate is [offered_mbps]; entries must
+          be ascending. Empty (the default) = constant [offered_mbps].
+          Build with {!step_load}, {!ramp_load} or {!square_load}. *)
   warmup_ns : int;
   measure_ns : int;
   seed : int64;
@@ -26,7 +32,22 @@ type spec = {
       (** Attach an {!Aring_obs.Rotation} profiler (anchored at node 0)
           for the run. Off by default: profiling installs a trace sink,
           which turns every instrumentation hook live. *)
+  controller : Aring_control.Controller.config option;
+      (** When set, {!run} gives every node its own adaptive
+          accelerated-window controller with this config, starting from
+          [params.accelerated_window]. [None] (the default) keeps the
+          static window. *)
 }
+
+type phase = {
+  p_start_ns : int;
+  p_end_ns : int;
+  p_offered_mbps : float;  (** Rate in force at the phase start. *)
+  p_delivered_mbps : float;
+  p_latency_us : Aring_util.Stats.t;
+  p_deliveries : int;
+}
+(** Per-load-segment slice of the measurement window (see [spec.load]). *)
 
 type result = {
   spec : spec;
@@ -40,6 +61,9 @@ type result = {
   random_losses : int;
   retransmissions : int;
   token_rounds : int;  (** Rounds completed at node 0. *)
+  phases : phase list;
+      (** The measurement window cut at every load-schedule boundary,
+          in time order; a single phase for a constant load. *)
   metrics : Aring_obs.Metrics.t;
       (** Registry holding the run's ["netsim.*"] counters, the
           ["engine.*"] counters summed over nodes (for {!run}), and the
@@ -52,6 +76,32 @@ val default_spec : spec
 (** 8 nodes, 1-gigabit network, daemon tier, accelerated defaults, 1350-byte
     payloads, Agreed service, 200 Mbps offered, 100 ms warmup + 400 ms
     measurement. Override fields as needed. *)
+
+(** {2 Load profiles}
+
+    Builders for [spec.load]. Times are absolute simulated time, so place
+    shifts inside the measurement window ([warmup_ns ..
+    warmup_ns + measure_ns]) to see them in {!result.phases}. *)
+
+val step_load :
+  low:float -> high:float -> at_ns:int -> until_ns:int -> (int * float) list
+(** [low] until [at_ns], [high] until [until_ns], then [low] again. *)
+
+val ramp_load :
+  from_mbps:float ->
+  to_mbps:float ->
+  start_ns:int ->
+  stop_ns:int ->
+  steps:int ->
+  (int * float) list
+(** Piecewise approximation of a linear ramp in [steps] equal segments. *)
+
+val square_load :
+  low:float -> high:float -> period_ns:int -> until_ns:int -> (int * float) list
+(** Alternating [high]/[low] half-periods starting high at t=0. *)
+
+val rate_at : spec -> int -> float
+(** The offered load the schedule prescribes at a given simulated time. *)
 
 val run : spec -> result
 (** Execute the scenario on the discrete-event simulator. *)
@@ -68,3 +118,4 @@ val find_max_throughput :
     result at that load. *)
 
 val pp_result : Format.formatter -> result -> unit
+val pp_phase : Format.formatter -> phase -> unit

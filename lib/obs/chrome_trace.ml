@@ -131,6 +131,14 @@ let to_json (events : Trace.event list) =
           push
             (instant ~name:("drop: " ^ reason) ~ts ~node
                [ ("size", Json.Int size) ])
+      | Control { aw_before; aw_after; congested; _ } ->
+          push
+            (instant ~name:"control" ~ts ~node
+               [
+                 ("aw_before", Json.Int aw_before);
+                 ("aw_after", Json.Int aw_after);
+                 ("congested", Json.Bool congested);
+               ])
       | Token_dup _ | Data_recv _ | Flow_control _ | Timer_arm _ | Timer_fire _
         ->
           (* High-volume bookkeeping; slices and counters carry the same

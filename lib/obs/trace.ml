@@ -58,6 +58,16 @@ type kind =
   | Phase of { phase : string }
   | Crash
   | Drop of { reason : string; size : int }
+  | Control of {
+      round : int;
+      aw_before : int;
+      aw_after : int;
+      congested : bool;
+      rotation_ns : int;
+      fcc : int;
+      retrans : int;
+      backlog : int;
+    }
 
 type event = { t_ns : int; node : int; kind : kind }
 
@@ -78,6 +88,7 @@ let uninstall () =
   current_sink := None
 
 let set_clock f = clock := f
+let now () = !clock ()
 
 let emit ~node kind =
   match !current_sink with
@@ -184,6 +195,7 @@ let kind_name = function
   | Phase _ -> "phase"
   | Crash -> "crash"
   | Drop _ -> "drop"
+  | Control _ -> "control"
 
 let pp_kind ppf k =
   match k with
@@ -221,6 +233,13 @@ let pp_kind ppf k =
   | Phase { phase } -> Format.fprintf ppf "phase(%s)" phase
   | Crash -> Format.pp_print_string ppf "crash"
   | Drop { reason; size } -> Format.fprintf ppf "drop(%s %dB)" reason size
+  | Control { round; aw_before; aw_after; congested; rotation_ns; fcc; retrans;
+              backlog } ->
+      Format.fprintf ppf
+        "control(round=%d aw=%d->%d%s rot=%dns fcc=%d retrans=%d backlog=%d)"
+        round aw_before aw_after
+        (if congested then " congested" else "")
+        rotation_ns fcc retrans backlog
 
 let pp_event ppf ev =
   Format.fprintf ppf "[%10d] n%d %a" ev.t_ns ev.node pp_kind ev.kind

@@ -63,6 +63,20 @@ type kind =
   | Phase of { phase : string }  (** Membership phase entered. *)
   | Crash
   | Drop of { reason : string; size : int }
+  | Control of {
+      round : int;
+      aw_before : int;
+      aw_after : int;
+      congested : bool;
+      rotation_ns : int;
+      fcc : int;
+      retrans : int;
+      backlog : int;
+    }
+      (** An adaptive-window controller decision that changed the
+          node-local accelerated window. Emitted only when a controller
+          is attached, so controller-off traces are byte-identical to
+          pre-controller runs. *)
 
 type event = { t_ns : int; node : int; kind : kind }
 
@@ -83,6 +97,11 @@ val uninstall : unit -> unit
 val set_clock : (unit -> int) -> unit
 (** Timestamp source for {!emit}, in nanoseconds. The simulator installs
     its virtual clock; the UDP runtime installs a wall clock. *)
+
+val now : unit -> int
+(** Current reading of the installed clock, in nanoseconds. Lets
+    sans-IO layers (e.g. the adaptive-window controller) measure
+    durations without owning a clock of their own. *)
 
 val emit : node:int -> kind -> unit
 (** Emit with a timestamp from the clock. No-op when no sink installed. *)

@@ -87,6 +87,18 @@ let kind_fields (k : Trace.kind) : (string * Json.t) list =
   | Crash -> []
   | Drop { reason; size } ->
       [ ("reason", Json.String reason); ("size", Json.Int size) ]
+  | Control { round; aw_before; aw_after; congested; rotation_ns; fcc; retrans;
+              backlog } ->
+      [
+        ("round", Json.Int round);
+        ("aw_before", Json.Int aw_before);
+        ("aw_after", Json.Int aw_after);
+        ("congested", Json.Bool congested);
+        ("rotation_ns", Json.Int rotation_ns);
+        ("fcc", Json.Int fcc);
+        ("retrans", Json.Int retrans);
+        ("backlog", Json.Int backlog);
+      ]
 
 let to_json (ev : Trace.event) =
   Json.Obj
@@ -197,6 +209,18 @@ let kind_of_json name j : Trace.kind =
   | "crash" -> Crash
   | "drop" ->
       Drop { reason = req "reason" Json.to_str j; size = req "size" Json.to_int j }
+  | "control" ->
+      Control
+        {
+          round = req "round" Json.to_int j;
+          aw_before = req "aw_before" Json.to_int j;
+          aw_after = req "aw_after" Json.to_int j;
+          congested = req "congested" Json.to_bool j;
+          rotation_ns = req "rotation_ns" Json.to_int j;
+          fcc = req "fcc" Json.to_int j;
+          retrans = req "retrans" Json.to_int j;
+          backlog = req "backlog" Json.to_int j;
+        }
   | other -> raise (Json.Parse_error (Printf.sprintf "unknown event %S" other))
 
 let of_json j : Trace.event =

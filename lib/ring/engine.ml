@@ -32,6 +32,17 @@ type stats = {
    token stays within a single datagram even after catastrophic loss. *)
 let max_rtr_per_round = 512
 
+(* What one token rotation looked like from this node, captured for
+   adaptive-window controllers. Purely observational: nothing in the
+   engine reads it back. *)
+type round_signals = {
+  sr_round : Types.round;
+  sr_fcc : int;  (* fcc carried by the incoming token *)
+  sr_retrans : int;  (* retransmissions served + newly requested *)
+  sr_backlog : int;  (* pending submissions waiting when the token arrived *)
+  sr_allowed_new : int;  (* new messages flow control admitted (= sent) *)
+}
+
 type t = {
   params : Params.t;
   ring_id : Types.ring_id;
@@ -55,6 +66,12 @@ type t = {
   mutable progress_gen : int;
   mutable loss_gen : int;
   mutable retransmit_count : int;
+  (* Node-local accelerated window for the next round. Seeded from
+     [params] and adjustable between rounds (adaptive control): it only
+     decides how many admitted messages precede the token, so changing
+     it never affects flow control or any ring-wide agreement. *)
+  mutable accelerated_window : int;
+  mutable last_signals : round_signals option;
   stats : stats;
 }
 
@@ -98,6 +115,8 @@ let create ~params ~ring_id ~ring ~me =
     progress_gen = 0;
     loss_gen = 0;
     retransmit_count = 0;
+    accelerated_window = params.accelerated_window;
+    last_signals = None;
     stats =
       {
         rounds = 0;
@@ -141,6 +160,15 @@ let pending_count t = Queue.length t.pending
 let buffered_count t = Hashtbl.length t.buffer
 let stats t = t.stats
 let buffered_message t seq = Hashtbl.find_opt t.buffer seq
+let accelerated_window t = t.accelerated_window
+
+(* Clamp to the personal window: more than personal_window post-token
+   sends is meaningless (flow control never admits that many), and a
+   negative window is just 0. *)
+let set_accelerated_window t w =
+  t.accelerated_window <- max 0 (min t.params.personal_window w)
+
+let last_round_signals t = t.last_signals
 
 let undelivered_after_cursor t =
   Hashtbl.fold
@@ -293,6 +321,9 @@ let handle_token t (tok : Message.token) =
           | None -> scan_rtr rest rev_sends num (seq :: kept_rev))
     in
     let rev_retrans, num_retrans, kept_rtr = scan_rtr tok.rtr [] 0 [] in
+    (* Backlog as the token arrives — the round's arrival count, which is
+       the scale an adaptive accelerated window has to cover. *)
+    let backlog_at_token = Queue.length t.pending in
     (* 2. Flow control (Section III-A.1). *)
     let by_global = t.params.global_window - tok.fcc - num_retrans in
     let by_gap = tok.aru + t.params.max_seq_gap - tok.t_seq in
@@ -305,7 +336,7 @@ let handle_token t (tok : Message.token) =
     (* 3. Prepare all new messages for the round; split them into the
        pre-token phase and the post-token phase (at most
        accelerated_window messages follow the token). *)
-    let n_pre = max 0 (allowed_new - t.params.accelerated_window) in
+    let n_pre = max 0 (allowed_new - t.accelerated_window) in
     if Trace.enabled () then
       Trace.emit ~node:t.me
         (Trace.Flow_control
@@ -429,6 +460,15 @@ let handle_token t (tok : Message.token) =
         ]
     in
     collect_garbage t;
+    t.last_signals <-
+      Some
+        {
+          sr_round = t.round;
+          sr_fcc = tok.fcc;
+          sr_retrans = num_retrans + List.length my_missing;
+          sr_backlog = backlog_at_token;
+          sr_allowed_new = allowed_new;
+        };
     List.rev_append rev_retrans
       (List.rev_append !rev_pre
          (Send_token (successor t, token')

@@ -55,6 +55,20 @@ type output =
       (** No token activity within [token_loss_ns]; the membership algorithm
           must take over. *)
 
+type round_signals = {
+  sr_round : Types.round;  (** The round these signals describe. *)
+  sr_fcc : int;  (** Flow-control count on the incoming token. *)
+  sr_retrans : int;
+      (** Retransmissions served plus requests newly added this round. *)
+  sr_backlog : int;
+      (** Pending submissions waiting when the token arrived, i.e. the
+          round's arrival count — the scale the accelerated window has to
+          cover for every send to ride behind the token. *)
+  sr_allowed_new : int;  (** New messages flow control admitted (= sent). *)
+}
+(** What one token rotation looked like from this node — the signal set an
+    adaptive-window controller consumes. Purely observational. *)
+
 type stats = {
   mutable rounds : int;  (** Tokens accepted (rotations seen locally). *)
   mutable new_sent : int;  (** New messages initiated. *)
@@ -117,6 +131,20 @@ val high_seq : t -> Types.seqno
 
 val pending_count : t -> int
 (** Client messages waiting for a token visit. *)
+
+val accelerated_window : t -> int
+(** The accelerated window the next round will use. Starts at
+    [params.accelerated_window]. *)
+
+val set_accelerated_window : t -> int -> unit
+(** Set the window used from the next round on, clamped to
+    [[0, personal_window]]. Safe to call between rounds: the window only
+    governs how many of this node's admitted messages trail the token,
+    never what flow control admits, so no ring-wide agreement is needed. *)
+
+val last_round_signals : t -> round_signals option
+(** Signals captured by the most recent accepted token, or [None] before
+    the first rotation. *)
 
 val buffered_count : t -> int
 (** Messages held for delivery or possible retransmission. *)

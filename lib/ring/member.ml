@@ -68,6 +68,10 @@ type t = {
   params : Params.t;
   me : Types.pid;
   initial_ring : Types.pid array option;
+  (* One controller for the member's lifetime: each installed
+     configuration's Node gets the same instance, so the adapted window
+     carries across membership changes. *)
+  controller : Aring_control.Controller.t option;
   mutable phase : phase;
   mutable old_node : Node.t option;  (* engine of the dying configuration *)
   mutable old_ring : Types.ring_id;  (* ring I was last operational in *)
@@ -104,12 +108,13 @@ let trace_phase t =
   if Aring_obs.Trace.enabled () then
     Aring_obs.Trace.emit ~node:t.me (Phase { phase = state_name t })
 
-let create ~params ~me ?initial_ring () =
+let create ~params ~me ?initial_ring ?controller () =
   let singleton_ring : Types.ring_id = { rep = me; ring_seq = 0 } in
   {
     params;
     me;
     initial_ring;
+    controller;
     phase =
       Gather
         {
@@ -393,7 +398,7 @@ and install t (r : recover) =
   t.last_view <- Some regular;
   let node =
     Node.create ~params:t.params ~ring_id:r.r_ring
-      ~ring:r.r_order ~me:t.me ()
+      ~ring:r.r_order ~me:t.me ?controller:t.controller ()
   in
   t.phase <- Operational node;
   trace_phase t;
@@ -794,7 +799,10 @@ let start t =
   | Some ring ->
       let ring_id : Types.ring_id = { rep = ring.(0); ring_seq = 1 } in
       t.highest_ring_seq <- 1;
-      let node = Node.create ~params:t.params ~ring_id ~ring ~me:t.me () in
+      let node =
+        Node.create ~params:t.params ~ring_id ~ring ~me:t.me
+          ?controller:t.controller ()
+      in
       let view : Participant.view =
         { view_id = ring_id; members = Array.to_list ring; transitional = false }
       in

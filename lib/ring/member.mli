@@ -66,12 +66,18 @@ val create :
   params:Params.t ->
   me:Types.pid ->
   ?initial_ring:Types.pid array ->
+  ?controller:Aring_control.Controller.t ->
   unit ->
   t
 (** [create ~params ~me ()] is a participant that starts alone and finds
     peers through the membership algorithm. With [?initial_ring] it starts
     directly operational in that pre-agreed configuration (ring_seq 1) —
-    the usual production bootstrap where all daemons share a config file. *)
+    the usual production bootstrap where all daemons share a config file.
+
+    With [?controller], every configuration this member installs runs the
+    adaptive accelerated-window controller (see {!Node.create}); the same
+    instance is reused across installs so the learned window survives
+    membership changes. *)
 
 val participant : t -> Participant.t
 (** The uniform runtime interface (see {!Participant}). *)

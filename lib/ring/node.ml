@@ -1,5 +1,7 @@
 open Aring_wire
 module Deque = Aring_util.Deque
+module Trace = Aring_obs.Trace
+module Controller = Aring_control.Controller
 
 type Participant.timer += Engine_timer of Engine.timer_kind * int
 
@@ -21,22 +23,74 @@ type t = {
   token_q : queue;
   data_q : queue;
   qstats : queue_stats;
+  (* Optional adaptive-window controller, consulted once per accepted
+     token. Shared across engine rebuilds (Member passes the same
+     instance into every installed configuration) so learned state
+     survives membership changes. *)
+  controller : Controller.t option;
+  mutable last_token_ns : int;  (* -1 until the first accepted token *)
 }
 
 let make_queue cap_bytes = { q = Deque.create (); cap_bytes; occupied = 0 }
 
 let create ~params ~ring_id ~ring ~me ?(token_queue_cap = 256 * 1024)
-    ?(data_queue_cap = 2 * 1024 * 1024) () =
+    ?(data_queue_cap = 2 * 1024 * 1024) ?controller () =
+  let engine = Engine.create ~params ~ring_id ~ring ~me in
+  (* A reinstalled engine starts back at the Params window; resume from
+     the controller's learned window instead. *)
+  (match controller with
+  | Some c -> Engine.set_accelerated_window engine (Controller.window c)
+  | None -> ());
   {
-    engine = Engine.create ~params ~ring_id ~ring ~me;
+    engine;
     prio = Priority.create params.Params.priority_method;
     token_q = make_queue token_queue_cap;
     data_q = make_queue data_queue_cap;
     qstats = { token_drops = 0; data_drops = 0; max_data_backlog = 0 };
+    controller;
+    last_token_ns = -1;
   }
 
 let engine t = t.engine
 let queue_stats t = t.qstats
+let controller t = t.controller
+
+(* One controller step: translate the engine's per-round signals plus the
+   inter-token time into a window decision, apply it, and trace it when
+   it changed something. No controller, no cost — and no trace events,
+   keeping controller-off runs byte-identical. *)
+let run_controller t =
+  match (t.controller, Engine.last_round_signals t.engine) with
+  | None, _ | _, None -> ()
+  | Some c, Some (s : Engine.round_signals) ->
+      let now = Trace.now () in
+      let rotation_ns = if t.last_token_ns < 0 then 0 else now - t.last_token_ns in
+      t.last_token_ns <- now;
+      let d =
+        Controller.observe c
+          {
+            Controller.rotation_ns;
+            fcc = s.sr_fcc;
+            retrans = s.sr_retrans;
+            backlog = s.sr_backlog;
+          }
+      in
+      if d.Controller.aw_after <> d.Controller.aw_before then begin
+        Engine.set_accelerated_window t.engine d.Controller.aw_after;
+        if Trace.enabled () then
+          Trace.emit ~node:(Engine.me t.engine)
+            (Trace.Control
+               {
+                 round = s.sr_round;
+                 aw_before = d.Controller.aw_before;
+                 aw_after = d.Controller.aw_after;
+                 congested = d.Controller.congested;
+                 rotation_ns;
+                 fcc = s.sr_fcc;
+                 retrans = s.sr_retrans;
+                 backlog = s.sr_backlog;
+               })
+      end
 
 let action_of_output = function
   | Engine.Send_token (pid, tok) -> Participant.Unicast (pid, Message.Token tok)
@@ -111,8 +165,10 @@ let process t msg =
   | Message.Token tok ->
       let round_before = Engine.round t.engine in
       let outputs = Engine.handle t.engine (Engine.Token_received tok) in
-      if Engine.round t.engine > round_before then
+      if Engine.round t.engine > round_before then begin
         Priority.note_token_processed t.prio;
+        run_controller t
+      end;
       List.map action_of_output outputs
   | Message.Data d ->
       let outputs = Engine.handle t.engine (Engine.Data_received d) in

@@ -40,11 +40,19 @@ val create :
   me:Types.pid ->
   ?token_queue_cap:int ->
   ?data_queue_cap:int ->
+  ?controller:Aring_control.Controller.t ->
   unit ->
   t
 (** [create] builds an operational participant of an installed ring.
     Queue capacities are in bytes and default to 256 KiB (token) and
-    2 MiB (data), matching a tuned production socket-buffer setup. *)
+    2 MiB (data), matching a tuned production socket-buffer setup.
+
+    When [controller] is given, it is consulted after every accepted
+    token with that rotation's {!Engine.round_signals} (plus the
+    inter-token time from the {!Aring_obs.Trace} clock) and its window
+    becomes the engine's accelerated window for the next round. The same
+    controller instance may be passed into successive configurations so
+    its learned window survives membership changes. *)
 
 val start : t -> Participant.action list
 (** Actions to perform at installation time: arming the token-loss timer,
@@ -80,5 +88,8 @@ val participant : t -> Participant.t
 
 val engine : t -> Engine.t
 (** The underlying ordering engine (introspection for tests/stats). *)
+
+val controller : t -> Aring_control.Controller.t option
+(** The adaptive-window controller, when one was attached. *)
 
 val queue_stats : t -> queue_stats

@@ -1,0 +1,363 @@
+(* Adaptive accelerated-window controller tests: the AIMD rule's unit
+   behaviour, monotonicity under congestion, bounds clamping,
+   decision determinism, and the end-to-end hook — a scenario run with
+   controllers attached still delivers, adapts the window inside its
+   bounds, and a Member-level cluster with controllers keeps ordering
+   through a membership change. *)
+
+open Aring_control
+open Aring_ring
+open Aring_sim
+
+let check = Alcotest.check
+
+(* decay_after = 1 keeps the idle decay single-step, so the unit tests
+   below read as one observation -> one decision. *)
+let cfg ?(aw_min = 0) ?(aw_max = 50) ?(increase = 2) ?(decrease = 0.5)
+    ?(decay_after = 1) ?(fcc_high = max_int) ?(target_rotation_ns = 0) () =
+  Controller.default_config ~aw_min ~increase ~decrease ~decay_after ~fcc_high
+    ~target_rotation_ns ~aw_max ()
+
+let quiet = { Controller.rotation_ns = 1000; fcc = 0; retrans = 0; backlog = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Unit behaviour of the AIMD rule                                     *)
+
+let test_backlog_grows_window () =
+  let c = Controller.create ~config:(cfg ()) ~init:10 () in
+  let d = Controller.observe c { quiet with backlog = 100 } in
+  check Alcotest.int "additive increase" 12 d.Controller.aw_after;
+  check Alcotest.bool "not congested" false d.Controller.congested;
+  check Alcotest.int "window view agrees" 12 (Controller.window c)
+
+let test_congestion_shrinks_window () =
+  let c = Controller.create ~config:(cfg ()) ~init:40 () in
+  let d = Controller.observe c { quiet with retrans = 3; backlog = 500 } in
+  check Alcotest.bool "congested" true d.Controller.congested;
+  check Alcotest.int "multiplicative decrease despite backlog" 20
+    d.Controller.aw_after
+
+let test_idle_decays_window () =
+  let c = Controller.create ~config:(cfg ()) ~init:20 () in
+  let d = Controller.observe c { quiet with backlog = 1 } in
+  check Alcotest.int "decays by one" 19 d.Controller.aw_after;
+  (* A backlog in balance with the window holds it steady. *)
+  let c = Controller.create ~config:(cfg ()) ~init:20 () in
+  let d = Controller.observe c { quiet with backlog = 15 } in
+  check Alcotest.int "steady" 20 d.Controller.aw_after
+
+let test_decay_needs_idle_streak () =
+  let c = Controller.create ~config:(cfg ~decay_after:3 ()) ~init:20 () in
+  let idle = { quiet with backlog = 1 } in
+  check Alcotest.int "1st idle holds" 20 (Controller.observe c idle).Controller.aw_after;
+  check Alcotest.int "2nd idle holds" 20 (Controller.observe c idle).Controller.aw_after;
+  check Alcotest.int "3rd idle decays" 19 (Controller.observe c idle).Controller.aw_after;
+  (* A balanced rotation resets the streak. *)
+  check Alcotest.int "streak restarts" 19 (Controller.observe c idle).Controller.aw_after;
+  ignore (Controller.observe c { quiet with backlog = 15 });
+  check Alcotest.int "1st idle after reset holds" 19
+    (Controller.observe c idle).Controller.aw_after
+
+let test_fcc_and_rotation_signals () =
+  let c =
+    Controller.create ~config:(cfg ~fcc_high:100 ~target_rotation_ns:1_000_000 ())
+      ~init:30 ()
+  in
+  let d = Controller.observe c { quiet with fcc = 100; backlog = 999 } in
+  check Alcotest.bool "fcc high-water congests" true d.Controller.congested;
+  let d = Controller.observe c { quiet with rotation_ns = 2_000_000 } in
+  check Alcotest.bool "slow rotation congests" true d.Controller.congested;
+  let d = Controller.observe c { quiet with rotation_ns = 500_000; backlog = 99 } in
+  check Alcotest.bool "fast quiet rotation does not" false d.Controller.congested
+
+let test_config_validation () =
+  Alcotest.check_raises "aw_max < aw_min rejected"
+    (Invalid_argument "Controller.default_config: aw_max < aw_min") (fun () ->
+      ignore (Controller.default_config ~aw_min:10 ~aw_max:5 ()));
+  Alcotest.check_raises "decrease >= 1 rejected"
+    (Invalid_argument "Controller.default_config: decrease must be in (0,1)")
+    (fun () -> ignore (Controller.default_config ~decrease:1.0 ~aw_max:5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: monotonicity, clamping, determinism                     *)
+
+let signal_gen =
+  QCheck.Gen.(
+    map
+      (fun (rot, fcc, retrans, backlog) ->
+        { Controller.rotation_ns = rot; fcc; retrans; backlog })
+      (quad (int_bound 10_000_000) (int_bound 1000) (int_bound 20)
+         (int_bound 2000)))
+
+let signals_arb =
+  QCheck.make
+    ~print:(fun ss ->
+      String.concat ";"
+        (List.map
+           (fun (s : Controller.signals) ->
+             Printf.sprintf "(rot=%d fcc=%d rt=%d bk=%d)" s.rotation_ns s.fcc
+               s.retrans s.backlog)
+           ss))
+    QCheck.Gen.(list_size (int_range 1 100) signal_gen)
+
+let prop_congestion_never_increases =
+  QCheck.Test.make ~count:200
+    ~name:"a congested rotation never raises the window"
+    signals_arb
+    (fun ss ->
+      let c =
+        Controller.create
+          ~config:(cfg ~fcc_high:500 ~target_rotation_ns:5_000_000 ())
+          ~init:25 ()
+      in
+      List.for_all
+        (fun s ->
+          let d = Controller.observe c s in
+          (not d.Controller.congested)
+          || d.Controller.aw_after <= d.Controller.aw_before)
+        ss)
+
+let prop_sustained_congestion_monotone =
+  QCheck.Test.make ~count:100
+    ~name:"under sustained congestion the window is non-increasing"
+    signals_arb
+    (fun ss ->
+      let c = Controller.create ~config:(cfg ()) ~init:50 () in
+      (* Force every signal to carry congestion evidence. *)
+      let ss = List.map (fun s -> { s with Controller.retrans = 1 + s.Controller.retrans }) ss in
+      let rec loop prev = function
+        | [] -> true
+        | s :: rest ->
+            let d = Controller.observe c s in
+            d.Controller.aw_after <= prev && loop d.Controller.aw_after rest
+      in
+      loop 50 ss)
+
+let prop_window_stays_in_bounds =
+  QCheck.Test.make ~count:200 ~name:"window clamps to [aw_min, aw_max]"
+    QCheck.(pair signals_arb (pair (int_range 0 10) (int_range 10 60)))
+    (fun (ss, (aw_min, aw_max)) ->
+      let c =
+        Controller.create
+          ~config:(cfg ~aw_min ~aw_max ~fcc_high:300 ~target_rotation_ns:2_000_000 ())
+          ~init:aw_max ()
+      in
+      List.for_all
+        (fun s ->
+          let d = Controller.observe c s in
+          d.Controller.aw_after >= aw_min && d.Controller.aw_after <= aw_max)
+        ss)
+
+let prop_decisions_deterministic =
+  QCheck.Test.make ~count:100
+    ~name:"identical signal sequences yield identical decisions"
+    signals_arb
+    (fun ss ->
+      let trajectory () =
+        let c =
+          Controller.create
+            ~config:(cfg ~fcc_high:400 ~target_rotation_ns:3_000_000 ())
+            ~init:20 ()
+        in
+        List.map
+          (fun s ->
+            let d = Controller.observe c s in
+            (d.Controller.aw_before, d.Controller.aw_after, d.Controller.congested))
+          ss
+      in
+      trajectory () = trajectory ())
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: controller attached to a simulated cluster              *)
+
+let test_scenario_run_with_controller () =
+  let params = Params.accelerated ~personal_window:50 ~global_window:400 () in
+  let spec =
+    {
+      Aring_harness.Scenario.default_spec with
+      label = "adaptive-smoke";
+      n_nodes = 4;
+      params;
+      offered_mbps = 150.0;
+      warmup_ns = 20_000_000;
+      measure_ns = 80_000_000;
+      controller =
+        Some (Controller.default_config ~aw_max:50 ~target_rotation_ns:0 ());
+    }
+  in
+  let r = Aring_harness.Scenario.run spec in
+  check Alcotest.bool "delivers most of the load" true
+    (r.Aring_harness.Scenario.delivered_mbps >= 0.9 *. 150.0);
+  check Alcotest.bool "controller made decisions" true
+    (Aring_obs.Metrics.counter_value r.Aring_harness.Scenario.metrics
+       "control.decisions"
+    > 0)
+
+let test_step_load_produces_phases () =
+  let spec =
+    {
+      Aring_harness.Scenario.default_spec with
+      label = "step-phases";
+      n_nodes = 4;
+      offered_mbps = 100.0;
+      warmup_ns = 20_000_000;
+      measure_ns = 60_000_000;
+      load =
+        Aring_harness.Scenario.step_load ~low:100.0 ~high:300.0
+          ~at_ns:40_000_000 ~until_ns:60_000_000;
+    }
+  in
+  let r = Aring_harness.Scenario.run spec in
+  let phases = r.Aring_harness.Scenario.phases in
+  check Alcotest.int "three phases inside the window" 3 (List.length phases);
+  (match phases with
+  | [ a; b; c ] ->
+      check (Alcotest.float 0.01) "phase 1 offered" 100.0
+        a.Aring_harness.Scenario.p_offered_mbps;
+      check (Alcotest.float 0.01) "phase 2 offered" 300.0
+        b.Aring_harness.Scenario.p_offered_mbps;
+      check (Alcotest.float 0.01) "phase 3 offered" 100.0
+        c.Aring_harness.Scenario.p_offered_mbps;
+      List.iter
+        (fun (p : Aring_harness.Scenario.phase) ->
+          check Alcotest.bool "each phase delivered something" true
+            (p.p_deliveries > 0))
+        phases
+  | _ -> Alcotest.fail "wrong phase count");
+  check Alcotest.int "phase deliveries partition the total"
+    r.Aring_harness.Scenario.deliveries
+    (List.fold_left
+       (fun acc (p : Aring_harness.Scenario.phase) -> acc + p.p_deliveries)
+       0 phases)
+
+let test_member_cluster_with_controller_survives_crash () =
+  (* Controllers at the Member level: the learned window must survive a
+     reformation, and ordering must hold throughout. *)
+  let ms n = n * 1_000_000 in
+  let params =
+    {
+      (Params.accelerated ~personal_window:50 ~global_window:400 ()) with
+      token_loss_ns = ms 50;
+      token_retransmit_ns = ms 10;
+      join_retransmit_ns = ms 20;
+      consensus_timeout_ns = ms 100;
+      merge_probe_ns = ms 80;
+    }
+  in
+  let n = 4 in
+  let controllers =
+    Array.init n (fun _ ->
+        Controller.create
+          ~config:(cfg ~aw_max:params.Params.personal_window ())
+          ~init:params.Params.accelerated_window ())
+  in
+  let members =
+    Array.init n (fun me ->
+        Member.create ~params ~me
+          ~initial_ring:(Array.init n (fun i -> i))
+          ~controller:controllers.(me) ())
+  in
+  let sim =
+    Netsim.create ~net:Profile.gigabit
+      ~tiers:(Array.make n Profile.library)
+      ~participants:(Array.map Member.participant members)
+      ~seed:11L ()
+  in
+  let deliveries = Array.init n (fun _ -> ref []) in
+  Netsim.on_deliver sim (fun ~at ~now:_ (d : Aring_wire.Message.data) ->
+      deliveries.(at) := Bytes.to_string d.payload :: !(deliveries.(at)));
+  for k = 1 to 60 do
+    Netsim.call_at sim ~at:(k * 400_000) (fun () ->
+        Member.submit members.(k mod n) Aring_wire.Types.Agreed
+          (Bytes.of_string (Printf.sprintf "m%d" k)))
+  done;
+  Netsim.call_at sim ~at:(ms 12) (fun () -> Netsim.crash sim 3);
+  Netsim.run_until sim (ms 2000);
+  (* Survivors converge operational and agree on the delivery stream. *)
+  let alive = [ 0; 1; 2 ] in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name members.(i)))
+    alive;
+  let streams = List.map (fun i -> List.rev !(deliveries.(i))) alive in
+  (match streams with
+  | s0 :: rest ->
+      List.iter
+        (fun s -> check Alcotest.bool "streams identical" true (s = s0))
+        rest
+  | [] -> assert false);
+  (* Every survivor's controller saw rotations in the reformed ring too. *)
+  List.iter
+    (fun i ->
+      match Member.node members.(i) with
+      | None -> Alcotest.fail "operational member has a node"
+      | Some node -> (
+          match Node.controller node with
+          | None -> Alcotest.fail "controller attached"
+          | Some c ->
+              check Alcotest.bool
+                (Printf.sprintf "survivor %d window within bounds" i)
+                true
+                (Controller.window c >= 0
+                && Controller.window c <= params.Params.personal_window)))
+    alive
+
+let test_engine_window_setter_clamps () =
+  let params = Params.accelerated ~personal_window:30 ~accelerated_window:10 () in
+  let eng =
+    Engine.create ~params
+      ~ring_id:{ Aring_wire.Types.rep = 0; ring_seq = 1 }
+      ~ring:[| 0; 1 |] ~me:0
+  in
+  check Alcotest.int "starts at params" 10 (Engine.accelerated_window eng);
+  Engine.set_accelerated_window eng 99;
+  check Alcotest.int "clamped to personal window" 30
+    (Engine.accelerated_window eng);
+  Engine.set_accelerated_window eng (-5);
+  check Alcotest.int "clamped to zero" 0 (Engine.accelerated_window eng)
+
+let test_engine_round_signals_captured () =
+  let params = Params.accelerated ~personal_window:10 ~accelerated_window:5 () in
+  let rid : Aring_wire.Types.ring_id = { rep = 0; ring_seq = 1 } in
+  let eng = Engine.create ~params ~ring_id:rid ~ring:[| 0; 1 |] ~me:0 in
+  check Alcotest.bool "no signals before first round" true
+    (Engine.last_round_signals eng = None);
+  for i = 1 to 25 do
+    ignore
+      (Engine.handle eng
+         (Engine.Submit (Aring_wire.Types.Agreed, Bytes.make 8 (Char.chr i))))
+  done;
+  ignore (Engine.handle eng (Engine.Token_received (Engine.initial_token rid)));
+  match Engine.last_round_signals eng with
+  | None -> Alcotest.fail "signals after a round"
+  | Some s ->
+      check Alcotest.int "round" 1 s.Engine.sr_round;
+      check Alcotest.int "fcc from incoming token" 0 s.Engine.sr_fcc;
+      check Alcotest.int "personal window admitted 10" 10 s.Engine.sr_allowed_new;
+      check Alcotest.int "backlog as the token arrived" 25 s.Engine.sr_backlog;
+      check Alcotest.int "no retransmissions" 0 s.Engine.sr_retrans
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("backlog grows window", `Quick, test_backlog_grows_window);
+    ("congestion shrinks window", `Quick, test_congestion_shrinks_window);
+    ("idle decays window", `Quick, test_idle_decays_window);
+    ("decay needs an idle streak", `Quick, test_decay_needs_idle_streak);
+    ("fcc and rotation signals", `Quick, test_fcc_and_rotation_signals);
+    ("config validation", `Quick, test_config_validation);
+    qtest prop_congestion_never_increases;
+    qtest prop_sustained_congestion_monotone;
+    qtest prop_window_stays_in_bounds;
+    qtest prop_decisions_deterministic;
+    ("engine window setter clamps", `Quick, test_engine_window_setter_clamps);
+    ("engine round signals captured", `Quick, test_engine_round_signals_captured);
+    ("scenario run with controller", `Quick, test_scenario_run_with_controller);
+    ("step load produces phases", `Quick, test_step_load_produces_phases);
+    ("member cluster with controller survives crash", `Quick,
+      test_member_cluster_with_controller_survives_crash);
+  ]

@@ -371,6 +371,153 @@ let test_packing_mixed_services_flush () =
     (payloads = List.init 10 (fun i -> Printf.sprintf "mix-%02d" (i + 1)))
 
 
+(* --------------------------------------------------------------------
+   Packing properties. The packer is deterministic and synchronous, so we
+   can drive it without a simulator: a single-node bootstrapped member is
+   operational immediately after [start], and everything the daemon
+   submits lands in its engine's pending queue, where [drain_pending]
+   shows exactly the (service, payload) pairs that would hit the ring. *)
+
+type pack_op = {
+  op_sender : int;  (* which of three sessions submits *)
+  op_safe : bool;  (* Safe instead of Agreed *)
+  op_len : int;  (* payload padding length *)
+  op_flush : bool;  (* force a flush after this submission *)
+}
+
+let pack_op_gen =
+  QCheck.Gen.(
+    map
+      (fun (op_sender, op_safe, op_len, op_flush) ->
+        { op_sender; op_safe; op_len; op_flush })
+      (quad (int_bound 2) bool (int_bound 300)
+         (map (fun n -> n = 0) (int_bound 4))))
+
+let pack_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun o ->
+             Printf.sprintf "(s%d %s len=%d%s)" o.op_sender
+               (if o.op_safe then "safe" else "agreed")
+               o.op_len
+               (if o.op_flush then " flush" else ""))
+           ops))
+    QCheck.Gen.(list_size (int_range 1 60) pack_op_gen)
+
+(* Run a submission schedule through a packing daemon; returns what
+   reached the ring, oldest first, and the submission log (sender,
+   service, payload string), also oldest first. *)
+let run_packer ?(pack_threshold = 1300) ops =
+  let member = Member.create ~params:test_params ~me:0 ~initial_ring:[| 0 |] () in
+  ignore ((Member.participant member).Participant.start ());
+  let d = Daemon.create ~packing:true ~pack_threshold ~member () in
+  let sessions =
+    Array.init 3 (fun i ->
+        Daemon.connect d
+          ~name:(Printf.sprintf "s%d" i)
+          (callbacks_of (fresh_client ())))
+  in
+  let log =
+    List.mapi
+      (fun k op ->
+        let payload =
+          Printf.sprintf "%d/%d/%s" op.op_sender k (String.make op.op_len 'x')
+        in
+        let service = if op.op_safe then Types.Safe else Types.Agreed in
+        Daemon.multicast d sessions.(op.op_sender) ~service ~groups:[ "g" ]
+          (Bytes.of_string payload);
+        if op.op_flush then Daemon.flush d;
+        (op.op_sender, service, payload))
+      ops
+  in
+  Daemon.flush d;
+  let ring_submissions =
+    match Member.node member with
+    | None -> failwith "single-node member not operational"
+    | Some node -> Engine.drain_pending (Node.engine node)
+  in
+  (ring_submissions, log)
+
+(* Flatten one ring submission into the App payloads it carries, in ring
+   order. *)
+let apps_of_submission (_service, bytes) =
+  let rec apps env =
+    match env with
+    | Envelope.Batch entries -> List.concat_map apps entries
+    | Envelope.App { sender; payload; _ } ->
+        [ (sender, Bytes.to_string payload) ]
+    | Envelope.Join _ | Envelope.Leave _ -> []
+  in
+  apps (Envelope.decode bytes)
+
+let prop_packing_fifo_per_sender =
+  QCheck.Test.make ~count:100
+    ~name:"packing preserves per-sender FIFO across flushes" pack_ops_arb
+    (fun ops ->
+      let ring_submissions, log = run_packer ops in
+      let delivered = List.concat_map apps_of_submission ring_submissions in
+      List.for_all
+        (fun s ->
+          let sender = Printf.sprintf "#s%d#0" s in
+          let got =
+            List.filter_map
+              (fun (who, p) -> if who = sender then Some p else None)
+              delivered
+          in
+          let submitted =
+            List.filter_map
+              (fun (who, _, p) -> if who = s then Some p else None)
+              log
+          in
+          got = submitted)
+        [ 0; 1; 2 ])
+
+let prop_packing_batches_single_service =
+  QCheck.Test.make ~count:100 ~name:"a batch never mixes services"
+    pack_ops_arb (fun ops ->
+      let ring_submissions, log = run_packer ops in
+      let service_of_payload =
+        List.map (fun (_, service, p) -> (p, service)) log
+      in
+      List.for_all
+        (fun (ring_service, bytes) ->
+          match Envelope.decode bytes with
+          | Envelope.Batch entries ->
+              List.for_all
+                (function
+                  | Envelope.App { payload; _ } ->
+                      Types.service_equal ring_service
+                        (List.assoc (Bytes.to_string payload) service_of_payload)
+                  | _ -> true)
+                entries
+          | _ -> true)
+        ring_submissions)
+
+let prop_packing_respects_threshold =
+  QCheck.Test.make ~count:100
+    ~name:"packed batches never exceed the pack threshold" pack_ops_arb
+    (fun ops ->
+      let threshold = 700 in
+      let ring_submissions, _ = run_packer ~pack_threshold:threshold ops in
+      List.for_all
+        (fun (_, bytes) ->
+          match Envelope.decode bytes with
+          | Envelope.Batch entries ->
+              List.length entries >= 2
+              && List.fold_left
+                   (fun acc e -> acc + Envelope.encoded_size e)
+                   0 entries
+                 <= threshold
+          | env ->
+              (* Unpacked submissions are single envelopes: either they fit
+                 under the threshold but had no companion, or they were too
+                 large to pack at all. *)
+              ignore env;
+              true)
+        ring_submissions)
+
 let test_group_state_reconverges_after_merge () =
   (* Group membership diverges during a partition (each side only sees its
      own joins); the post-merge re-announcement rebuilds one consistent
@@ -440,6 +587,9 @@ let suite =
     ("packing delivers all in order", `Quick, test_packing_delivers_all_in_order);
     ("packing respects threshold", `Quick, test_packing_respects_threshold);
     ("packing mixed services flush", `Quick, test_packing_mixed_services_flush);
+    qtest prop_packing_fifo_per_sender;
+    qtest prop_packing_batches_single_service;
+    qtest prop_packing_respects_threshold;
     ("group state reconverges after merge", `Quick,
       test_group_state_reconverges_after_merge);
   ]

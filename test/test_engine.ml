@@ -224,6 +224,80 @@ let test_agreed_blocked_behind_safe () =
     (List.length (delivers_of out1));
   check Alcotest.int "cursor stuck before safe msg" 0 (Engine.delivered_upto a)
 
+let test_agreed_held_behind_lost_safe () =
+  (* The holdback under loss: a Safe message is lost on the way to B, the
+     Agreed messages sequenced after it arrive fine, and B must hold them
+     — first for the gap, then (once the retransmission fills the gap) for
+     the safe line — and finally deliver all three in order. *)
+  let params = Params.accelerated () in
+  let a = Engine.create ~params ~ring_id:rid ~ring:[| 0; 1 |] ~me:0 in
+  let b = Engine.create ~params ~ring_id:rid ~ring:[| 0; 1 |] ~me:1 in
+  ignore (Engine.handle a (Engine.Submit (Types.Safe, payload 1)));
+  ignore (Engine.handle a (Engine.Submit (Types.Agreed, payload 2)));
+  ignore (Engine.handle a (Engine.Submit (Types.Agreed, payload 3)));
+  let out_a1 = Engine.handle a (Engine.Token_received (Engine.initial_token rid)) in
+  let sent = datas_of out_a1 in
+  check Alcotest.int "A multicast three messages" 3 (List.length sent);
+  (* Seq 1 (the Safe message) is lost; the Agreed ones behind it arrive. *)
+  List.iter
+    (fun (m : Message.data) ->
+      if m.seq > 1 then begin
+        let out = Engine.handle b (Engine.Data_received m) in
+        check Alcotest.int "B holds the out-of-order agreed" 0
+          (List.length (delivers_of out))
+      end)
+    sent;
+  check Alcotest.int "B delivered nothing behind the gap" 0
+    (Engine.delivered_upto b);
+  (* Tokens circulate: B lowers the aru, requests seq 1 once its cap
+     allows, and A retransmits — exactly the rtr flow. *)
+  let _, tok1 = List.hd (tokens_of out_a1) in
+  let out_b1 = Engine.handle b (Engine.Token_received tok1) in
+  let _, tok2 = List.hd (tokens_of out_b1) in
+  let out_a2 = Engine.handle a (Engine.Token_received tok2) in
+  let _, tok3 = List.hd (tokens_of out_a2) in
+  let out_b2 = Engine.handle b (Engine.Token_received tok3) in
+  let _, tok4 = List.hd (tokens_of out_b2) in
+  check (Alcotest.list Alcotest.int) "B requests the lost safe" [ 1 ] tok4.rtr;
+  let out_a3 = Engine.handle a (Engine.Token_received tok4) in
+  let retrans = datas_of out_a3 in
+  check Alcotest.int "A retransmits seq 1" 1 (List.length retrans);
+  let out_b_fill = Engine.handle b (Engine.Data_received (List.hd retrans)) in
+  (* B now holds the complete prefix — but seq 1 is Safe and the safe line
+     has not advanced, so the Agreed messages behind it stay held. *)
+  check Alcotest.int "B has everything" 3 (Engine.local_aru b);
+  check Alcotest.int "gap fill delivers nothing (safe holdback)" 0
+    (List.length (delivers_of out_b_fill));
+  check Alcotest.int "cursor still before the safe message" 0
+    (Engine.delivered_upto b);
+  check Alcotest.int "safe line still zero" 0 (Engine.safe_line b);
+  (* Two more full rotations let the all-received aru stabilise; only then
+     does the safe line advance and delivery resumes, in order. *)
+  let _, tok5 = List.hd (tokens_of out_a3) in
+  let out_b3 = Engine.handle b (Engine.Token_received tok5) in
+  check Alcotest.int "B still held before stability" 0
+    (List.length (delivers_of out_b3));
+  let _, tok6 = List.hd (tokens_of out_b3) in
+  let out_a4 = Engine.handle a (Engine.Token_received tok6) in
+  let _, tok7 = List.hd (tokens_of out_a4) in
+  let out_b4 = Engine.handle b (Engine.Token_received tok7) in
+  let delivered = delivers_of out_b4 in
+  check (Alcotest.list Alcotest.int) "B delivers the full prefix in order"
+    [ 1; 2; 3 ]
+    (List.map (fun (m : Message.data) -> m.seq) delivered);
+  (match delivered with
+  | first :: rest ->
+      check Alcotest.bool "head of the release is the safe message" true
+        (Types.service_equal first.service Types.Safe);
+      List.iter
+        (fun (m : Message.data) ->
+          check Alcotest.bool "rest are the agreed messages" true
+            (Types.service_equal m.service Types.Agreed))
+        rest
+  | [] -> Alcotest.fail "no deliveries");
+  check Alcotest.int "safe line advanced" 3 (Engine.safe_line b);
+  check Alcotest.int "cursor caught up" 3 (Engine.delivered_upto b)
+
 (* -------------------------------------------------------------------- *)
 (* Retransmission via the rtr list (hand-driven loss)                    *)
 
@@ -727,6 +801,7 @@ let suite =
     ("token loss timer", `Quick, test_token_loss_fires);
     ("safe gating (2 engines)", `Quick, test_safe_gating_two_engines);
     ("agreed blocked behind safe", `Quick, test_agreed_blocked_behind_safe);
+    ("agreed held behind lost safe", `Quick, test_agreed_held_behind_lost_safe);
     ("rtr recovery (2 engines)", `Quick, test_rtr_recovery_two_engines);
     ("cluster agreed", `Quick, test_cluster_agreed_all_delivered);
     ("cluster safe", `Quick, test_cluster_safe_all_delivered);

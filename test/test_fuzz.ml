@@ -154,10 +154,11 @@ let test_finds_skip_retransmission () =
 (* Corpus replay: every committed reproducer must stay green           *)
 
 (* [corpus/trace_hashes.txt] pins the FNV-1a trace hash of every committed
-   schedule, captured before the hot-path rewrite. Lines are
+   schedule replayed with a static window, [corpus/trace_hashes_adaptive.txt]
+   with the adaptive controller on every node. Lines are
    "<basename> <16-hex-digit hash>"; '#' starts a comment. *)
-let committed_hashes () =
-  let ic = open_in "corpus/trace_hashes.txt" in
+let committed_hashes path =
+  let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -172,16 +173,16 @@ let committed_hashes () =
       in
       loop [])
 
-let test_corpus_replays_green () =
+let check_corpus_against ~adaptive oracle_path =
   let entries = Corpus.load_dir "corpus" in
   Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 3);
-  let oracle = committed_hashes () in
+  let oracle = committed_hashes oracle_path in
   Alcotest.(check int)
     "every corpus entry has a committed hash" (List.length entries)
     (List.length oracle);
   List.iter
     (fun (name, schedule) ->
-      let o = Fuzzer.replay schedule in
+      let o = Fuzzer.replay ~adaptive schedule in
       if not (Runner.passed o) then
         Alcotest.failf "corpus entry %s regressed: %s" name
           (Format.asprintf "%a" Runner.pp_outcome o);
@@ -193,6 +194,16 @@ let test_corpus_replays_green () =
               "corpus entry %s trace drifted: hash %Lx, committed %Lx" name
               o.Runner.trace_hash expected)
     entries
+
+let test_corpus_replays_green () =
+  check_corpus_against ~adaptive:false "corpus/trace_hashes.txt"
+
+(* The same reproducers with the adaptive controller live: the fault
+   schedules must still pass every invariant while the per-node window
+   moves, and the controller's decisions must be deterministic (pinned
+   hashes). *)
+let test_corpus_replays_green_adaptive () =
+  check_corpus_against ~adaptive:true "corpus/trace_hashes_adaptive.txt"
 
 let test_corpus_save_load () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "aring-corpus-test" in
@@ -213,5 +224,6 @@ let suite =
     ("finds + shrinks skip-delivery", `Quick, test_finds_skip_delivery);
     ("finds skip-retransmission", `Quick, test_finds_skip_retransmission);
     ("corpus replays green", `Quick, test_corpus_replays_green);
+    ("corpus replays green (adaptive)", `Quick, test_corpus_replays_green_adaptive);
     ("corpus save/load", `Quick, test_corpus_save_load);
   ]

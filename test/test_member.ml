@@ -480,6 +480,132 @@ let test_installs_counter () =
   | None -> Alcotest.fail "operational node accessor");
   check Alcotest.int "pid accessor" 0 (Member.me c.members.(0))
 
+(* -------------------------------------------------------------------- *)
+(* Membership churn regressions                                          *)
+
+(* A Join arriving while formation is mid-commit is deliberately absorbed
+   without action (the joiner keeps retransmitting and is merged right
+   after installation); it must not derail the formation in progress. We
+   pin the survivors in Commit_wait by dropping commit tokens, inject late
+   joins straight into the representative, and then let the ring form. *)
+let test_join_during_commit_is_absorbed () =
+  let c = make_cluster ~n:3 () in
+  let drop_commits ~src:_ ~dst:_ = function
+    | Message.Commit _ -> true
+    | _ -> false
+  in
+  Netsim.call_at c.sim ~at:(ms 10) (fun () ->
+      Netsim.set_drop c.sim drop_commits;
+      Netsim.crash c.sim 2);
+  let injections = ref 0 in
+  let rec poll at =
+    if at <= ms 600 then
+      Netsim.call_at c.sim ~at (fun () ->
+          if Member.state_name c.members.(0) = "commit" then begin
+            incr injections;
+            let late : Message.join =
+              { j_pid = 9; proc_set = [ 9 ]; fail_set = []; join_seq = !injections }
+            in
+            let p = Member.participant c.members.(0) in
+            let actions = p.Participant.process (Message.Join late) in
+            check Alcotest.int "late join absorbed silently" 0
+              (List.length actions);
+            check Alcotest.string "still mid-commit" "commit"
+              (Member.state_name c.members.(0))
+          end;
+          poll (at + ms 1))
+  in
+  poll (ms 20);
+  Netsim.call_at c.sim ~at:(ms 620) (fun () ->
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  for k = 1 to 6 do
+    Netsim.call_at c.sim ~at:(ms 700 + (k * 300_000)) (fun () ->
+        submit c (k mod 2) Types.Agreed (Printf.sprintf "post-join-%d" k))
+  done;
+  Netsim.run_until c.sim (ms 2500);
+  check Alcotest.bool "formation was caught mid-commit" true (!injections > 0);
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i));
+      match last_regular_view c i with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "survivor %d pair ring" i)
+            [ 0; 1 ] v.members
+      | None -> Alcotest.fail "no view")
+    [ 0; 1 ];
+  List.iter
+    (fun i ->
+      let post =
+        List.filter
+          (fun (_, _, _, p) ->
+            String.length p >= 9 && String.sub p 0 9 = "post-join")
+          (messages c i)
+      in
+      check Alcotest.int
+        (Printf.sprintf "survivor %d delivered post-formation" i)
+        6 (List.length post))
+    [ 0; 1 ];
+  check_per_ring_order c [ 0; 1 ]
+
+(* Membership timers carry the generation they were armed under; a timer
+   surviving a phase change must be a dead letter. The dangerous case is a
+   stale consensus timeout firing into a *fresh* gather of a later
+   generation: without the guard it would run the new gather's consensus
+   logic early. Driven out-of-band (no simulator) for exact control. *)
+let test_stale_memb_timer_is_ignored () =
+  let m = Member.create ~params:test_params ~me:0 () in
+  let p = Member.participant m in
+  let arm_timers actions =
+    List.filter_map
+      (function Participant.Arm_timer (tm, _) -> Some tm | _ -> None)
+      actions
+  in
+  let consensus_timer timers =
+    List.find
+      (function Member.Memb_timer (Member.Consensus_timeout, _) -> true | _ -> false)
+      timers
+  in
+  let gather1 = arm_timers (p.Participant.start ()) in
+  check Alcotest.string "starts gathering" "gather" (Member.state_name m);
+  check Alcotest.bool "gather arms timers" true (gather1 <> []);
+  (* Alone at the consensus timeout, the member installs a singleton ring:
+     a phase change that invalidates every timer armed by the gather. *)
+  ignore (p.Participant.fire_timer (consensus_timer gather1));
+  check Alcotest.string "singleton installed" "operational"
+    (Member.state_name m);
+  check Alcotest.int "one install" 1 (Member.installs m);
+  (* The gather's timers are now stale and must all be dead letters. *)
+  List.iter
+    (fun tm ->
+      check Alcotest.int "stale timer is a no-op" 0
+        (List.length (p.Participant.fire_timer tm)))
+    gather1;
+  check Alcotest.string "ring not regressed" "operational"
+    (Member.state_name m);
+  check Alcotest.int "no extra install" 1 (Member.installs m);
+  (* A join from a new peer re-gathers under a fresh generation... *)
+  let regather =
+    p.Participant.process
+      (Message.Join { j_pid = 1; proc_set = [ 0; 1 ]; fail_set = []; join_seq = 1 })
+  in
+  check Alcotest.string "re-gathering for the joiner" "gather"
+    (Member.state_name m);
+  (* ...into which the original consensus timeout now fires late: its stale
+     generation must keep it from acting on the new gather's state. *)
+  check Alcotest.int "stale timeout into fresh gather is a no-op" 0
+    (List.length (p.Participant.fire_timer (consensus_timer gather1)));
+  check Alcotest.string "fresh gather undisturbed" "gather"
+    (Member.state_name m);
+  (* The current-generation timeout, by contrast, drives consensus: both
+     joins agree, so the representative proposes and enters commit. *)
+  let acted = p.Participant.fire_timer (consensus_timer (arm_timers regather)) in
+  check Alcotest.bool "current-generation timeout acts" true (acted <> []);
+  check Alcotest.string "consensus proposed" "commit" (Member.state_name m)
+
 
 let prop_evs_agreement_under_loss =
   QCheck.Test.make
@@ -575,6 +701,8 @@ let suite =
     ("double crash", `Quick, test_double_crash);
     ("three-way partition and merge", `Quick, test_three_way_partition_and_merge);
     ("installs counter", `Quick, test_installs_counter);
+    ("join during commit is absorbed", `Quick, test_join_during_commit_is_absorbed);
+    ("stale membership timer is ignored", `Quick, test_stale_memb_timer_is_ignored);
     qtest prop_crash_schedule_preserves_order;
     qtest prop_safe_messages_delivered_at_all_survivors;
     qtest prop_evs_agreement_under_loss;

@@ -148,6 +148,25 @@ let all : (string * Message.t) list =
             ];
           c_holds = [ (ring_max, List.init 64 (fun i -> max_int - i)) ];
         } );
+    (* Daemon packing: a Batch envelope riding as an ordinary Data payload
+       pins the packing wire format (batch tag, entry count, per-entry
+       framing) alongside the ring frames it travels in. *)
+    ( "data-batch-envelope",
+      data ~seq:4242 ~post_token:true
+        (Aring_daemon.Envelope.encode
+           (Aring_daemon.Envelope.Batch
+              [
+                Aring_daemon.Envelope.App
+                  {
+                    sender = "#tx#0";
+                    groups = [ "g1"; "g2" ];
+                    payload = Bytes.of_string "packed-1";
+                  };
+                Aring_daemon.Envelope.Join { member = "#rx#1"; group = "g1" };
+                Aring_daemon.Envelope.App
+                  { sender = "#tx#0"; groups = [ "g1" ]; payload = byte_ramp 64 };
+                Aring_daemon.Envelope.Leave { member = "#rx#1"; group = "g2" };
+              ])) );
   ]
 
 (* ------------------------------------------------------------------ *)
