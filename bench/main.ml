@@ -20,6 +20,7 @@ module Stats = Aring_util.Stats
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 let mode_hotpath = Array.exists (fun a -> a = "hotpath") Sys.argv
 let mode_adaptive = Array.exists (fun a -> a = "adaptive") Sys.argv
+let mode_kv = Array.exists (fun a -> a = "kv") Sys.argv
 
 let ms n = n * 1_000_000
 
@@ -1134,7 +1135,208 @@ let adaptive () =
     Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
   if not (ratio_ok && worst_ok) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Replicated KV store benchmark (`-- kv [quick]`)                      *)
+(* Steady-state op throughput and latency of the daemon-hosted KV       *)
+(* replicas, the same workload across a partition + state transfer,     *)
+(* and a state-transfer cost sweep vs store size. Every run carries     *)
+(* the end-to-end consistency oracle: a violation or a failure to       *)
+(* re-converge is a hard failure regardless of the budget file.         *)
+(* Emits BENCH_kv.json, gated by bench/kv_budget.json.                  *)
+
+module Kv_scenario = Aring_app.Kv_scenario
+
+let bench_kv () =
+  Printf.printf "=== Replicated KV store benchmark%s ===\n%!"
+    (if quick then " [QUICK MODE]" else "");
+  let measure_ns = if quick then ms 150 else ms 400 in
+  let steady =
+    Kv_scenario.run
+      {
+        Kv_scenario.default_spec with
+        label = "kv-steady";
+        measure_ns;
+      }
+  in
+  let partitioned =
+    Kv_scenario.run
+      {
+        Kv_scenario.default_spec with
+        label = "kv-partition";
+        measure_ns = (if quick then ms 200 else ms 400);
+        partition =
+          Some
+            {
+              Kv_scenario.part_at_ns = ms 60;
+              heal_at_ns = ms (if quick then 140 else 220);
+              island = [ Kv_scenario.default_spec.Kv_scenario.n_nodes - 1 ];
+            };
+      }
+  in
+  let correctness_ok r =
+    r.Kv_scenario.oracle_violations = 0 && r.Kv_scenario.converged
+  in
+  let pp_run r =
+    Printf.printf "%s\n%!" (Format.asprintf "%a" Kv_scenario.pp_result r)
+  in
+  pp_run steady;
+  pp_run partitioned;
+  (* State-transfer cost vs store size. *)
+  let sweep_sizes =
+    if quick then [ 100; 1_000; 5_000 ] else [ 100; 1_000; 5_000; 20_000 ]
+  in
+  let sweep =
+    List.map
+      (fun entries ->
+        let t = Kv_scenario.measure_transfer ~store_entries:entries () in
+        Printf.printf
+          "  transfer: %6d entries  %8d bytes  %9.0f us to re-sync\n%!"
+          t.Kv_scenario.entries_transferred t.Kv_scenario.bytes_transferred
+          t.Kv_scenario.xfer_us;
+        (entries, t))
+      sweep_sizes
+  in
+  let p50 s = Stats.median s and p99 s = Stats.percentile s 99.0 in
+  let run_json label (r : Kv_scenario.result) =
+    ( label,
+      Json.Obj
+        [
+          ("writes_submitted", Json.Int r.Kv_scenario.writes_submitted);
+          ("writes_applied", Json.Int r.Kv_scenario.writes_applied);
+          ("write_ops_per_sec", Json.Float r.Kv_scenario.write_ops_per_sec);
+          ("write_p50_us", Json.Float (p50 r.Kv_scenario.write_latency_us));
+          ("write_p99_us", Json.Float (p99 r.Kv_scenario.write_latency_us));
+          ( "sync_read_p50_us",
+            Json.Float (p50 r.Kv_scenario.sync_read_latency_us) );
+          ( "sync_read_p99_us",
+            Json.Float (p99 r.Kv_scenario.sync_read_latency_us) );
+          ("local_reads", Json.Int r.Kv_scenario.reads);
+          ("installs", Json.Int r.Kv_scenario.installs);
+          ("oracle_violations", Json.Int r.Kv_scenario.oracle_violations);
+          ("converged", Json.Bool r.Kv_scenario.converged);
+        ] )
+  in
+  (* Committed budget gate. *)
+  let budget_path = "bench/kv_budget.json" in
+  let budget =
+    try
+      let ic = open_in budget_path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (Json.of_string s)
+    with Sys_error _ | Json.Parse_error _ -> None
+  in
+  let bound name = Option.bind budget (fun b -> json_float (Json.member name b)) in
+  let min_ops = bound "min_steady_write_ops_per_sec" in
+  let max_p50 = bound "max_steady_write_p50_us" in
+  let max_sync_p50 = bound "max_steady_sync_read_p50_us" in
+  let max_xfer_per_entry = bound "max_transfer_us_per_entry" in
+  let check_max v = function None -> true | Some m -> v <= m in
+  let check_min v = function None -> true | Some m -> v >= m in
+  let ops_ok = check_min steady.Kv_scenario.write_ops_per_sec min_ops in
+  let p50_ok = check_max (p50 steady.Kv_scenario.write_latency_us) max_p50 in
+  let sync_ok =
+    check_max (p50 steady.Kv_scenario.sync_read_latency_us) max_sync_p50
+  in
+  (* Amortized transfer cost, judged at the largest sweep point (fixed
+     per-transfer overhead dominates the small ones). *)
+  let last_entries, last_t = List.nth sweep (List.length sweep - 1) in
+  let xfer_per_entry =
+    last_t.Kv_scenario.xfer_us /. float_of_int (max 1 last_entries)
+  in
+  let xfer_ok = check_max xfer_per_entry max_xfer_per_entry in
+  let consistent = correctness_ok steady && correctness_ok partitioned in
+  let budget_pass = ops_ok && p50_ok && sync_ok && xfer_ok && consistent in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "aring.bench.kv/1");
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ( "workload",
+          Json.Obj
+            [
+              ("nodes", Json.Int Kv_scenario.default_spec.Kv_scenario.n_nodes);
+              ("net", Json.String "1g");
+              ( "ops_per_sec_offered",
+                Json.Float Kv_scenario.default_spec.Kv_scenario.ops_per_sec );
+              ( "value_bytes",
+                Json.Int Kv_scenario.default_spec.Kv_scenario.value_bytes );
+              ( "key_space",
+                Json.Int Kv_scenario.default_spec.Kv_scenario.key_space );
+            ] );
+        run_json "steady" steady;
+        run_json "partitioned" partitioned;
+        ( "transfer_sweep",
+          Json.List
+            (List.map
+               (fun (entries, t) ->
+                 Json.Obj
+                   [
+                     ("store_entries", Json.Int entries);
+                     ( "entries_transferred",
+                       Json.Int t.Kv_scenario.entries_transferred );
+                     ( "bytes_transferred",
+                       Json.Int t.Kv_scenario.bytes_transferred );
+                     ("xfer_us", Json.Float t.Kv_scenario.xfer_us);
+                     ("total_installs", Json.Int t.Kv_scenario.total_installs);
+                   ])
+               sweep) );
+        ( "budget",
+          Json.Obj
+            [
+              ( "min_steady_write_ops_per_sec",
+                match min_ops with Some m -> Json.Float m | None -> Json.Null );
+              ( "max_steady_write_p50_us",
+                match max_p50 with Some m -> Json.Float m | None -> Json.Null );
+              ( "max_steady_sync_read_p50_us",
+                match max_sync_p50 with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "max_transfer_us_per_entry",
+                match max_xfer_per_entry with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ("transfer_us_per_entry", Json.Float xfer_per_entry);
+              ("pass", Json.Bool budget_pass);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_kv.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_kv.json\n%!";
+  if not consistent then
+    Printf.printf
+      "BUDGET FAIL: consistency oracle violated or replicas failed to \
+       converge\n\
+       %!";
+  if not ops_ok then
+    Printf.printf "BUDGET FAIL: %.0f write ops/s below required %.0f\n%!"
+      steady.Kv_scenario.write_ops_per_sec (Option.get min_ops);
+  if not p50_ok then
+    Printf.printf "BUDGET FAIL: write p50 %.0f us above budget %.0f\n%!"
+      (p50 steady.Kv_scenario.write_latency_us)
+      (Option.get max_p50);
+  if not sync_ok then
+    Printf.printf "BUDGET FAIL: sync-read p50 %.0f us above budget %.0f\n%!"
+      (p50 steady.Kv_scenario.sync_read_latency_us)
+      (Option.get max_sync_p50);
+  if not xfer_ok then
+    Printf.printf
+      "BUDGET FAIL: transfer %.2f us/entry above budget %.2f\n%!"
+      xfer_per_entry
+      (Option.get max_xfer_per_entry);
+  if budget = None then
+    Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
+  if not budget_pass then exit 1
+
 let () =
+  if mode_kv then begin
+    bench_kv ();
+    exit 0
+  end;
   if mode_hotpath then begin
     hotpath ();
     exit 0

@@ -9,11 +9,18 @@
 
 open Aring_fuzz
 
-let run trials seed bug_name adaptive shrink max_shrink_runs time_budget
-    replay_path corpus_dir quiet =
+let run trials seed bug_name adaptive app_name shrink max_shrink_runs
+    time_budget replay_path trace_file corpus_dir quiet =
   let bug =
     match Bug.of_string bug_name with
     | Ok b -> b
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let app =
+    match Runner.app_of_string app_name with
+    | Ok a -> a
     | Error e ->
         prerr_endline e;
         exit 2
@@ -30,13 +37,16 @@ let run trials seed bug_name adaptive shrink max_shrink_runs time_budget
         Printf.printf "no corpus entries under %s\n" path;
         exit 0
       end;
+      let trace_oc = Option.map open_out trace_file in
+      let extra_sink = Option.map Aring_obs.Trace_json.jsonl_sink trace_oc in
       let failed = ref 0 in
       List.iter
         (fun (name, schedule) ->
-          let outcome = Fuzzer.replay ~bug ~adaptive schedule in
+          let outcome = Fuzzer.replay ~bug ~adaptive ~app ?extra_sink schedule in
           Format.printf "%s: %a@." name Runner.pp_outcome outcome;
           if not (Runner.passed outcome) then incr failed)
         entries;
+      Option.iter close_out trace_oc;
       Printf.printf "replayed %d entries, %d failed\n" (List.length entries)
         !failed;
       exit (if !failed > 0 then 1 else 0)
@@ -54,6 +64,7 @@ let run trials seed bug_name adaptive shrink max_shrink_runs time_budget
           seed = Int64.of_int seed;
           bug;
           adaptive;
+          app;
           shrink;
           max_shrink_runs;
           stop;
@@ -100,8 +111,9 @@ let bug_name =
     value & opt string "clean"
     & info [ "bug" ]
         ~doc:
-          "Inject a known protocol defect: clean, skip-delivery or \
-           skip-retransmission. Used to validate the fuzzer itself.")
+          "Inject a known protocol defect: clean, skip-delivery, \
+           skip-retransmission or kv-skip-apply. Used to validate the \
+           fuzzer itself.")
 
 let adaptive =
   Arg.(
@@ -111,6 +123,16 @@ let adaptive =
           "Run every node with the adaptive accelerated-window controller \
            enabled, fuzzing the protocol while the per-node window moves. \
            Trace hashes differ from static-window runs.")
+
+let app_name =
+  Arg.(
+    value & opt string "none"
+    & info [ "app" ]
+        ~doc:
+          "Run an application workload on top of every schedule: none, or \
+           kv (a replicated key-value store per node whose end-to-end \
+           consistency oracle becomes a third safety check). Trace hashes \
+           differ from app-free runs.")
 
 let shrink =
   Arg.(
@@ -140,6 +162,16 @@ let replay_path =
           "Replay a saved schedule (a reproducer file, or every *.json in \
            a corpus directory) instead of fuzzing.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "With --replay: also dump the full JSONL trace stream of the \
+           replayed run(s) to $(docv), for offline analysis with \
+           accelring_trace.")
+
 let corpus_dir =
   Arg.(
     value
@@ -155,7 +187,8 @@ let cmd =
   Cmd.v
     (Cmd.info "accelring_fuzz" ~doc)
     Term.(
-      const run $ trials $ seed $ bug_name $ adaptive $ shrink
-      $ max_shrink_runs $ time_budget $ replay_path $ corpus_dir $ quiet)
+      const run $ trials $ seed $ bug_name $ adaptive $ app_name $ shrink
+      $ max_shrink_runs $ time_budget $ replay_path $ trace_file $ corpus_dir
+      $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,130 @@
+(* CLI: run the replicated key-value store on a simulated cluster and
+   print the measured op throughput, write / sync-read latency and
+   state-transfer profile. Every run carries the end-to-end consistency
+   oracle; any violation (or a cluster that fails to re-converge) is a
+   hard error, not a statistic. *)
+
+open Aring_sim
+open Aring_app
+
+let net_of_string = function
+  | "1g" -> Ok Profile.gigabit
+  | "10g" -> Ok Profile.ten_gigabit
+  | s -> Error (`Msg (Printf.sprintf "unknown network %S (use 1g|10g)" s))
+
+let run nodes net rate seconds keys hot value_bytes reads sync_reads cas dels
+    partition_spec seed verbose =
+  if verbose then Aring_util.Log.setup ~level:Logs.Info ();
+  let partition =
+    match partition_spec with
+    | None -> None
+    | Some (at_ms, heal_ms) ->
+        Some
+          {
+            Kv_scenario.part_at_ns = at_ms * 1_000_000;
+            heal_at_ns = heal_ms * 1_000_000;
+            island = [ nodes - 1 ];
+          }
+  in
+  let spec =
+    {
+      Kv_scenario.default_spec with
+      label = Printf.sprintf "kv/%dn/%.0fops" nodes rate;
+      n_nodes = nodes;
+      net;
+      key_space = keys;
+      hot_keys = min hot keys;
+      value_bytes;
+      read_permille = reads;
+      sync_read_permille = sync_reads;
+      cas_permille = cas;
+      del_permille = dels;
+      ops_per_sec = rate;
+      measure_ns = int_of_float (seconds *. 1e9);
+      seed = Int64.of_int seed;
+      partition;
+    }
+  in
+  let result = Kv_scenario.run spec in
+  Format.printf "%a@." Kv_scenario.pp_result result;
+  if result.Kv_scenario.oracle_violations > 0 then begin
+    Format.printf "CONSISTENCY VIOLATIONS:@.%a@." Oracle.pp
+      result.Kv_scenario.oracle;
+    exit 1
+  end;
+  if not result.Kv_scenario.converged then begin
+    print_endline "replicas did not converge within the drain budget";
+    exit 1
+  end
+
+open Cmdliner
+
+let nodes =
+  Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+let net =
+  Arg.(
+    value
+    & opt (conv (net_of_string, fun fmt n -> Format.fprintf fmt "%s" n.Profile.net_name)) Profile.gigabit
+    & info [ "net" ] ~doc:"Network profile: 1g or 10g.")
+
+let rate =
+  Arg.(
+    value & opt float 20_000.
+    & info [ "rate" ] ~doc:"Aggregate offered op rate (ops/sec).")
+
+let seconds =
+  Arg.(
+    value & opt float 0.2
+    & info [ "seconds" ] ~doc:"Measurement window (simulated seconds).")
+
+let keys =
+  Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key-space size.")
+
+let hot =
+  Arg.(
+    value & opt int 8
+    & info [ "hot" ] ~doc:"Hot keys (receive 80% of the traffic).")
+
+let value_bytes =
+  Arg.(value & opt int 128 & info [ "value-bytes" ] ~doc:"Value size.")
+
+let reads =
+  Arg.(
+    value & opt int 250
+    & info [ "reads" ] ~doc:"Local-read share of the mix, permille.")
+
+let sync_reads =
+  Arg.(
+    value & opt int 50
+    & info [ "sync-reads" ]
+        ~doc:"Sync-read (Safe-ordered) share of the mix, permille.")
+
+let cas =
+  Arg.(value & opt int 100 & info [ "cas" ] ~doc:"CAS share, permille.")
+
+let dels =
+  Arg.(value & opt int 70 & info [ "dels" ] ~doc:"Delete share, permille.")
+
+let partition_spec =
+  Arg.(
+    value
+    & opt (some (pair ~sep:':' int int)) None
+    & info [ "partition" ] ~docv:"AT:HEAL"
+        ~doc:
+          "Cut the last node away at $(i,AT) ms and heal at $(i,HEAL) ms \
+           (simulated), exercising freeze, re-merge and state transfer \
+           under load.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.")
+
+let cmd =
+  let doc = "Replicated KV store on the Accelerated Ring: simulate and measure" in
+  Cmd.v
+    (Cmd.info "accelring_kv" ~doc)
+    Term.(
+      const run $ nodes $ net $ rate $ seconds $ keys $ hot $ value_bytes
+      $ reads $ sync_reads $ cas $ dels $ partition_spec $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

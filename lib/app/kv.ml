@@ -1,0 +1,470 @@
+open Aring_wire
+module Daemon = Aring_daemon.Daemon
+module Trace = Aring_obs.Trace
+module Metrics = Aring_obs.Metrics
+
+let group = "kv"
+
+type observation =
+  | Applied of { index : int; op : Op.t; value : string option }
+  | Read of { key : string; value : string option; token : int; sync : bool }
+  | Installed of {
+      donor : Types.pid;
+      applied : int;
+      entries : (string * string) list;
+    }
+  | Aborted
+  | Reset
+
+type stats = {
+  mutable ops_applied : int;
+  mutable cas_failures : int;
+  mutable rejected_writes : int;
+  mutable reads : int;
+  mutable sync_reads : int;
+  mutable hellos_sent : int;
+  mutable snapshots_sent : int;
+  mutable installs : int;
+  mutable xfer_aborts : int;
+  mutable cold_resets : int;
+  mutable buffered_peak : int;
+  mutable decode_errors : int;
+}
+
+type bug = Bug_none | Bug_skip_apply of { every : int }
+
+(* An incoming snapshot transfer: the donor and accumulating chunk /
+   replay-buffer state, all keyed to the view that elected it. *)
+type incoming = {
+  xf_donor : Types.pid;
+  mutable xf_total : int;  (* -1 until the first chunk arrives *)
+  mutable xf_received : int;
+  mutable xf_entries : (string * string) list;
+  mutable xf_applied : int;
+  mutable xf_buffer : Op.t list;  (* newest first *)
+}
+
+type t = {
+  daemon : Daemon.t;
+  me : Types.pid;
+  session : Daemon.session;
+  member_name : string;
+  cluster_size : int;
+  max_chunk_bytes : int;
+  bug : bug;
+  mutable bug_writes : int;
+  store : (string, string) Hashtbl.t;
+  mutable applied_n : int;
+  mutable synced_f : bool;
+  mutable primary : bool;
+  mutable view : Types.ring_id option;
+  mutable view_members : Types.pid list;
+  hellos : (Types.pid, int * int64 * bool) Hashtbl.t;
+  mutable elected : bool;
+  mutable xfer_in : incoming option;
+  pending : (int, string option -> token:int -> unit) Hashtbl.t;
+  mutable next_nonce : int;
+  mutable observers : (observation -> unit) list;  (* registration order *)
+  stats : stats;
+}
+
+let node t = t.me
+let applied t = t.applied_n
+let synced t = t.synced_f
+let in_transfer t = t.xfer_in <> None
+let settled t = t.elected && t.xfer_in = None
+let store_size t = Hashtbl.length t.store
+let pending_sync_reads t = Hashtbl.length t.pending
+let stats t = t.stats
+let add_observer t f = t.observers <- t.observers @ [ f ]
+let observe t obs = List.iter (fun f -> f obs) t.observers
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Order-independent store digest: per-entry FNV-1a hashes summed, seeded
+   with the entry count. Election compares (applied, digest) pairs, so the
+   digest need only separate states that differ in content. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let digest t =
+  Hashtbl.fold
+    (fun k v acc ->
+      Int64.add acc (fnv_string (fnv_string (fnv_string fnv_offset k) "\x00") v))
+    t.store
+    (Int64.of_int (Hashtbl.length t.store))
+
+let trace_xfer t ~phase ~donor ~applied ~entries =
+  if Trace.enabled () then
+    match t.view with
+    | Some view ->
+        Trace.emit ~node:t.me
+          (Trace.App_xfer { view; donor; phase; applied; entries })
+    | None -> ()
+
+let multicast_op ?service t op =
+  Daemon.multicast t.daemon t.session ?service ~groups:[ group ] (Op.encode op)
+
+(* --- op-log execution ------------------------------------------------ *)
+
+let apply_write t op =
+  t.applied_n <- t.applied_n + 1;
+  let key = Option.get (Op.write_key op) in
+  let skip =
+    match t.bug with
+    | Bug_none -> false
+    | Bug_skip_apply { every } ->
+        t.bug_writes <- t.bug_writes + 1;
+        t.bug_writes mod every = 0
+  in
+  (match op with
+  | Op.Put { key; value } -> if not skip then Hashtbl.replace t.store key value
+  | Op.Del { key } -> if not skip then Hashtbl.remove t.store key
+  | Op.Cas { key; expect; value } ->
+      if Hashtbl.find_opt t.store key = expect then begin
+        if not skip then Hashtbl.replace t.store key value
+      end
+      else t.stats.cas_failures <- t.stats.cas_failures + 1
+  | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ -> assert false);
+  t.stats.ops_applied <- t.stats.ops_applied + 1;
+  let value = Hashtbl.find_opt t.store key in
+  observe t (Applied { index = t.applied_n; op; value });
+  if Trace.enabled () then
+    Trace.emit ~node:t.me
+      (Trace.App_apply { index = t.applied_n; key; deleted = value = None })
+
+let serve_sync t ~nonce ~key =
+  t.stats.sync_reads <- t.stats.sync_reads + 1;
+  let value = Hashtbl.find_opt t.store key in
+  let token = t.applied_n in
+  observe t (Read { key; value; token; sync = true });
+  if Trace.enabled () then
+    Trace.emit ~node:t.me
+      (Trace.App_read { key; found = value <> None; token; sync = true });
+  match Hashtbl.find_opt t.pending nonce with
+  | Some cb ->
+      Hashtbl.remove t.pending nonce;
+      cb value ~token
+  | None -> ()
+
+let buffer_op t xf op =
+  xf.xf_buffer <- op :: xf.xf_buffer;
+  let depth = List.length xf.xf_buffer in
+  if depth > t.stats.buffered_peak then t.stats.buffered_peak <- depth
+
+(* --- state transfer -------------------------------------------------- *)
+
+let cold_reset t =
+  Hashtbl.reset t.store;
+  t.applied_n <- 0;
+  t.synced_f <- true;
+  t.stats.cold_resets <- t.stats.cold_resets + 1;
+  observe t Reset;
+  trace_xfer t ~phase:"reset" ~donor:t.me ~applied:0 ~entries:0
+
+(* Greedy size-bounded chunking of the sorted snapshot; an empty store
+   still streams one empty chunk so receivers always see [total] >= 1. *)
+let chunk_snapshot t =
+  let budget = t.max_chunk_bytes in
+  let cost (k, v) = String.length k + String.length v + 10 in
+  let chunks, last, _ =
+    List.fold_left
+      (fun (chunks, cur, bytes) entry ->
+        let c = cost entry in
+        if cur <> [] && bytes + c > budget then
+          (List.rev cur :: chunks, [ entry ], c)
+        else (chunks, entry :: cur, bytes + c))
+      ([], [], 0) (entries t)
+  in
+  List.rev (List.rev last :: chunks)
+
+let stream_snapshot t ~view =
+  let applied = t.applied_n in
+  let chunks = chunk_snapshot t in
+  let total = List.length chunks in
+  t.stats.snapshots_sent <- t.stats.snapshots_sent + 1;
+  trace_xfer t ~phase:"snapshot" ~donor:t.me ~applied
+    ~entries:(Hashtbl.length t.store);
+  List.iteri
+    (fun index entries ->
+      multicast_op t
+        (Op.Chunk { view; donor = t.me; index; total; applied; entries }))
+    chunks
+
+let elect t ~view =
+  t.elected <- true;
+  let candidates =
+    List.filter_map
+      (fun m ->
+        match Hashtbl.find_opt t.hellos m with
+        | Some (a, d, true) -> Some (m, a, d)
+        | Some (_, _, false) | None -> None)
+      t.view_members
+  in
+  match candidates with
+  | [] -> cold_reset t
+  | first :: rest ->
+      let donor, d_applied, d_digest =
+        List.fold_left
+          (fun (bm, ba, bd) (m, a, d) ->
+            if a > ba || (a = ba && m < bm) then (m, a, d) else (bm, ba, bd))
+          first rest
+      in
+      trace_xfer t ~phase:"elect" ~donor ~applied:d_applied ~entries:0;
+      let differs m =
+        match Hashtbl.find_opt t.hellos m with
+        | Some (a, d, s) -> (not s) || a <> d_applied || d <> d_digest
+        | None -> true
+      in
+      if t.me = donor then begin
+        if List.exists differs t.view_members then stream_snapshot t ~view
+      end
+      else if differs t.me then begin
+        t.synced_f <- false;
+        t.xfer_in <-
+          Some
+            {
+              xf_donor = donor;
+              xf_total = -1;
+              xf_received = 0;
+              xf_entries = [];
+              xf_applied = 0;
+              xf_buffer = [];
+            }
+      end
+
+let install t xf =
+  Hashtbl.reset t.store;
+  List.iter (fun (k, v) -> Hashtbl.replace t.store k v) xf.xf_entries;
+  t.applied_n <- xf.xf_applied;
+  t.synced_f <- true;
+  t.xfer_in <- None;
+  t.stats.installs <- t.stats.installs + 1;
+  observe t
+    (Installed
+       { donor = xf.xf_donor; applied = xf.xf_applied; entries = xf.xf_entries });
+  trace_xfer t ~phase:"install" ~donor:xf.xf_donor ~applied:xf.xf_applied
+    ~entries:(List.length xf.xf_entries);
+  (* Replay ops delivered (and accepted) during the transfer, in order. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Put _ | Op.Del _ | Op.Cas _ -> apply_write t op
+      | Op.Sync_read { nonce; key; _ } -> serve_sync t ~nonce ~key
+      | Op.Hello _ | Op.Chunk _ -> assert false)
+    (List.rev xf.xf_buffer)
+
+let abort_transfer t =
+  match t.xfer_in with
+  | None -> ()
+  | Some xf ->
+      t.xfer_in <- None;
+      t.stats.xfer_aborts <- t.stats.xfer_aborts + 1;
+      observe t Aborted;
+      trace_xfer t ~phase:"abort" ~donor:xf.xf_donor ~applied:t.applied_n
+        ~entries:0
+
+(* --- delivery -------------------------------------------------------- *)
+
+let handle_hello t (h : Op.t) =
+  match (h, t.view) with
+  | Op.Hello { view; daemon; applied; digest; synced }, Some v
+    when view = v && not t.elected ->
+      Hashtbl.replace t.hellos daemon (applied, digest, synced);
+      if List.for_all (fun m -> Hashtbl.mem t.hellos m) t.view_members then
+        elect t ~view:v
+  | _ -> ()
+
+let handle_chunk t (c : Op.t) =
+  match (c, t.xfer_in, t.view) with
+  | ( Op.Chunk { view; donor; total; applied; entries; _ },
+      Some xf,
+      Some v )
+    when view = v && donor = xf.xf_donor ->
+      if xf.xf_total < 0 then xf.xf_total <- total;
+      xf.xf_received <- xf.xf_received + 1;
+      xf.xf_entries <- List.rev_append entries xf.xf_entries;
+      xf.xf_applied <- applied;
+      if xf.xf_received >= xf.xf_total then install t xf
+  | _ -> ()
+
+let handle_op t op =
+  match op with
+  | Op.Hello _ -> handle_hello t op
+  | Op.Chunk _ -> handle_chunk t op
+  | Op.Sync_read { reader; nonce; key } ->
+      if reader = t.member_name then begin
+        match t.xfer_in with
+        | Some xf -> buffer_op t xf op
+        | None -> serve_sync t ~nonce ~key
+      end
+  | Op.Put _ | Op.Del _ | Op.Cas _ ->
+      (* Primary-component gate: every member of the delivering
+         configuration makes the same decision, so an op executes either
+         at all of them or at none. (The daemon routes group traffic to a
+         session from its local join request onward, so every view
+         member's replica sees the same per-view op stream — including
+         ops ordered before its re-announced Join lands.) *)
+      if not t.primary then
+        t.stats.rejected_writes <- t.stats.rejected_writes + 1
+      else begin
+        match t.xfer_in with
+        | Some xf -> buffer_op t xf op
+        | None ->
+            (* Unsynced with no transfer running (between an abort and the
+               next election): the pending install supersedes this state,
+               so skip the apply rather than corrupt the counters. *)
+            if t.synced_f then apply_write t op
+      end
+
+let on_message t ~sender:_ ~groups:_ _service payload =
+  match Op.decode payload with
+  | op -> handle_op t op
+  | exception Codec.Decode_error _ ->
+      t.stats.decode_errors <- t.stats.decode_errors + 1
+
+let on_view t (v : Aring_ring.Participant.view) =
+  t.primary <- 2 * List.length v.members > t.cluster_size;
+  if not v.transitional then begin
+    (* A regular configuration mid-transfer means the transfer's view is
+       gone: discard and let this view's Hello round re-elect. *)
+    abort_transfer t;
+    t.view <- Some v.view_id;
+    t.view_members <- v.members;
+    Hashtbl.reset t.hellos;
+    t.elected <- false;
+    t.stats.hellos_sent <- t.stats.hellos_sent + 1;
+    trace_xfer t ~phase:"hello" ~donor:t.me ~applied:t.applied_n
+      ~entries:(Hashtbl.length t.store);
+    multicast_op t
+      (Op.Hello
+         {
+           view = v.view_id;
+           daemon = t.me;
+           applied = t.applied_n;
+           digest = digest t;
+           synced = t.synced_f;
+         })
+  end
+
+(* --- client API ------------------------------------------------------ *)
+
+let put t ~key ~value = multicast_op t (Op.Put { key; value })
+let del t ~key = multicast_op t (Op.Del { key })
+
+let cas t ~key ~expect ~value = multicast_op t (Op.Cas { key; expect; value })
+
+let read t ~key =
+  t.stats.reads <- t.stats.reads + 1;
+  let value = Hashtbl.find_opt t.store key in
+  let token = t.applied_n in
+  observe t (Read { key; value; token; sync = false });
+  if Trace.enabled () then
+    Trace.emit ~node:t.me
+      (Trace.App_read { key; found = value <> None; token; sync = false });
+  (value, token)
+
+let sync_read t ~key ~on_result =
+  let nonce = t.next_nonce in
+  t.next_nonce <- nonce + 1;
+  Hashtbl.replace t.pending nonce on_result;
+  multicast_op ~service:Types.Safe t
+    (Op.Sync_read { reader = t.member_name; nonce; key })
+
+let create ?(bug = Bug_none) ?(max_chunk_bytes = 4096) ?(session_name = "kv")
+    ~cluster_size ~daemon () =
+  if cluster_size < 1 then invalid_arg "Kv.create: cluster_size < 1";
+  let tref = ref None in
+  let callbacks =
+    {
+      Daemon.on_message =
+        (fun ~sender ~groups service payload ->
+          match !tref with
+          | Some t -> on_message t ~sender ~groups service payload
+          | None -> ());
+      on_group_view = (fun ~group:_ ~members:_ -> ());
+    }
+  in
+  let session = Daemon.connect daemon ~name:session_name callbacks in
+  let t =
+    {
+      daemon;
+      me = Daemon.pid daemon;
+      session;
+      member_name = Daemon.session_member_name daemon session;
+      cluster_size;
+      max_chunk_bytes;
+      bug;
+      bug_writes = 0;
+      store = Hashtbl.create 64;
+      applied_n = 0;
+      synced_f = true;
+      primary = true;
+      view = None;
+      view_members = [];
+      hellos = Hashtbl.create 8;
+      elected = false;
+      xfer_in = None;
+      pending = Hashtbl.create 8;
+      next_nonce = 0;
+      observers = [];
+      stats =
+        {
+          ops_applied = 0;
+          cas_failures = 0;
+          rejected_writes = 0;
+          reads = 0;
+          sync_reads = 0;
+          hellos_sent = 0;
+          snapshots_sent = 0;
+          installs = 0;
+          xfer_aborts = 0;
+          cold_resets = 0;
+          buffered_peak = 0;
+          decode_errors = 0;
+        };
+    }
+  in
+  tref := Some t;
+  Daemon.set_view_handler daemon (fun v -> on_view t v);
+  Daemon.join daemon session group;
+  t
+
+let preload t entries =
+  if t.applied_n > 0 || t.view <> None then
+    invalid_arg "Kv.preload: replica already running";
+  Hashtbl.reset t.store;
+  List.iter (fun (k, v) -> Hashtbl.replace t.store k v) entries;
+  (* Report as a self-installed snapshot so any attached oracle's shadow
+     starts from the same contents. *)
+  observe t (Installed { donor = t.me; applied = 0; entries })
+
+let record_metrics t reg =
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  c "app.ops_applied" t.stats.ops_applied;
+  c "app.cas_failures" t.stats.cas_failures;
+  c "app.rejected_writes" t.stats.rejected_writes;
+  c "app.reads" t.stats.reads;
+  c "app.sync_reads" t.stats.sync_reads;
+  c "app.hellos_sent" t.stats.hellos_sent;
+  c "app.snapshots_sent" t.stats.snapshots_sent;
+  c "app.installs" t.stats.installs;
+  c "app.xfer_aborts" t.stats.xfer_aborts;
+  c "app.cold_resets" t.stats.cold_resets;
+  c "app.decode_errors" t.stats.decode_errors;
+  Metrics.set (Metrics.gauge reg "app.store_size")
+    (float_of_int (Hashtbl.length t.store));
+  Metrics.set (Metrics.gauge reg "app.applied") (float_of_int t.applied_n);
+  Metrics.set
+    (Metrics.gauge reg "app.buffered_peak")
+    (float_of_int t.stats.buffered_peak)

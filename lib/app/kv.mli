@@ -1,0 +1,159 @@
+(** A deterministic replicated key-value store on the Accelerated Ring.
+
+    One {!t} is a KV {e replica}: a daemon client session that multicasts
+    writes ([Put]/[Del]/[Cas]) with Agreed delivery and applies the
+    resulting totally-ordered op log to a local store. Reads are served
+    locally and return a consistency token (the replica's applied-prefix
+    length); {!sync_read} instead rides a Safe-delivered marker through
+    the ring, so the answer reflects every write stably ordered before
+    the marker.
+
+    {2 Primary component}
+
+    Replicas are created with the cluster size and apply client writes
+    only while their current configuration holds a strict majority of the
+    cluster ([2*|members| > cluster_size]). Writes delivered in a
+    non-primary (minority) configuration are rejected by every member of
+    that configuration — the same deterministic decision everywhere, so
+    components never diverge on which ops executed. Minority replicas
+    keep serving (stale) local reads from their frozen store.
+
+    {2 View-synchronous state transfer}
+
+    After every regular configuration, each replica multicasts an
+    Agreed {!Op.Hello} announcing its [(applied, digest, synced)] state.
+    Once Hellos from {e all} view members have been delivered — the same
+    point of the total order at every replica — each replica runs the
+    same deterministic election: the donor is the synced member with the
+    highest applied count (ties broken by lowest pid). Members whose
+    announced state differs from the donor's become receivers; the donor
+    snapshots its store at that instant and streams it as chunked
+    ordinary multicasts. Receivers buffer subsequently delivered writes,
+    install the snapshot when the last chunk arrives, then replay the
+    buffer — ending byte-identical to the donor. A new regular
+    configuration delivered mid-transfer aborts and restarts the round,
+    which covers donor crash, receiver crash and partitions healing
+    mid-transfer. If no synced member exists, every member deterministically
+    cold-resets to the empty store.
+
+    One replica per daemon; all replicas join one group. *)
+
+open Aring_wire
+
+type t
+
+(** Everything a replica observably does, reported to observers in
+    execution order — the feed the consistency {!Oracle} checks. *)
+type observation =
+  | Applied of { index : int; op : Op.t; value : string option }
+      (** Write [index] of the op log executed; [value] is the store's
+          value for the written key {e after} the apply ([None] =
+          absent), i.e. ground truth for an oracle's shadow
+          comparison. *)
+  | Read of { key : string; value : string option; token : int; sync : bool }
+  | Installed of {
+      donor : Types.pid;
+      applied : int;
+      entries : (string * string) list;
+    }  (** A snapshot replaced this replica's store. *)
+  | Aborted  (** An in-flight incoming transfer was discarded. *)
+  | Reset  (** Cold restart: no synced member existed at an election. *)
+
+type stats = {
+  mutable ops_applied : int;
+  mutable cas_failures : int;  (** Cas delivered whose expectation failed. *)
+  mutable rejected_writes : int;  (** Writes delivered in a minority view. *)
+  mutable reads : int;
+  mutable sync_reads : int;
+  mutable hellos_sent : int;
+  mutable snapshots_sent : int;
+  mutable installs : int;
+  mutable xfer_aborts : int;
+  mutable cold_resets : int;
+  mutable buffered_peak : int;  (** Max ops buffered during one transfer. *)
+  mutable decode_errors : int;
+}
+
+(** Fault injection for the fuzzer's seeded-bug self-test. *)
+type bug =
+  | Bug_none
+  | Bug_skip_apply of { every : int }
+      (** Every [every]-th write at this replica mutates nothing (the
+          log position is still consumed) — a classic skipped-apply /
+          stale-state bug an end-to-end oracle must catch. *)
+
+val group : string
+(** The group every replica joins (["kv"]). *)
+
+val create :
+  ?bug:bug ->
+  ?max_chunk_bytes:int ->
+  ?session_name:string ->
+  cluster_size:int ->
+  daemon:Aring_daemon.Daemon.t ->
+  unit ->
+  t
+(** Attach a replica to [daemon]: connects a client session, joins
+    {!group}, and installs the daemon's view hook (so creating a second
+    replica on one daemon is not supported). [cluster_size] is the full
+    ring size, used for the primary-component majority test.
+    [max_chunk_bytes] bounds the encoded size of one snapshot chunk
+    (default 4096). *)
+
+val node : t -> Types.pid
+(** The hosting daemon's pid — the replica's identity in observations,
+    trace events and elections. *)
+
+(** {1 Client operations} *)
+
+val put : t -> key:string -> value:string -> unit
+val del : t -> key:string -> unit
+
+val cas : t -> key:string -> expect:string option -> value:string -> unit
+(** Applies iff the value at delivery time equals [expect]; failed CAS
+    still consumes its op-log position. *)
+
+val read : t -> key:string -> string option * int
+(** Local read: [(value, token)] where [token] is the replica's applied
+    op count — compare tokens to order reads across replicas. *)
+
+val sync_read : t -> key:string -> on_result:(string option -> token:int -> unit) -> unit
+(** Safe-ordered read: multicasts a marker with Safe delivery and serves
+    the read when the marker comes back, i.e. after every write stably
+    ordered before it. [on_result] fires at most once. *)
+
+(** {1 Introspection} *)
+
+val applied : t -> int
+val synced : t -> bool
+
+val in_transfer : t -> bool
+(** True while an incoming snapshot transfer is active. *)
+
+val settled : t -> bool
+(** No incoming transfer active and no pending election with this
+    replica as a receiver candidate — the quiescence test fuzz
+    convergence uses alongside digest equality. *)
+
+val store_size : t -> int
+val digest : t -> int64
+(** Order-independent FNV-1a digest of the store contents. *)
+
+val entries : t -> (string * string) list
+(** Store contents sorted by key. *)
+
+val pending_sync_reads : t -> int
+val stats : t -> stats
+
+val add_observer : t -> (observation -> unit) -> unit
+(** Observers run in registration order at each observation. *)
+
+val preload : t -> (string * string) list -> unit
+(** Bench/test helper: install store contents directly, before the
+    simulation starts (call it identically at every replica — the ring
+    is bypassed). Reported to observers as a self-installed snapshot at
+    applied 0 so oracle shadows stay consistent. Raises
+    [Invalid_argument] once the replica has run. *)
+
+val record_metrics : t -> Aring_obs.Metrics.t -> unit
+(** Export replica counters and gauges under ["app.*"] names. *)

@@ -1,0 +1,163 @@
+open Aring_wire
+
+type t =
+  | Put of { key : string; value : string }
+  | Del of { key : string }
+  | Cas of { key : string; expect : string option; value : string }
+  | Sync_read of { reader : string; nonce : int; key : string }
+  | Hello of {
+      view : Types.ring_id;
+      daemon : Types.pid;
+      applied : int;
+      digest : int64;
+      synced : bool;
+    }
+  | Chunk of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      index : int;
+      total : int;
+      applied : int;
+      entries : (string * string) list;
+    }
+
+let is_write = function
+  | Put _ | Del _ | Cas _ -> true
+  | Sync_read _ | Hello _ | Chunk _ -> false
+
+let write_key = function
+  | Put { key; _ } | Del { key } | Cas { key; _ } -> Some key
+  | Sync_read _ | Hello _ | Chunk _ -> None
+
+(* Tags. The encoding reuses the wire codec primitives but lives entirely
+   inside daemon App payloads — no frame-level format change. *)
+let tag_put = 1
+let tag_del = 2
+let tag_cas = 3
+let tag_sync_read = 4
+let tag_hello = 5
+let tag_chunk = 6
+
+let write_str e s = Codec.write_bytes e (Bytes.unsafe_of_string s)
+let read_str d = Bytes.unsafe_to_string (Codec.read_bytes d)
+
+let write_ring e (r : Types.ring_id) =
+  Codec.write_i32 e r.rep;
+  Codec.write_i32 e r.ring_seq
+
+let read_ring d : Types.ring_id =
+  let rep = Codec.read_i32 d in
+  let ring_seq = Codec.read_i32 d in
+  { rep; ring_seq }
+
+let encode op =
+  let e = Codec.encoder () in
+  (match op with
+  | Put { key; value } ->
+      Codec.write_u8 e tag_put;
+      write_str e key;
+      write_str e value
+  | Del { key } ->
+      Codec.write_u8 e tag_del;
+      write_str e key
+  | Cas { key; expect; value } ->
+      Codec.write_u8 e tag_cas;
+      write_str e key;
+      (match expect with
+      | None -> Codec.write_bool e false
+      | Some x ->
+          Codec.write_bool e true;
+          write_str e x);
+      write_str e value
+  | Sync_read { reader; nonce; key } ->
+      Codec.write_u8 e tag_sync_read;
+      write_str e reader;
+      Codec.write_i32 e nonce;
+      write_str e key
+  | Hello { view; daemon; applied; digest; synced } ->
+      Codec.write_u8 e tag_hello;
+      write_ring e view;
+      Codec.write_i32 e daemon;
+      Codec.write_i32 e applied;
+      Codec.write_i64 e (Int64.to_int digest);
+      Codec.write_bool e synced
+  | Chunk { view; donor; index; total; applied; entries } ->
+      Codec.write_u8 e tag_chunk;
+      write_ring e view;
+      Codec.write_i32 e donor;
+      Codec.write_i32 e index;
+      Codec.write_i32 e total;
+      Codec.write_i32 e applied;
+      Codec.write_list e
+        (fun (k, v) ->
+          write_str e k;
+          write_str e v)
+        entries);
+  Codec.to_bytes e
+
+let decode bytes =
+  let d = Codec.decoder bytes in
+  let tag = Codec.read_u8 d in
+  let op =
+    if tag = tag_put then
+      let key = read_str d in
+      let value = read_str d in
+      Put { key; value }
+    else if tag = tag_del then Del { key = read_str d }
+    else if tag = tag_cas then begin
+      let key = read_str d in
+      let expect = if Codec.read_bool d then Some (read_str d) else None in
+      let value = read_str d in
+      Cas { key; expect; value }
+    end
+    else if tag = tag_sync_read then begin
+      let reader = read_str d in
+      let nonce = Codec.read_i32 d in
+      let key = read_str d in
+      Sync_read { reader; nonce; key }
+    end
+    else if tag = tag_hello then begin
+      let view = read_ring d in
+      let daemon = Codec.read_i32 d in
+      let applied = Codec.read_i32 d in
+      let digest = Int64.of_int (Codec.read_i64 d) in
+      let synced = Codec.read_bool d in
+      Hello { view; daemon; applied; digest; synced }
+    end
+    else if tag = tag_chunk then begin
+      let view = read_ring d in
+      let donor = Codec.read_i32 d in
+      let index = Codec.read_i32 d in
+      let total = Codec.read_i32 d in
+      let applied = Codec.read_i32 d in
+      let entries =
+        Codec.read_list d (fun () ->
+            let k = read_str d in
+            let v = read_str d in
+            (k, v))
+      in
+      Chunk { view; donor; index; total; applied; entries }
+    end
+    else raise (Codec.Decode_error (Printf.sprintf "Op: unknown tag %d" tag))
+  in
+  Codec.expect_end d;
+  op
+
+let pp ppf = function
+  | Put { key; value } ->
+      Format.fprintf ppf "put(%s=%dB)" key (String.length value)
+  | Del { key } -> Format.fprintf ppf "del(%s)" key
+  | Cas { key; expect; value } ->
+      Format.fprintf ppf "cas(%s %s->%dB)" key
+        (match expect with None -> "absent" | Some x -> Printf.sprintf "%dB" (String.length x))
+        (String.length value)
+  | Sync_read { reader; nonce; key } ->
+      Format.fprintf ppf "sync_read(%s #%d %s)" reader nonce key
+  | Hello { view; daemon; applied; digest; synced } ->
+      Format.fprintf ppf "hello(%a d%d applied=%d digest=%Lx%s)"
+        Types.pp_ring_id view daemon applied digest
+        (if synced then "" else " unsynced")
+  | Chunk { view; donor; index; total; applied; entries } ->
+      Format.fprintf ppf "chunk(%a donor=%d %d/%d applied=%d n=%d)"
+        Types.pp_ring_id view donor (index + 1) total applied
+        (List.length entries)

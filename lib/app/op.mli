@@ -1,0 +1,65 @@
+(** Replicated-KV operation codec.
+
+    Every state-changing or protocol-relevant KV operation is one [Op.t],
+    encoded as the {e payload} of an ordinary daemon application multicast
+    ({!Aring_daemon.Envelope.App}) — an opaque client payload as far as
+    the wire format is concerned. Nothing below the daemon layer changes;
+    golden frames stay byte-identical.
+
+    Operations split into three families:
+
+    - client writes ([Put]/[Del]/[Cas]) — the replicated op log, submitted
+      with Agreed delivery;
+    - [Sync_read] markers — Safe-ordered read fences served by the
+      issuing replica when the marker is delivered;
+    - state-transfer protocol messages ([Hello]/[Chunk]) — the
+      view-synchronous snapshot exchange (see {!Kv}). *)
+
+open Aring_wire
+
+type t =
+  | Put of { key : string; value : string }
+  | Del of { key : string }
+  | Cas of { key : string; expect : string option; value : string }
+      (** Compare-and-set: applies [value] iff the current value of [key]
+          equals [expect] ([None] = key absent). Deterministic at every
+          replica because it executes at the op's total-order position. *)
+  | Sync_read of { reader : string; nonce : int; key : string }
+      (** Safe-delivered read fence. Served only by the replica whose
+          session member name is [reader], when the marker is delivered —
+          i.e. after every write stably ordered before it. *)
+  | Hello of {
+      view : Types.ring_id;
+      daemon : Types.pid;
+      applied : int;
+      digest : int64;
+      synced : bool;
+    }
+      (** Per-view state announcement. Every replica multicasts one after
+          each regular configuration; when Hellos from all view members
+          have been delivered, every replica runs the same deterministic
+          donor election at the same point of the total order. *)
+  | Chunk of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      index : int;
+      total : int;
+      applied : int;
+      entries : (string * string) list;
+    }
+      (** One slice of the donor's snapshot (entries sorted by key across
+          the whole stream; [applied] is the donor's op count at the
+          snapshot point). *)
+
+val is_write : t -> bool
+(** True for [Put]/[Del]/[Cas] — the ops that advance the replica log. *)
+
+val write_key : t -> string option
+(** The key a write targets; [None] for non-writes. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> t
+(** @raise Aring_wire.Codec.Decode_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

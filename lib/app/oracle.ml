@@ -1,0 +1,174 @@
+open Aring_wire
+
+type violation_kind =
+  | Stale_state
+  | Stale_read
+  | Non_monotonic_read
+  | Apply_gap
+  | Divergence
+  | Unsynced
+
+type violation = {
+  o_node : Types.pid;
+  o_kind : violation_kind;
+  o_detail : string;
+}
+
+let kind_label = function
+  | Stale_state -> "stale_state"
+  | Stale_read -> "stale_read"
+  | Non_monotonic_read -> "non_monotonic_read"
+  | Apply_gap -> "apply_gap"
+  | Divergence -> "divergence"
+  | Unsynced -> "unsynced"
+
+type shadow = {
+  sh_store : (string, string) Hashtbl.t;
+  mutable sh_index : int;
+  mutable sh_token : int;
+}
+
+type t = {
+  max_violations : int;
+  mutable kept : violation list;  (* newest first *)
+  mutable total : int;
+  shadows : (Types.pid, shadow) Hashtbl.t;
+  mutable replicas : Kv.t list;
+}
+
+let create ?(max_violations = 100) () =
+  {
+    max_violations;
+    kept = [];
+    total = 0;
+    shadows = Hashtbl.create 8;
+    replicas = [];
+  }
+
+let violation t ~node kind fmt =
+  Printf.ksprintf
+    (fun detail ->
+      t.total <- t.total + 1;
+      if List.length t.kept < t.max_violations then
+        t.kept <- { o_node = node; o_kind = kind; o_detail = detail } :: t.kept)
+    fmt
+
+let shadow_of t node =
+  match Hashtbl.find_opt t.shadows node with
+  | Some s -> s
+  | None ->
+      let s = { sh_store = Hashtbl.create 64; sh_index = 0; sh_token = 0 } in
+      Hashtbl.replace t.shadows node s;
+      s
+
+let str_opt = function None -> "absent" | Some v -> Printf.sprintf "%S" v
+
+let observe t ~node (obs : Kv.observation) =
+  let sh = shadow_of t node in
+  match obs with
+  | Kv.Applied { index; op; value } ->
+      if index <> sh.sh_index + 1 then
+        violation t ~node Apply_gap "apply index %d after shadow index %d"
+          index sh.sh_index;
+      sh.sh_index <- index;
+      (match op with
+      | Op.Put { key; value } -> Hashtbl.replace sh.sh_store key value
+      | Op.Del { key } -> Hashtbl.remove sh.sh_store key
+      | Op.Cas { key; expect; value } ->
+          if Hashtbl.find_opt sh.sh_store key = expect then
+            Hashtbl.replace sh.sh_store key value
+      | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ -> ());
+      let key = Option.value ~default:"" (Op.write_key op) in
+      let expected = Hashtbl.find_opt sh.sh_store key in
+      if expected <> value then begin
+        violation t ~node Stale_state
+          "apply %d (%s): store has %s, shadow expects %s" index
+          (Format.asprintf "%a" Op.pp op)
+          (str_opt value) (str_opt expected);
+        (* Adopt the reported value so one bug is one violation, not a
+           cascade on every later touch of the key. *)
+        match value with
+        | Some v -> Hashtbl.replace sh.sh_store key v
+        | None -> Hashtbl.remove sh.sh_store key
+      end
+  | Kv.Read { key; value; token; sync } ->
+      if token < sh.sh_token then
+        violation t ~node Non_monotonic_read
+          "read of %S at token %d after token %d" key token sh.sh_token;
+      sh.sh_token <- max sh.sh_token token;
+      (* The shadow models exactly the applied prefix; compare only when
+         the read's token matches it. *)
+      if token = sh.sh_index then begin
+        let expected = Hashtbl.find_opt sh.sh_store key in
+        if expected <> value then
+          violation t ~node Stale_read
+            "%sread of %S at token %d returned %s, shadow has %s"
+            (if sync then "sync " else "")
+            key token (str_opt value) (str_opt expected)
+      end
+  | Kv.Installed { applied; entries; _ } ->
+      Hashtbl.reset sh.sh_store;
+      List.iter (fun (k, v) -> Hashtbl.replace sh.sh_store k v) entries;
+      sh.sh_index <- applied;
+      (* A snapshot install re-bases the consistency token: the donor's
+         log is authoritative even when shorter than the token a frozen
+         minority replica last exposed. *)
+      sh.sh_token <- applied
+  | Kv.Aborted -> ()
+  | Kv.Reset ->
+      Hashtbl.reset sh.sh_store;
+      sh.sh_index <- 0;
+      sh.sh_token <- 0
+
+let attach t kv =
+  t.replicas <- t.replicas @ [ kv ];
+  Kv.add_observer kv (fun obs -> observe t ~node:(Kv.node kv) obs)
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let check_convergence t kvs =
+  List.iter
+    (fun kv ->
+      let node = Kv.node kv in
+      if not (Kv.synced kv) then
+        violation t ~node Unsynced "replica not synced at end of run";
+      (* Final state must equal the shadow byte for byte. *)
+      match Hashtbl.find_opt t.shadows node with
+      | Some sh ->
+          if sorted_entries sh.sh_store <> Kv.entries kv then
+            violation t ~node Divergence
+              "final store (%d entries) differs from shadow (%d entries)"
+              (Kv.store_size kv)
+              (Hashtbl.length sh.sh_store)
+      | None -> ())
+    kvs;
+  match kvs with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+      let a0 = Kv.applied first and d0 = Kv.digest first in
+      List.iter
+        (fun kv ->
+          if Kv.applied kv <> a0 || Kv.digest kv <> d0 then
+            violation t ~node:(Kv.node kv) Divergence
+              "replica at applied=%d digest=%Lx but node %d at applied=%d \
+               digest=%Lx"
+              (Kv.applied kv) (Kv.digest kv) (Kv.node first) a0 d0)
+        rest
+
+let violation_count t = t.total
+let violations t = List.rev t.kept
+
+let messages t =
+  List.rev_map
+    (fun v ->
+      Printf.sprintf "node %d %s: %s" v.o_node (kind_label v.o_kind) v.o_detail)
+    t.kept
+
+let pp ppf t =
+  if t.total = 0 then Format.fprintf ppf "oracle OK"
+  else begin
+    Format.fprintf ppf "%d consistency violation(s):@." t.total;
+    List.iter (fun m -> Format.fprintf ppf "  %s@." m) (messages t)
+  end

@@ -1,0 +1,72 @@
+(** End-to-end consistency oracle for the replicated KV store.
+
+    The oracle shadows every replica from its {!Kv.observation} feed: it
+    re-executes each applied op against a shadow store and cross-checks
+    the replica's reported ground truth. Because the shadow is rebuilt
+    from the same totally-ordered op log the replica claims to have
+    executed, any skipped, duplicated or misapplied op surfaces at the
+    first write that touches the damaged state — not just at the end of
+    the run.
+
+    Checked properties, per replica:
+    - {b state fidelity}: the store value reported after each apply
+      equals the shadow's ([Stale_state] — catches skipped applies
+      immediately);
+    - {b op-log contiguity}: apply indices advance by exactly one,
+      modulo snapshot installs and cold resets ([Apply_gap]);
+    - {b read correctness}: a read served at token T returns the shadow
+      value of the T-prefix ([Stale_read]) — subsumes read-your-writes
+      for ops the replica has applied;
+    - {b monotonic reads}: consistency tokens never move backward
+      between snapshot installs ([Non_monotonic_read]); a snapshot
+      install re-bases the token (the EVS merge edge where a frozen
+      minority replica adopts the donor's shorter-but-authoritative
+      log).
+
+    And across replicas at end of run ({!check_convergence}):
+    - every replica synced ([Unsynced]);
+    - all (applied, digest) pairs equal and every store byte-identical
+      to its shadow ([Divergence]). *)
+
+open Aring_wire
+
+type t
+
+type violation_kind =
+  | Stale_state
+  | Stale_read
+  | Non_monotonic_read
+  | Apply_gap
+  | Divergence
+  | Unsynced
+
+type violation = {
+  o_node : Types.pid;
+  o_kind : violation_kind;
+  o_detail : string;
+}
+
+val create : ?max_violations:int -> unit -> t
+(** Keeps the first [max_violations] (default 100) structured records;
+    all are counted. *)
+
+val attach : t -> Kv.t -> unit
+(** Register as an observer of [kv] and remember it for
+    {!check_convergence}. *)
+
+val observe : t -> node:Types.pid -> Kv.observation -> unit
+(** Feed one observation directly (unit tests; {!attach} does this
+    automatically). *)
+
+val check_convergence : t -> Kv.t list -> unit
+(** End-of-run check over the replicas expected to have converged
+    (typically the survivors): records [Unsynced] / [Divergence]
+    violations. *)
+
+val kind_label : violation_kind -> string
+val violation_count : t -> int
+val violations : t -> violation list
+(** Recorded violations, oldest first. *)
+
+val messages : t -> string list
+val pp : Format.formatter -> t -> unit

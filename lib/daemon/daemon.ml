@@ -35,6 +35,11 @@ type t = {
   mutable pack_buffer : Envelope.t list;
   mutable pack_bytes : int;
   mutable pack_service : Types.service;
+  (* Application-layer hook: every delivered configuration (transitional
+     and regular), invoked after the daemon's own pruning and
+     re-announcement so anything the hook submits is ordered after the
+     daemon's re-announced Joins. *)
+  mutable on_view : (Participant.view -> unit) option;
 }
 
 let create ?(packing = false) ?(pack_threshold = 1300) ~member () =
@@ -55,9 +60,12 @@ let create ?(packing = false) ?(pack_threshold = 1300) ~member () =
     pack_buffer = [];
     pack_bytes = 0;
     pack_service = Types.Agreed;
+    on_view = None;
   }
 
 let stats t = t.stats
+let pid t = t.me
+let set_view_handler t f = t.on_view <- Some f
 
 let record_metrics t reg =
   let module Metrics = Aring_obs.Metrics in
@@ -129,8 +137,11 @@ let join t s group =
     submit_envelope t Types.Agreed (Envelope.Join { member = s.s_member; group })
   end
 
+(* Leaving a group the session never joined is an idempotent no-op: no
+   Leave envelope rides the ring, so remote daemons never process a
+   spurious membership change. *)
 let leave t s group =
-  if s.s_open then begin
+  if s.s_open && List.mem group s.s_joined then begin
     s.s_joined <- List.filter (fun g -> g <> group) s.s_joined;
     submit_envelope t Types.Agreed (Envelope.Leave { member = s.s_member; group })
   end
@@ -173,9 +184,19 @@ let rec apply_envelope t (d : Message.data) env =
   | Envelope.Batch entries ->
       List.concat_map (fun entry -> apply_envelope t d entry) entries
   | Envelope.App { sender; groups; payload } ->
+      (* Route to a local session when either its locally-requested
+         membership ([s_joined], effective from the join call — so a
+         rejoining session never misses a message ordered before its
+         re-announced Join lands) or the delivered-join table (effective
+         until the ordered Leave lands) says it belongs. *)
+      let in_table s g = List.mem s.s_member (Groups.members t.groups g) in
+      let joined s g = List.mem g s.s_joined || in_table s g in
       let recipients =
-        List.concat_map (fun g -> local_members_of t g) groups
-        |> List.sort_uniq (fun a b -> compare a.s_name b.s_name)
+        Hashtbl.fold
+          (fun _ s acc ->
+            if s.s_open && List.exists (joined s) groups then s :: acc else acc)
+          t.sessions []
+        |> List.sort (fun a b -> compare a.s_name b.s_name)
       in
       List.map
         (fun s ->
@@ -196,7 +217,15 @@ let rec apply_envelope t (d : Message.data) env =
 
 let handle_delivery t (d : Message.data) =
   match Envelope.decode d.payload with
-  | env -> apply_envelope t d env
+  | env -> (
+      match apply_envelope t d env with
+      | [] ->
+          (* Daemon-internal traffic (Join/Leave, or an App envelope with
+             no local recipient) still consumed its slot in the total
+             order — surface one delivery so the driving runtime charges
+             it and trace invariants see a gap-free sequence. *)
+          [ Participant.Deliver d ]
+      | actions -> actions)
   | exception Codec.Decode_error _ ->
       (* Not daemon traffic (e.g. a recovery flood of a foreign payload);
          surface it unchanged. *)
@@ -218,7 +247,8 @@ let handle_view t (v : Participant.view) =
               (Envelope.Join { member = s.s_member; group }))
           s.s_joined)
       t.sessions
-  end
+  end;
+  match t.on_view with None -> () | Some f -> f v
 
 let transform_actions t actions =
   List.concat_map

@@ -54,12 +54,27 @@ val flush : t -> unit
 
 val participant : t -> Participant.t
 
+val pid : t -> Types.pid
+(** The hosting ring member's pid. *)
+
+val set_view_handler : t -> (Participant.view -> unit) -> unit
+(** Install an application-layer hook invoked for every delivered
+    configuration (transitional and regular). For regular views it runs
+    after the daemon has pruned departed members and re-announced its own
+    sessions' joins, so envelopes the hook submits are sequenced after
+    those Joins — the ordering the app-level state-transfer protocol
+    relies on (see {!Aring_app.Kv}). One handler; a second call
+    replaces the first. *)
+
 val connect : t -> name:string -> callbacks -> session
 (** [connect t ~name cb] opens a local client session. [name] must be
     unique on this daemon. *)
 
 val disconnect : t -> session -> unit
-(** Leaves all joined groups (ordered through the ring). *)
+(** Leaves all joined groups (ordered through the ring, after any
+    in-flight multicasts of this session — survivors see the leave
+    notifications at a consistent point of the total order). Calling it
+    again on the same session is an idempotent no-op. *)
 
 val session_member_name : t -> session -> string
 (** The canonical ["#name#daemon"] identity of the session. *)
@@ -68,12 +83,25 @@ val join : t -> session -> string -> unit
 (** Ordered group join; takes effect when its envelope is delivered. *)
 
 val leave : t -> session -> string -> unit
+(** Ordered group leave. Leaving a group the session is not a member of
+    is an idempotent no-op (nothing rides the ring). *)
 
 val multicast :
   t -> session -> ?service:Types.service -> groups:string list -> bytes -> unit
 (** Multi-group multicast: delivered exactly once to every member of the
     union of [groups], at the same point of the total order everywhere.
-    Open-group semantics: the sender need not be a member. *)
+    Open-group semantics: the sender need not be a member.
+
+    Local delivery uses {e union routing}: an envelope reaches a local
+    session when the group is in the session's own joined set ({e from
+    the local [join] call onward} — a rejoining session never misses a
+    message ordered between a view change and its re-announced Join) or
+    when the session's member name is in the delivered group table
+    ({e until its ordered Leave lands}). Within one regular
+    configuration, every daemon therefore hands the same per-group
+    envelope stream to each member session — the property the
+    replicated-KV layer's "equal op streams per view" argument rests on
+    (see {!Aring_app.Kv}). *)
 
 val group_members : t -> string -> string list
 (** This daemon's current view of a group. *)

@@ -10,14 +10,27 @@ let set t group = function
   | [] -> Hashtbl.remove t group
   | ms -> Hashtbl.replace t group ms
 
+let daemon_of_member name =
+  match String.rindex_opt name '#' with
+  | None -> None
+  | Some i -> int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+
+let valid_member_name name = Option.is_some (daemon_of_member name)
+
+(* Malformed names are rejected at the door rather than silently vanishing
+   in [prune]: the table invariant is that every stored member name parses
+   with [daemon_of_member], so a configuration change can always decide
+   whether the member's hosting daemon survived. *)
 let join t ~group ~member =
-  let current = members t group in
-  if List.mem member current then None
-  else begin
-    let updated = List.sort compare (member :: current) in
-    set t group updated;
-    Some updated
-  end
+  if not (valid_member_name member) then None
+  else
+    let current = members t group in
+    if List.mem member current then None
+    else begin
+      let updated = List.sort compare (member :: current) in
+      set t group updated;
+      Some updated
+    end
 
 let leave t ~group ~member =
   let current = members t group in
@@ -28,11 +41,6 @@ let leave t ~group ~member =
     Some updated
   end
 
-let daemon_of_member name =
-  match String.rindex_opt name '#' with
-  | None -> None
-  | Some i -> int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
-
 let prune t ~keep =
   let changed = ref [] in
   let names = group_names t in
@@ -42,6 +50,10 @@ let prune t ~keep =
       let kept =
         List.filter
           (fun m ->
+            (* [join] rejects unparsable names, so the [None] branch is
+               unreachable on a well-formed table; kept as defense in
+               depth (an unparsable member could never be pruned by
+               daemon death, so dropping it here is the safe choice). *)
             match daemon_of_member m with Some d -> keep d | None -> false)
           current
       in

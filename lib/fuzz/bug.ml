@@ -5,17 +5,21 @@ type t =
   | Clean
   | Skip_delivery of { node : int; every : int }
   | Skip_retransmission
+  | Kv_skip_apply of { node : int; every : int }
 
 let label = function
   | Clean -> "clean"
   | Skip_delivery { node; every } ->
       Printf.sprintf "skip-delivery(node=%d,every=%d)" node every
   | Skip_retransmission -> "skip-retransmission"
+  | Kv_skip_apply { node; every } ->
+      Printf.sprintf "kv-skip-apply(node=%d,every=%d)" node every
 
 let of_string = function
   | "clean" -> Ok Clean
   | "skip-delivery" -> Ok (Skip_delivery { node = 0; every = 10 })
   | "skip-retransmission" -> Ok Skip_retransmission
+  | "kv-skip-apply" -> Ok (Kv_skip_apply { node = 0; every = 7 })
   | s -> Error (Printf.sprintf "unknown bug %S" s)
 
 (* Rewrite every action list a participant emits through [filter]. *)
@@ -30,6 +34,10 @@ let filtering (p : Participant.t) filter =
 let wrap bug ~node p =
   match bug with
   | Clean -> p
+  (* An application-layer bug: injected inside the KV replica by the
+     runner ({!Runner.run} with the kv app), not at the participant
+     boundary. *)
+  | Kv_skip_apply _ -> p
   | Skip_delivery { node = target; every } when node = target ->
       let deliveries = ref 0 in
       filtering p

@@ -17,9 +17,17 @@ type t =
           node has multicast in the ring so far). Any message actually
           lost on the wire then stays lost, stalling its losers — caught
           by the liveness (probe-convergence) check. *)
+  | Kv_skip_apply of { node : int; every : int }
+      (** Application-layer bug: the KV replica at [node] skips the store
+          mutation of every [every]-th write while still consuming the op
+          slot — a stale-state / skipped-apply defect caught by the
+          end-to-end consistency oracle ({!Aring_app.Oracle}), not by the
+          protocol checker. Only meaningful when the runner hosts the KV
+          app; {!wrap} is the identity for it. *)
 
 val label : t -> string
 val of_string : string -> (t, string) result
-(** ["clean"], ["skip-delivery"] or ["skip-retransmission"]. *)
+(** ["clean"], ["skip-delivery"], ["skip-retransmission"] or
+    ["kv-skip-apply"]. *)
 
 val wrap : t -> node:int -> Aring_ring.Participant.t -> Aring_ring.Participant.t

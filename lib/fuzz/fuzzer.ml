@@ -5,6 +5,7 @@ type config = {
   seed : int64;
   bug : Bug.t;
   adaptive : bool;
+  app : Runner.app;
   shrink : bool;
   max_shrink_runs : int;
   stop : unit -> bool;
@@ -17,6 +18,7 @@ let default_config =
     seed = 1L;
     bug = Bug.Clean;
     adaptive = false;
+    app = Runner.App_none;
     shrink = true;
     max_shrink_runs = 200;
     stop = (fun () -> false);
@@ -39,7 +41,9 @@ let run_campaign cfg =
    while !failure = None && !i < cfg.trials && not (cfg.stop ()) do
      let seed = Prng.next_int64 master in
      let schedule = Schedule.generate ~seed in
-     let outcome = Runner.run ~bug:cfg.bug ~adaptive:cfg.adaptive schedule in
+     let outcome =
+       Runner.run ~bug:cfg.bug ~adaptive:cfg.adaptive ~app:cfg.app schedule
+     in
      incr trials_run;
      (match outcome.Runner.failure with
      | None ->
@@ -59,7 +63,7 @@ let run_campaign cfg =
     match !failure with
     | Some t when cfg.shrink ->
         let r =
-          Shrink.shrink ~bug:cfg.bug ~adaptive:cfg.adaptive
+          Shrink.shrink ~bug:cfg.bug ~adaptive:cfg.adaptive ~app:cfg.app
             ~max_runs:cfg.max_shrink_runs t.schedule
             t.outcome
         in
@@ -75,5 +79,6 @@ let run_campaign cfg =
   in
   { trials_run = !trials_run; failure = !failure; shrunk }
 
-let replay ?(bug = Bug.Clean) ?(adaptive = false) schedule =
-  Runner.run ~bug ~adaptive schedule
+let replay ?(bug = Bug.Clean) ?(adaptive = false) ?(app = Runner.App_none)
+    ?extra_sink schedule =
+  Runner.run ~bug ~adaptive ~app ?extra_sink schedule

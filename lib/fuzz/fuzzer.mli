@@ -16,6 +16,10 @@ type config = {
       (** Run every node with the AIMD accelerated-window controller
           enabled, fuzzing the protocol while the window moves (see
           {!Runner.run}). *)
+  app : Runner.app;
+      (** Hosted application: {!Runner.App_kv} fuzzes the full
+          daemon + replicated-KV stack with its consistency oracle
+          attached (composable with [adaptive]). *)
   shrink : bool;  (** Minimize the first failure. *)
   max_shrink_runs : int;
   stop : unit -> bool;
@@ -25,8 +29,8 @@ type config = {
 }
 
 val default_config : config
-(** 200 trials, seed 1, clean, static window, shrink on (budget 200),
-    never stops early, silent log. *)
+(** 200 trials, seed 1, clean, static window, no app, shrink on (budget
+    200), never stops early, silent log. *)
 
 type trial = { index : int; schedule : Schedule.t; outcome : Runner.outcome }
 
@@ -39,5 +43,14 @@ type report = {
 val run_campaign : config -> report
 (** Run schedules until one fails, [trials] pass, or [stop ()]. *)
 
-val replay : ?bug:Bug.t -> ?adaptive:bool -> Schedule.t -> Runner.outcome
-(** Re-execute one schedule (corpus entry or pasted reproducer). *)
+val replay :
+  ?bug:Bug.t ->
+  ?adaptive:bool ->
+  ?app:Runner.app ->
+  ?extra_sink:Aring_obs.Trace.sink ->
+  Schedule.t ->
+  Runner.outcome
+(** Re-execute one schedule (corpus entry or pasted reproducer).
+    [extra_sink] additionally receives the full trace stream — e.g. a
+    {!Aring_obs.Trace_json.jsonl_sink} to dump the replay for offline
+    analysis. *)

@@ -2,14 +2,28 @@ module Prng = Aring_util.Prng
 module Checker = Aring_obs.Checker
 module Trace = Aring_obs.Trace
 module Trace_json = Aring_obs.Trace_json
+module Daemon = Aring_daemon.Daemon
+module Kv = Aring_app.Kv
+module Oracle = Aring_app.Oracle
 open Aring_wire
 open Aring_ring
 open Aring_sim
+
+type app = App_none | App_kv
+
+let app_label = function App_none -> "none" | App_kv -> "kv"
+
+let app_of_string = function
+  | "none" -> Ok App_none
+  | "kv" -> Ok App_kv
+  | s -> Error (Printf.sprintf "unknown app %S" s)
 
 type failure =
   | Invariant of Checker.verdict
   | No_merge of { states : (int * string) list }
   | No_convergence of { missing : (int * string) list }
+  | Kv_violation of { total : int; messages : string list }
+  | Kv_unsettled of { nodes : (int * string) list }
   | Run_exception of string
 
 type outcome = {
@@ -28,6 +42,8 @@ let failure_label = function
   | Invariant _ -> "invariant"
   | No_merge _ -> "no_merge"
   | No_convergence _ -> "no_convergence"
+  | Kv_violation _ -> "kv_violation"
+  | Kv_unsettled _ -> "kv_unsettled"
   | Run_exception _ -> "exception"
 
 let ms n = n * 1_000_000
@@ -141,7 +157,74 @@ let install_workload sim (s : Schedule.t) (members : Member.t array) =
     Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
   done
 
-let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
+(* KV workload: every node's replica issues a skewed read/write mix at
+   the schedule's submission rate. The schedule's safe-permille knob
+   doubles as the sync-read fraction (sync reads are the Safe-service
+   traffic of the app layer). Value padding follows the schedule's
+   payload knob but is capped: full-MTU values on top of the per-op
+   envelope framing would turn every membership-recovery exchange into a
+   switch-buffer endurance test (the raw-member workload already covers
+   full-size payloads); the kv suite is after consistency bugs, not
+   congestion collapse. *)
+let kv_key_space = 64
+let kv_hot_keys = 8
+let kv_max_value = 160
+
+let install_kv_workload sim (s : Schedule.t) (kvs : Kv.t array) =
+  let c = s.config in
+  let n = c.Schedule.n_nodes in
+  let wl_prng = Prng.create ~seed:(Int64.logxor s.seed 0x6B76776CL) in
+  let pad tag =
+    let len =
+      max (String.length tag) (min c.Schedule.payload kv_max_value)
+    in
+    let b = Bytes.make len '.' in
+    Bytes.blit_string tag 0 b 0 (String.length tag);
+    Bytes.to_string b
+  in
+  for node = 0 to n - 1 do
+    let counter = ref 0 in
+    let key () =
+      let j =
+        if Prng.int wl_prng 1000 < 800 then Prng.int wl_prng kv_hot_keys
+        else kv_hot_keys + Prng.int wl_prng (kv_key_space - kv_hot_keys)
+      in
+      Printf.sprintf "k%02d" j
+    in
+    let rec tick () =
+      if Netsim.now sim < c.Schedule.horizon_ns && Netsim.is_alive sim node
+      then begin
+        incr counter;
+        let kv = kvs.(node) in
+        let key = key () in
+        if
+          c.Schedule.safe_permille > 0
+          && Prng.int wl_prng 1000 < c.Schedule.safe_permille
+        then Kv.sync_read kv ~key ~on_result:(fun _ ~token:_ -> ())
+        else begin
+          let r = Prng.int wl_prng 1000 in
+          if r < 250 then ignore (Kv.read kv ~key)
+          else if r < 320 then Kv.del kv ~key
+          else if r < 420 then
+            (* CAS against the local view: sometimes stale, so both the
+               success and failure paths execute at every replica. *)
+            let expect, _ = Kv.read kv ~key in
+            Kv.cas kv ~key ~expect
+              ~value:(pad (Printf.sprintf "c:%d:%d" node !counter))
+          else
+            Kv.put kv ~key
+              ~value:(pad (Printf.sprintf "v:%d:%d" node !counter))
+        end;
+        Netsim.call_at sim
+          ~at:(Netsim.now sim + c.Schedule.submit_gap_ns)
+          tick
+      end
+    in
+    Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
+  done
+
+let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
+    (s : Schedule.t) =
   let c = s.config in
   let n = c.Schedule.n_nodes in
   let params = Schedule.params c in
@@ -166,8 +249,39 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
     Array.init n (fun me ->
         Member.create ~params ~me ~initial_ring ?controller:(controller ()) ())
   in
+  (* With the kv app, each member hosts a daemon and a KV replica; the
+     injected bug wraps the daemon participant (the full stack), and
+     app-layer bugs are planted inside the replica itself. One shared
+     oracle shadows every replica. *)
+  let daemons, kvs, oracle =
+    match app with
+    | App_none -> (None, [||], None)
+    | App_kv ->
+        let daemons =
+          Array.init n (fun i -> Daemon.create ~member:members.(i) ())
+        in
+        let kv_bug i =
+          match bug with
+          | Bug.Kv_skip_apply { node; every } when node = i ->
+              Kv.Bug_skip_apply { every }
+          | _ -> Kv.Bug_none
+        in
+        let kvs =
+          Array.init n (fun i ->
+              Kv.create ~bug:(kv_bug i) ~cluster_size:n ~daemon:daemons.(i) ())
+        in
+        let oracle = Oracle.create () in
+        Array.iter (fun kv -> Oracle.attach oracle kv) kvs;
+        (Some daemons, kvs, Some oracle)
+  in
   let participants =
-    Array.init n (fun i -> Bug.wrap bug ~node:i (Member.participant members.(i)))
+    Array.init n (fun i ->
+        let inner =
+          match daemons with
+          | Some ds -> Daemon.participant ds.(i)
+          | None -> Member.participant members.(i)
+        in
+        Bug.wrap bug ~node:i inner)
   in
   let sim =
     Netsim.create ~net:(Schedule.net c) ~tiers ~participants ~seed:s.seed ()
@@ -189,7 +303,9 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
         Hashtbl.replace got (node, p) ());
   Netsim.on_view sim (fun ~at:_ ~now:_ _ -> incr views);
   install_faults sim s;
-  install_workload sim s members;
+  (match app with
+  | App_none -> install_workload sim s members
+  | App_kv -> install_kv_workload sim s kvs);
   let alive () = List.filter (Netsim.is_alive sim) (List.init n Fun.id) in
   (* Liveness stage 1: all survivors operational in one common regular
      view whose membership is exactly the survivor set. All fault windows
@@ -224,13 +340,21 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
   let probes_sent = ref false in
   let send_probes () =
     probes_sent := true;
-    List.iter
-      (fun node ->
-        probes := probe_payload node :: !probes;
-        Member.submit members.(node) Types.Agreed
-          (Bytes.of_string (probe_payload node)))
-      (alive ());
-    probes := List.rev !probes
+    (* Raw ring payloads are only delivered inside the configuration that
+       ordered them — they are never state-transferred across a later
+       merge. The KV app's per-view traffic makes post-horizon membership
+       changes routine, so in KV mode convergence is judged on replica
+       equality (which state transfer does guarantee) and the probe set
+       stays empty. *)
+    if app = App_none then begin
+      List.iter
+        (fun node ->
+          probes := probe_payload node :: !probes;
+          Member.submit members.(node) Types.Agreed
+            (Bytes.of_string (probe_payload node)))
+        (alive ());
+      probes := List.rev !probes
+    end
   in
   let missing_probes () =
     List.concat_map
@@ -241,7 +365,52 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
           !probes)
       (alive ())
   in
-  let converged () = !probes_sent && missing_probes () = [] in
+  (* KV quiescence: every surviving replica settled (election done, no
+     transfer in flight), synced, and at the same (applied, digest). *)
+  let kv_ok () =
+    match app with
+    | App_none -> true
+    | App_kv -> (
+        match alive () with
+        | [] -> true
+        | first :: _ as survivors ->
+            List.for_all
+              (fun i -> Kv.settled kvs.(i) && Kv.synced kvs.(i))
+              survivors
+            && List.for_all
+                 (fun i ->
+                   Kv.applied kvs.(i) = Kv.applied kvs.(first)
+                   && Kv.digest kvs.(i) = Kv.digest kvs.(first))
+                 survivors)
+  in
+  let kv_states () =
+    List.map
+      (fun i ->
+        let s = Kv.stats kvs.(i) in
+        ( i,
+          Printf.sprintf
+            "applied=%d digest=%Lx synced=%b settled=%b rejected=%d \
+             installs=%d aborts=%d resets=%d hellos=%d decode_errs=%d"
+            (Kv.applied kvs.(i)) (Kv.digest kvs.(i)) (Kv.synced kvs.(i))
+            (Kv.settled kvs.(i)) s.Kv.rejected_writes s.Kv.installs
+            s.Kv.xfer_aborts s.Kv.cold_resets s.Kv.hellos_sent
+            s.Kv.decode_errors ))
+      (alive ())
+  in
+  let oracle_violations () =
+    match oracle with Some o -> Oracle.violation_count o | None -> 0
+  in
+  let kv_violation_failure o =
+    let messages = Oracle.messages o in
+    let keep = List.filteri (fun i _ -> i < 8) messages in
+    Kv_violation { total = Oracle.violation_count o; messages = keep }
+  in
+  let converged () =
+    !probes_sent
+    && missing_probes () = []
+    && (app = App_none || merged ())
+    && kv_ok ()
+  in
   let deadline = c.Schedule.horizon_ns + c.Schedule.drain_ns in
   let chunk = ms 25 in
   (* Chunked execution: stop at the first chunk boundary with a violation
@@ -251,7 +420,11 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
      hash reproducible. *)
   let failure = ref None in
   let finished = ref false in
-  let sink = Trace.tee [ Checker.as_sink checker; hash_sink ] in
+  let sink =
+    Trace.tee
+      ([ Checker.as_sink checker; hash_sink ]
+      @ Option.to_list extra_sink)
+  in
   (try
      Trace.with_sink sink (fun () ->
          let t = ref 0 in
@@ -260,6 +433,10 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
            Netsim.run_until sim !t;
            if Checker.violation_count checker > 0 then begin
              failure := Some (Invariant (Checker.verdict checker));
+             finished := true
+           end
+           else if oracle_violations () > 0 then begin
+             failure := Some (kv_violation_failure (Option.get oracle));
              finished := true
            end
            else begin
@@ -285,12 +462,24 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) (s : Schedule.t) =
                    let missing = List.sort compare (missing_probes ()) in
                    if missing <> [] then
                      failure := Some (No_convergence { missing })
+                   else if not (kv_ok ()) then
+                     failure := Some (Kv_unsettled { nodes = kv_states () })
                  end;
                finished := true
              end
            end
          done)
    with e -> failure := Some (Run_exception (Printexc.to_string e)));
+  (* Final oracle pass: end-of-run convergence (survivor stores equal and
+     byte-identical to their shadows) plus any violation recorded after
+     the last chunk boundary. *)
+  (match (!failure, oracle) with
+  | None, Some o ->
+      if c.Schedule.liveness then
+        Oracle.check_convergence o (List.map (fun i -> kvs.(i)) (alive ()));
+      if Oracle.violation_count o > 0 then
+        failure := Some (kv_violation_failure o)
+  | _ -> ());
   {
     schedule = s;
     failure = !failure;
@@ -321,6 +510,14 @@ let pp_failure ppf = function
         (fun i (node, p) ->
           if i < 8 then Format.fprintf ppf "@,  node %d never saw %s" node p)
         missing
+  | Kv_violation { total; messages } ->
+      Format.fprintf ppf "kv consistency violations (%d):" total;
+      List.iter (fun m -> Format.fprintf ppf "@,  %s" m) messages
+  | Kv_unsettled { nodes } ->
+      Format.fprintf ppf "kv replicas never converged:";
+      List.iter
+        (fun (node, st) -> Format.fprintf ppf "@,  node %d: %s" node st)
+        nodes
   | Run_exception e -> Format.fprintf ppf "exception: %s" e
 
 let pp_outcome ppf o =

@@ -24,6 +24,16 @@
     {!outcome.trace_hash} is byte-stable across replays of equal
     schedules. *)
 
+type app =
+  | App_none  (** Raw ring members with a padded byte workload. *)
+  | App_kv
+      (** Every member hosts a daemon plus a replicated-KV replica
+          ({!Aring_app.Kv}); the workload becomes a skewed
+          put/del/cas/read mix (the schedule's safe-permille drives sync
+          reads), and a shared end-to-end consistency oracle
+          ({!Aring_app.Oracle}) becomes a third judge alongside the
+          trace checker and probe liveness. *)
+
 type failure =
   | Invariant of Aring_obs.Checker.verdict
       (** Safety violation; the verdict carries the recorded violations. *)
@@ -34,6 +44,12 @@ type failure =
   | No_convergence of { missing : (int * string) list }
       (** Liveness stage 2: (node, probe) pairs never delivered within
           the drain budget, sorted. *)
+  | Kv_violation of { total : int; messages : string list }
+      (** The KV consistency oracle recorded violations (stale state or
+          reads, op-log gaps, divergence); [messages] is a prefix. *)
+  | Kv_unsettled of { nodes : (int * string) list }
+      (** Probes converged but the KV replicas never reached a common
+          settled (applied, digest) state within the drain budget. *)
   | Run_exception of string
       (** The protocol or simulator raised; the string is the exception. *)
 
@@ -48,18 +64,33 @@ type outcome = {
   end_ns : int;  (** Simulated time at which the run stopped. *)
 }
 
-val run : ?bug:Bug.t -> ?adaptive:bool -> Schedule.t -> outcome
+val run :
+  ?bug:Bug.t ->
+  ?adaptive:bool ->
+  ?app:app ->
+  ?extra_sink:Aring_obs.Trace.sink ->
+  Schedule.t ->
+  outcome
 (** Execute the schedule. [bug] (default {!Bug.Clean}) wraps every
     participant before the cluster is built — used to prove the fuzzer
-    catches seeded protocol defects. With [adaptive] (default [false]),
-    every member runs the AIMD accelerated-window controller
-    ({!Aring_control.Controller}), exercising the ordering and membership
-    invariants while the per-node window moves. Runs stay deterministic
-    per schedule either way; the trace hash differs between the two modes
-    because the controller changes send timing. *)
+    catches seeded protocol defects ({!Bug.Kv_skip_apply} instead plants
+    inside the replica and needs [app = App_kv]). With [adaptive]
+    (default [false]), every member runs the AIMD accelerated-window
+    controller ({!Aring_control.Controller}), exercising the ordering and
+    membership invariants while the per-node window moves; [app]
+    (default {!App_none}) selects the hosted application. Runs stay
+    deterministic per schedule for any fixed mode combination; the trace
+    hash differs between modes (the controller changes send timing, the
+    kv app adds its own traffic and trace events). *)
 
 val passed : outcome -> bool
+
+val app_label : app -> string
+val app_of_string : string -> (app, string) result
+(** ["none"] or ["kv"]. *)
+
 val failure_label : failure -> string
-(** ["invariant"], ["no_merge"], ["no_convergence"] or ["exception"]. *)
+(** ["invariant"], ["no_merge"], ["no_convergence"], ["kv_violation"],
+    ["kv_unsettled"] or ["exception"]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

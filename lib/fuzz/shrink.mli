@@ -25,6 +25,7 @@ type result = {
 val shrink :
   ?bug:Bug.t ->
   ?adaptive:bool ->
+  ?app:Runner.app ->
   ?max_runs:int ->
   Schedule.t ->
   Runner.outcome ->
@@ -33,5 +34,5 @@ val shrink :
     failing [outcome]. [max_runs] (default 200) bounds candidate
     executions; the best schedule found within the budget is returned.
     If [outcome] did not fail, [sched] is returned unchanged. [adaptive]
-    must match the mode of the original run so candidates reproduce the
-    same behavior (see {!Runner.run}). *)
+    and [app] must match the mode of the original run so candidates
+    reproduce the same behavior (see {!Runner.run}). *)

@@ -100,6 +100,12 @@ val square_load :
   low:float -> high:float -> period_ns:int -> until_ns:int -> (int * float) list
 (** Alternating [high]/[low] half-periods starting high at t=0. *)
 
+val rate_at_schedule : default:float -> (int * float) list -> int -> float
+(** Evaluate a piecewise-constant [(t_ns, rate)] schedule at a time:
+    [default] before the first entry, then the latest entry at or before
+    the time. The rate unit is the caller's (the load builders above work
+    for any unit — {!Kv_scenario} reuses them with ops/sec). *)
+
 val rate_at : spec -> int -> float
 (** The offered load the schedule prescribes at a given simulated time. *)
 

@@ -139,8 +139,16 @@ let to_json (events : Trace.event list) =
                  ("aw_after", Json.Int aw_after);
                  ("congested", Json.Bool congested);
                ])
+      | App_xfer { phase; donor; applied; entries; _ } ->
+          push
+            (instant ~scope:"p" ~name:("xfer: " ^ phase) ~ts ~node
+               [
+                 ("donor", Json.Int donor);
+                 ("applied", Json.Int applied);
+                 ("entries", Json.Int entries);
+               ])
       | Token_dup _ | Data_recv _ | Flow_control _ | Timer_arm _ | Timer_fire _
-        ->
+      | App_apply _ | App_read _ ->
           (* High-volume bookkeeping; slices and counters carry the same
              information with far fewer objects. *)
           ())

@@ -68,6 +68,15 @@ type kind =
       retrans : int;
       backlog : int;
     }
+  | App_apply of { index : int; key : string; deleted : bool }
+  | App_read of { key : string; found : bool; token : int; sync : bool }
+  | App_xfer of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      phase : string;
+      applied : int;
+      entries : int;
+    }
 
 type event = { t_ns : int; node : int; kind : kind }
 
@@ -196,6 +205,9 @@ let kind_name = function
   | Crash -> "crash"
   | Drop _ -> "drop"
   | Control _ -> "control"
+  | App_apply _ -> "app_apply"
+  | App_read _ -> "app_read"
+  | App_xfer _ -> "app_xfer"
 
 let pp_kind ppf k =
   match k with
@@ -240,6 +252,17 @@ let pp_kind ppf k =
         round aw_before aw_after
         (if congested then " congested" else "")
         rotation_ns fcc retrans backlog
+  | App_apply { index; key; deleted } ->
+      Format.fprintf ppf "app_apply(#%d %s%s)" index key
+        (if deleted then " del" else "")
+  | App_read { key; found; token; sync } ->
+      Format.fprintf ppf "app_read(%s%s tok=%d%s)" key
+        (if found then "" else " miss")
+        token
+        (if sync then " sync" else "")
+  | App_xfer { view; donor; phase; applied; entries } ->
+      Format.fprintf ppf "app_xfer(%s %a donor=%d applied=%d entries=%d)" phase
+        Types.pp_ring_id view donor applied entries
 
 let pp_event ppf ev =
   Format.fprintf ppf "[%10d] n%d %a" ev.t_ns ev.node pp_kind ev.kind

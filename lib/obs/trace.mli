@@ -77,6 +77,22 @@ type kind =
           node-local accelerated window. Emitted only when a controller
           is attached, so controller-off traces are byte-identical to
           pre-controller runs. *)
+  | App_apply of { index : int; key : string; deleted : bool }
+      (** A replicated-KV replica applied write [index] of its op log
+          (see {!Aring_app.Kv}). Emitted only by KV replicas, so
+          KV-less traces are byte-identical to earlier runs. *)
+  | App_read of { key : string; found : bool; token : int; sync : bool }
+      (** A KV read served ([token] = the replica's applied-prefix
+          consistency token; [sync] = Safe-ordered SyncRead). *)
+  | App_xfer of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      phase : string;
+      applied : int;
+      entries : int;
+    }
+      (** State-transfer progress at a replica: phase is ["hello"],
+          ["elect"], ["snapshot"], ["install"], ["abort"] or ["reset"]. *)
 
 type event = { t_ns : int; node : int; kind : kind }
 

@@ -99,6 +99,27 @@ let kind_fields (k : Trace.kind) : (string * Json.t) list =
         ("retrans", Json.Int retrans);
         ("backlog", Json.Int backlog);
       ]
+  | App_apply { index; key; deleted } ->
+      [
+        ("index", Json.Int index);
+        ("key", Json.String key);
+        ("deleted", Json.Bool deleted);
+      ]
+  | App_read { key; found; token; sync } ->
+      [
+        ("key", Json.String key);
+        ("found", Json.Bool found);
+        ("token", Json.Int token);
+        ("sync", Json.Bool sync);
+      ]
+  | App_xfer { view; donor; phase; applied; entries } ->
+      [
+        ("view", ring_json view);
+        ("donor", Json.Int donor);
+        ("phase", Json.String phase);
+        ("applied", Json.Int applied);
+        ("entries", Json.Int entries);
+      ]
 
 let to_json (ev : Trace.event) =
   Json.Obj
@@ -220,6 +241,30 @@ let kind_of_json name j : Trace.kind =
           fcc = req "fcc" Json.to_int j;
           retrans = req "retrans" Json.to_int j;
           backlog = req "backlog" Json.to_int j;
+        }
+  | "app_apply" ->
+      App_apply
+        {
+          index = req "index" Json.to_int j;
+          key = req "key" Json.to_str j;
+          deleted = req "deleted" Json.to_bool j;
+        }
+  | "app_read" ->
+      App_read
+        {
+          key = req "key" Json.to_str j;
+          found = req "found" Json.to_bool j;
+          token = req "token" Json.to_int j;
+          sync = req "sync" Json.to_bool j;
+        }
+  | "app_xfer" ->
+      App_xfer
+        {
+          view = req_ring "view" j;
+          donor = req "donor" Json.to_int j;
+          phase = req "phase" Json.to_str j;
+          applied = req "applied" Json.to_int j;
+          entries = req "entries" Json.to_int j;
         }
   | other -> raise (Json.Parse_error (Printf.sprintf "unknown event %S" other))
 

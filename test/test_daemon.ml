@@ -92,6 +92,123 @@ let test_daemon_of_member () =
   check (Alcotest.option Alcotest.int) "bad pid" None
     (Groups.daemon_of_member "#sess#xyz")
 
+let test_groups_reject_malformed_names () =
+  let g = Groups.create () in
+  check (Alcotest.option (Alcotest.list Alcotest.string))
+    "name without daemon pid rejected" None
+    (Groups.join g ~group:"g" ~member:"plain");
+  check (Alcotest.option (Alcotest.list Alcotest.string))
+    "unparsable pid rejected" None
+    (Groups.join g ~group:"g" ~member:"#sess#xyz");
+  check (Alcotest.list Alcotest.string) "table untouched" []
+    (Groups.members g "g");
+  check (Alcotest.list Alcotest.string) "no group created" []
+    (Groups.group_names g);
+  check Alcotest.bool "valid_member_name agrees" false
+    (Groups.valid_member_name "plain");
+  check Alcotest.bool "valid name accepted" true
+    (Groups.valid_member_name "#sess#3")
+
+(* --------------------------------------------------------------------
+   Groups properties: drive the table with random join/leave/prune
+   sequences and check the structural invariants the daemon layer
+   depends on (sorted dup-free member lists, no empty groups, prune
+   exactly removes dead daemons' members). *)
+
+type groups_op =
+  | Op_join of string * string
+  | Op_leave of string * string
+  | Op_prune of int  (* kill this daemon pid *)
+
+let groups_member_pool =
+  (* Mostly valid names across four daemons, plus malformed ones that
+     must bounce off [join] without corrupting the table. *)
+  [
+    "#a#0"; "#b#0"; "#c#1"; "#d#1"; "#e#2"; "#f#3"; "#g#3";
+    "plain"; "#nopid#"; "#x#4x4";
+  ]
+
+let groups_op_gen =
+  QCheck.Gen.(
+    let group = oneofl [ "g1"; "g2"; "g3" ] in
+    let member = oneofl groups_member_pool in
+    frequency
+      [
+        (6, map2 (fun g m -> Op_join (g, m)) group member);
+        (3, map2 (fun g m -> Op_leave (g, m)) group member);
+        (1, map (fun pid -> Op_prune pid) (int_bound 3));
+      ])
+
+let groups_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Op_join (g, m) -> Printf.sprintf "join(%s,%s)" g m
+             | Op_leave (g, m) -> Printf.sprintf "leave(%s,%s)" g m
+             | Op_prune pid -> Printf.sprintf "prune(%d)" pid)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 80) groups_op_gen)
+
+(* Replay [ops] against the real table and a reference model (an assoc
+   list of group -> member set), checking invariants after every step. *)
+let check_groups_invariants ops =
+  let g = Groups.create () in
+  let model = Hashtbl.create 8 in
+  let model_members grp =
+    Option.value ~default:[] (Hashtbl.find_opt model grp)
+  in
+  let model_set grp = function
+    | [] -> Hashtbl.remove model grp
+    | ms -> Hashtbl.replace model grp ms
+  in
+  let step op =
+    (match op with
+    | Op_join (grp, m) ->
+        let r = Groups.join g ~group:grp ~member:m in
+        let valid = Groups.valid_member_name m in
+        let fresh = not (List.mem m (model_members grp)) in
+        if valid && fresh then
+          model_set grp (List.sort compare (m :: model_members grp))
+        else if r <> None then failwith "join accepted a duplicate/invalid"
+    | Op_leave (grp, m) ->
+        ignore (Groups.leave g ~group:grp ~member:m);
+        model_set grp (List.filter (fun x -> x <> m) (model_members grp))
+    | Op_prune pid ->
+        let keep d = d <> pid in
+        ignore (Groups.prune g ~keep);
+        Hashtbl.iter
+          (fun grp ms ->
+            model_set grp
+              (List.filter
+                 (fun m ->
+                   match Groups.daemon_of_member m with
+                   | Some d -> keep d
+                   | None -> false)
+                 ms))
+          (Hashtbl.copy model));
+    (* Invariants after every step. *)
+    List.for_all
+      (fun grp ->
+        let ms = Groups.members g grp in
+        ms <> []  (* no empty groups are ever listed *)
+        && ms = List.sort_uniq compare ms  (* sorted, dup-free *)
+        && List.for_all Groups.valid_member_name ms
+        && ms = model_members grp)
+      (Groups.group_names g)
+    && (* and the model has nothing the table lost *)
+    Hashtbl.fold
+      (fun grp ms acc -> acc && Groups.members g grp = ms)
+      model true
+  in
+  List.for_all step ops
+
+let prop_groups_invariants =
+  QCheck.Test.make ~count:200
+    ~name:"groups table matches model; sorted dup-free, no empty groups"
+    groups_ops_arb check_groups_invariants
+
 (* -------------------------------------------------------------------- *)
 (* Simulated daemon cluster                                              *)
 
@@ -269,6 +386,129 @@ let test_disconnect_leaves_groups () =
   Netsim.run_until c.sim (ms 40);
   check (Alcotest.list Alcotest.string) "only b remains" [ "#b#1" ]
     (Daemon.group_members c.daemons.(2) "room")
+
+(* --------------------------------------------------------------------
+   Session lifecycle. A disconnect must act like an atomic leave of every
+   joined group, sequenced in the ring's total order AFTER anything the
+   session multicast beforehand — so remote members never observe the
+   departure before the departed session's last words. *)
+
+(* A client that records messages and group views into one interleaved
+   log, so ordering between deliveries and membership changes is
+   observable. *)
+type event = Msg of string * string | View of string * string list
+
+let fresh_log () = ref []
+
+let logging_callbacks log =
+  {
+    Daemon.on_message =
+      (fun ~sender ~groups:_ _service payload ->
+        log := Msg (sender, Bytes.to_string payload) :: !log);
+    on_group_view =
+      (fun ~group ~members -> log := View (group, members) :: !log);
+  }
+
+let test_disconnect_is_ordered_after_in_flight () =
+  let c = make_dcluster () in
+  let a = fresh_client () in
+  let blog = fresh_log () in
+  let sa = Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of a) in
+  let sb = Daemon.connect c.daemons.(1) ~name:"b" (logging_callbacks blog) in
+  Daemon.join c.daemons.(0) sa "g1";
+  Daemon.join c.daemons.(0) sa "g2";
+  Daemon.join c.daemons.(1) sb "g1";
+  Daemon.join c.daemons.(1) sb "g2";
+  Netsim.run_until c.sim (ms 20);
+  (* a multicasts to both groups and disconnects in the same instant: the
+     messages were submitted first, so per-sender FIFO must order them
+     before both Leave envelopes everywhere. *)
+  Daemon.multicast c.daemons.(0) sa ~groups:[ "g1" ] (Bytes.of_string "last-1");
+  Daemon.multicast c.daemons.(0) sa ~groups:[ "g2" ] (Bytes.of_string "last-2");
+  Daemon.disconnect c.daemons.(0) sa;
+  Netsim.run_until c.sim (ms 60);
+  (* Every group lost exactly the departed member, at every daemon. *)
+  List.iter
+    (fun (g, who) ->
+      for i = 0 to 2 do
+        check (Alcotest.list Alcotest.string)
+          (Printf.sprintf "daemon %d: %s pruned to %s" i g who)
+          [ who ]
+          (Daemon.group_members c.daemons.(i) g)
+      done)
+    [ ("g1", "#b#1"); ("g2", "#b#1") ];
+  (* b's interleaved log shows each farewell BEFORE the matching shrink. *)
+  let events = List.rev !blog in
+  let index p =
+    let rec go i = function
+      | [] -> Alcotest.failf "event not found in b's log"
+      | e :: _ when p e -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 events
+  in
+  let msg_ix payload = index (function Msg (_, p) -> p = payload | _ -> false)
+  and shrink_ix group =
+    index (function View (g, ms) -> g = group && ms = [ "#b#1" ] | _ -> false)
+  in
+  check Alcotest.bool "last-1 before g1 shrink" true
+    (msg_ix "last-1" < shrink_ix "g1");
+  check Alcotest.bool "last-2 before g2 shrink" true
+    (msg_ix "last-2" < shrink_ix "g2");
+  (* The disconnected session received nothing after the disconnect (its
+     own farewells included: it was already gone locally). *)
+  check Alcotest.int "a's inbox stays empty" 0 (List.length a.inbox)
+
+let test_double_disconnect_idempotent () =
+  let c = make_dcluster () in
+  let olog = fresh_log () in
+  let sa =
+    Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of (fresh_client ()))
+  in
+  let so = Daemon.connect c.daemons.(2) ~name:"obs" (logging_callbacks olog) in
+  Daemon.join c.daemons.(0) sa "room";
+  Daemon.join c.daemons.(2) so "room";
+  Netsim.run_until c.sim (ms 20);
+  Daemon.disconnect c.daemons.(0) sa;
+  (* Second disconnect, and post-disconnect operations on the dead
+     session handle, must all be silent no-ops. *)
+  Daemon.disconnect c.daemons.(0) sa;
+  Daemon.join c.daemons.(0) sa "room";
+  Daemon.leave c.daemons.(0) sa "room";
+  Daemon.multicast c.daemons.(0) sa ~groups:[ "room" ]
+    (Bytes.of_string "ghost");
+  Netsim.run_until c.sim (ms 60);
+  check (Alcotest.list Alcotest.string) "room settled everywhere"
+    [ "#obs#2" ]
+    (Daemon.group_members c.daemons.(1) "room");
+  let shrinks =
+    List.length
+      (List.filter
+         (function View ("room", [ "#obs#2" ]) -> true | _ -> false)
+         !olog)
+  in
+  check Alcotest.int "exactly one leave notification" 1 shrinks;
+  check Alcotest.bool "no ghost message" true
+    (List.for_all (function Msg (_, "ghost") -> false | _ -> true) !olog)
+
+let test_leave_of_non_member_is_noop () =
+  let c = make_dcluster () in
+  let olog = fresh_log () in
+  let sa =
+    Daemon.connect c.daemons.(0) ~name:"a" (callbacks_of (fresh_client ()))
+  in
+  let so = Daemon.connect c.daemons.(2) ~name:"obs" (logging_callbacks olog) in
+  Daemon.join c.daemons.(2) so "room";
+  Netsim.run_until c.sim (ms 20);
+  let before = List.length !olog in
+  (* a never joined "room" (nor "ghost-room"): no Leave may ride the ring,
+     so no daemon processes a spurious membership change. *)
+  Daemon.leave c.daemons.(0) sa "room";
+  Daemon.leave c.daemons.(0) sa "ghost-room";
+  Netsim.run_until c.sim (ms 60);
+  check Alcotest.int "observer saw no new events" before (List.length !olog);
+  check (Alcotest.list Alcotest.string) "room unchanged" [ "#obs#2" ]
+    (Daemon.group_members c.daemons.(1) "room")
 
 
 (* -------------------------------------------------------------------- *)
@@ -577,12 +817,18 @@ let suite =
     ("groups join/leave", `Quick, test_groups_join_leave);
     ("groups prune", `Quick, test_groups_prune);
     ("daemon_of_member", `Quick, test_daemon_of_member);
+    ("groups reject malformed names", `Quick, test_groups_reject_malformed_names);
+    qtest prop_groups_invariants;
     ("group multicast members only", `Quick, test_group_multicast_members_only);
     ("multi-group delivered once", `Quick, test_multi_group_delivered_once);
     ("group views consistent", `Quick, test_group_views_consistent);
     ("total order across daemons", `Quick, test_total_order_across_daemons);
     ("daemon crash prunes groups", `Quick, test_daemon_crash_prunes_groups);
     ("disconnect leaves groups", `Quick, test_disconnect_leaves_groups);
+    ("disconnect ordered after in-flight", `Quick,
+     test_disconnect_is_ordered_after_in_flight);
+    ("double disconnect idempotent", `Quick, test_double_disconnect_idempotent);
+    ("leave of non-member is a no-op", `Quick, test_leave_of_non_member_is_noop);
     ("batch envelope roundtrip", `Quick, test_batch_envelope_roundtrip);
     ("packing delivers all in order", `Quick, test_packing_delivers_all_in_order);
     ("packing respects threshold", `Quick, test_packing_respects_threshold);

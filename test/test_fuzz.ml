@@ -205,6 +205,132 @@ let test_corpus_replays_green () =
 let test_corpus_replays_green_adaptive () =
   check_corpus_against ~adaptive:true "corpus/trace_hashes_adaptive.txt"
 
+(* ------------------------------------------------------------------ *)
+(* KV app mode: determinism, seeded-bug self-test, corpus pinning      *)
+
+let test_kv_runner_deterministic () =
+  let s = small_schedule 7L in
+  let a = Runner.run ~app:Runner.App_kv s in
+  let b = Runner.run ~app:Runner.App_kv s in
+  Alcotest.(check bool)
+    "clean kv schedule passes" true (Runner.passed a);
+  Alcotest.(check int64) "identical kv trace hash" a.Runner.trace_hash
+    b.Runner.trace_hash;
+  let raw = Runner.run s in
+  Alcotest.(check bool)
+    "kv traffic changes the trace" false
+    (a.Runner.trace_hash = raw.Runner.trace_hash)
+
+let test_finds_kv_skip_apply () =
+  let report =
+    Fuzzer.run_campaign
+      {
+        (quiet_campaign
+           ~bug:(Bug.Kv_skip_apply { node = 0; every = 7 })
+           ~shrink:true)
+        with
+        Fuzzer.app = Runner.App_kv;
+      }
+  in
+  match (report.Fuzzer.failure, report.Fuzzer.shrunk) with
+  | None, _ -> Alcotest.fail "kv-skip-apply bug not found within 200 trials"
+  | Some t, Some _ ->
+      Alcotest.(check int) "caught on the very first schedule" 0 t.Fuzzer.index;
+      (match t.Fuzzer.outcome.Runner.failure with
+      | Some (Runner.Kv_violation { total; _ }) ->
+          Alcotest.(check bool) "oracle recorded violations" true (total > 0)
+      | Some f ->
+          Alcotest.failf "expected a kv_violation, got %s"
+            (Runner.failure_label f)
+      | None -> Alcotest.fail "expected a kv_violation")
+  | Some _, None -> Alcotest.fail "shrinking was requested but did not run"
+
+(* The protocol-level seeded bug must still be caught with the KV app
+   stacked on top: the trace checker watches the same engine underneath. *)
+let test_finds_skip_delivery_under_kv () =
+  let report =
+    Fuzzer.run_campaign
+      {
+        (quiet_campaign
+           ~bug:(Bug.Skip_delivery { node = 0; every = 10 })
+           ~shrink:false)
+        with
+        Fuzzer.app = Runner.App_kv;
+      }
+  in
+  match report.Fuzzer.failure with
+  | None -> Alcotest.fail "skip-delivery bug not found under the kv app"
+  | Some t -> (
+      match t.Fuzzer.outcome.Runner.failure with
+      | Some (Runner.Invariant _) | Some (Runner.Kv_violation _) -> ()
+      | Some f ->
+          Alcotest.failf "expected invariant or kv_violation, got %s"
+            (Runner.failure_label f)
+      | None -> Alcotest.fail "expected a failure")
+
+(* [corpus/kv/trace_hashes_kv.txt] lines are
+   "<basename> <clean hash> <adaptive hash>"; '#' starts a comment. *)
+let committed_kv_hashes path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then loop acc
+            else
+              Scanf.sscanf line "%s %Lx %Lx" (fun name h ha ->
+                  loop ((name, (h, ha)) :: acc))
+      in
+      loop [])
+
+(* Every committed KV reproducer must (a) replay green without the bug,
+   at exactly the pinned trace hashes with and without the adaptive
+   controller, and (b) still fail when the bug that minted it is
+   re-planted — the corpus stays a working self-test, not a fossil. *)
+let test_kv_corpus_replays_green () =
+  let entries = Corpus.load_dir "corpus/kv" in
+  Alcotest.(check bool) "kv corpus is not empty" true (entries <> []);
+  let oracle = committed_kv_hashes "corpus/kv/trace_hashes_kv.txt" in
+  Alcotest.(check int)
+    "every kv corpus entry has committed hashes" (List.length entries)
+    (List.length oracle);
+  List.iter
+    (fun (name, schedule) ->
+      let clean = Fuzzer.replay ~app:Runner.App_kv schedule in
+      if not (Runner.passed clean) then
+        Alcotest.failf "kv corpus entry %s regressed: %s" name
+          (Format.asprintf "%a" Runner.pp_outcome clean);
+      let adaptive = Fuzzer.replay ~adaptive:true ~app:Runner.App_kv schedule in
+      if not (Runner.passed adaptive) then
+        Alcotest.failf "kv corpus entry %s regressed (adaptive): %s" name
+          (Format.asprintf "%a" Runner.pp_outcome adaptive);
+      (match List.assoc_opt (Filename.basename name) oracle with
+      | None -> Alcotest.failf "no committed trace hashes for %s" name
+      | Some (h, ha) ->
+          if clean.Runner.trace_hash <> h then
+            Alcotest.failf "kv entry %s trace drifted: %Lx, committed %Lx"
+              name clean.Runner.trace_hash h;
+          if adaptive.Runner.trace_hash <> ha then
+            Alcotest.failf
+              "kv entry %s adaptive trace drifted: %Lx, committed %Lx" name
+              adaptive.Runner.trace_hash ha);
+      let buggy =
+        Fuzzer.replay
+          ~bug:(Bug.Kv_skip_apply { node = 0; every = 3 })
+          ~app:Runner.App_kv schedule
+      in
+      match buggy.Runner.failure with
+      | Some (Runner.Kv_violation _) -> ()
+      | _ ->
+          Alcotest.failf
+            "kv entry %s no longer catches the seeded bug it was minted by"
+            name)
+    entries
+
 let test_corpus_save_load () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "aring-corpus-test" in
   let s = Schedule.generate ~seed:99L in
@@ -225,5 +351,10 @@ let suite =
     ("finds skip-retransmission", `Quick, test_finds_skip_retransmission);
     ("corpus replays green", `Quick, test_corpus_replays_green);
     ("corpus replays green (adaptive)", `Quick, test_corpus_replays_green_adaptive);
+    ("kv runner deterministic per seed", `Quick, test_kv_runner_deterministic);
+    ("finds + shrinks kv-skip-apply", `Slow, test_finds_kv_skip_apply);
+    ("finds skip-delivery under kv app", `Slow, test_finds_skip_delivery_under_kv);
+    ("kv corpus replays green + catches its bug", `Quick,
+     test_kv_corpus_replays_green);
     ("corpus save/load", `Quick, test_corpus_save_load);
   ]

@@ -17,4 +17,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("udp", Test_udp.suite);
       ("fuzz", Test_fuzz.suite);
+      ("app", Test_app.suite);
     ]
