@@ -21,6 +21,7 @@ let quick = Array.exists (fun a -> a = "quick") Sys.argv
 let mode_hotpath = Array.exists (fun a -> a = "hotpath") Sys.argv
 let mode_adaptive = Array.exists (fun a -> a = "adaptive") Sys.argv
 let mode_kv = Array.exists (fun a -> a = "kv") Sys.argv
+let mode_obs = Array.exists (fun a -> a = "obs") Sys.argv
 
 let ms n = n * 1_000_000
 
@@ -775,12 +776,13 @@ let hotpath () =
     if cpu_s <= 0. then 0. else float_of_int deliveries /. cpu_s
   in
   let rot = Scenario.run { pipeline_spec with profile_rotation = true } in
-  let rotation_p50, rotation_p99 =
+  let rotation_p50, rotation_p99, rotation_p999 =
     match rot.Scenario.rotation with
     | Some prof ->
         ( Stats.median prof.Aring_obs.Rotation.rotation_us,
-          Stats.percentile prof.Aring_obs.Rotation.rotation_us 99.0 )
-    | None -> (0., 0.)
+          Stats.percentile prof.Aring_obs.Rotation.rotation_us 99.0,
+          Stats.percentile prof.Aring_obs.Rotation.rotation_us 99.9 )
+    | None -> (0., 0., 0.)
   in
   Printf.printf
     "pipeline (10G library tier, Agreed, 1350B, %.0f Mbps offered):\n\
@@ -839,6 +841,7 @@ let hotpath () =
               ("alloc_bytes_per_msg", Json.Float alloc_per_msg);
               ("rotation_p50_us", Json.Float rotation_p50);
               ("rotation_p99_us", Json.Float rotation_p99);
+              ("rotation_p999_us", Json.Float rotation_p999);
             ] );
         ( "codec",
           Json.Obj
@@ -1045,6 +1048,8 @@ let adaptive () =
         ("index", Json.Int i);
         ("offered_mbps", Json.Float p.Scenario.p_offered_mbps);
         ("adaptive_lat_us", json_score a);
+        ( "adaptive_lat_p999_us",
+          json_score (Stats.percentile p.Scenario.p_latency_us 99.9) );
         ("adaptive_delivered_mbps", Json.Float p.Scenario.p_delivered_mbps);
         ("best_static_aw", Json.Int best_aw);
         ("best_static_lat_us", json_score best);
@@ -1069,6 +1074,9 @@ let adaptive () =
                        json_score (Stats.mean p.Scenario.p_latency_us) );
                      ( "lat_p99_us",
                        json_score (Stats.percentile p.Scenario.p_latency_us 99.0)
+                     );
+                     ( "lat_p999_us",
+                       json_score (Stats.percentile p.Scenario.p_latency_us 99.9)
                      );
                    ])
                r.Scenario.phases) );
@@ -1196,7 +1204,26 @@ let bench_kv () =
         (entries, t))
       sweep_sizes
   in
-  let p50 s = Stats.median s and p99 s = Stats.percentile s 99.0 in
+  let p50 s = Stats.median s
+  and p99 s = Stats.percentile s 99.0
+  and p999 s = Stats.percentile s 99.9 in
+  (* Per-stage latency decomposition from the run's span histograms:
+     where the write p50 goes between token ordering, delivery and
+     replica apply. *)
+  let stages_json (r : Kv_scenario.result) =
+    Json.List
+      (List.map
+         (fun (s : Aring_obs.Span.stage_report) ->
+           Json.Obj
+             [
+               ("stage", Json.String s.Aring_obs.Span.stage);
+               ("count", Json.Int s.Aring_obs.Span.count);
+               ("p50_us", Json.Float s.Aring_obs.Span.p50_us);
+               ("p99_us", Json.Float s.Aring_obs.Span.p99_us);
+               ("p999_us", Json.Float s.Aring_obs.Span.p999_us);
+             ])
+         (Aring_obs.Span.report_of_metrics r.Kv_scenario.metrics))
+  in
   let run_json label (r : Kv_scenario.result) =
     ( label,
       Json.Obj
@@ -1206,14 +1233,18 @@ let bench_kv () =
           ("write_ops_per_sec", Json.Float r.Kv_scenario.write_ops_per_sec);
           ("write_p50_us", Json.Float (p50 r.Kv_scenario.write_latency_us));
           ("write_p99_us", Json.Float (p99 r.Kv_scenario.write_latency_us));
+          ("write_p999_us", Json.Float (p999 r.Kv_scenario.write_latency_us));
           ( "sync_read_p50_us",
             Json.Float (p50 r.Kv_scenario.sync_read_latency_us) );
           ( "sync_read_p99_us",
             Json.Float (p99 r.Kv_scenario.sync_read_latency_us) );
+          ( "sync_read_p999_us",
+            Json.Float (p999 r.Kv_scenario.sync_read_latency_us) );
           ("local_reads", Json.Int r.Kv_scenario.reads);
           ("installs", Json.Int r.Kv_scenario.installs);
           ("oracle_violations", Json.Int r.Kv_scenario.oracle_violations);
           ("converged", Json.Bool r.Kv_scenario.converged);
+          ("latency_stages", stages_json r);
         ] )
   in
   (* Committed budget gate. *)
@@ -1332,7 +1363,174 @@ let bench_kv () =
     Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
   if not budget_pass then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead benchmark (`-- obs [quick]`)                  *)
+(* The flight recorder is always on in every run, so its per-event      *)
+(* cost IS protocol overhead: measure ns/event and allocated            *)
+(* bytes/event in steady state (after the per-node rings exist), plus   *)
+(* the disabled-recorder and detached span/health hook costs (a single  *)
+(* ref read each). Emits BENCH_obs.json, gated by bench/obs_budget.json. *)
+
+let bench_obs () =
+  let module Flight = Aring_obs.Flight in
+  let module Span = Aring_obs.Span in
+  let module Health = Aring_obs.Health in
+  Printf.printf "=== Observability overhead benchmark%s ===\n%!"
+    (if quick then " [QUICK MODE]" else "");
+  let iters = if quick then 2_000_000 else 10_000_000 in
+  let nodes = 8 in
+  (* Warm the recorder: the per-node rings allocate lazily on first
+     record; steady state is six int stores into a flat array. *)
+  Flight.reset ();
+  for node = 0 to nodes - 1 do
+    for i = 0 to 1023 do
+      Flight.record ~node ~code:Flight.ev_deliver ~a:i ~b:0 ~c:0 ~d:0
+    done
+  done;
+  let time_per_call ~iters f =
+    for _ = 1 to 10_000 do
+      f ()
+    done;
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let i = ref 0 in
+  let record_event () =
+    incr i;
+    Flight.record ~node:(!i land 7) ~code:Flight.ev_data_recv ~a:!i ~b:3 ~c:0
+      ~d:0
+  in
+  let flight_ns = time_per_call ~iters record_event in
+  let flight_alloc = alloc_per_call ~iters record_event in
+  Flight.set_enabled false;
+  let disabled_ns = time_per_call ~iters record_event in
+  let disabled_alloc = alloc_per_call ~iters record_event in
+  Flight.set_enabled true;
+  (* The span/health hooks sit on the engine hot path but are opt-in:
+     detached (the default outside sim/fuzz runs) each is one ref read. *)
+  let span_hook () = ignore (Span.submit_stamp ()) in
+  let span_ns = time_per_call ~iters span_hook in
+  let span_alloc = alloc_per_call ~iters span_hook in
+  let health_hook () = Health.note_delivery () in
+  let health_ns = time_per_call ~iters health_hook in
+  let health_alloc = alloc_per_call ~iters health_hook in
+  Printf.printf
+    "flight recorder (enabled, warm): %7.1f ns/event  %5.2f bytes/event\n\
+     flight recorder (disabled):      %7.1f ns/event  %5.2f bytes/event\n\
+     span hook (detached):            %7.1f ns/call   %5.2f bytes/call\n\
+     health hook (detached):          %7.1f ns/call   %5.2f bytes/call\n%!"
+    flight_ns flight_alloc disabled_ns disabled_alloc span_ns span_alloc
+    health_ns health_alloc;
+  (* Committed budget gate. *)
+  let budget_path = "bench/obs_budget.json" in
+  let budget =
+    try
+      let ic = open_in budget_path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (Json.of_string s)
+    with Sys_error _ | Json.Parse_error _ -> None
+  in
+  let bound name =
+    Option.bind budget (fun b -> json_float (Json.member name b))
+  in
+  let check_max v = function None -> true | Some m -> v <= m in
+  let max_flight_ns = bound "max_flight_ns_per_event" in
+  let max_flight_alloc = bound "max_flight_alloc_bytes_per_event" in
+  let max_disabled_ns = bound "max_disabled_ns_per_event" in
+  let max_detached_ns = bound "max_detached_hook_ns" in
+  let flight_ns_ok = check_max flight_ns max_flight_ns in
+  let flight_alloc_ok = check_max flight_alloc max_flight_alloc in
+  let disabled_ok = check_max disabled_ns max_disabled_ns in
+  let detached_ok =
+    check_max span_ns max_detached_ns && check_max health_ns max_detached_ns
+  in
+  let pass = flight_ns_ok && flight_alloc_ok && disabled_ok && detached_ok in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "aring.bench.obs/1");
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ("iters", Json.Int iters);
+        ( "flight",
+          Json.Obj
+            [
+              ("ns_per_event", Json.Float flight_ns);
+              ("alloc_bytes_per_event", Json.Float flight_alloc);
+              ("disabled_ns_per_event", Json.Float disabled_ns);
+              ("disabled_alloc_bytes_per_event", Json.Float disabled_alloc);
+              ("capacity_per_node", Json.Int (Flight.capacity ()));
+            ] );
+        ( "hooks_detached",
+          Json.Obj
+            [
+              ("span_ns_per_call", Json.Float span_ns);
+              ("span_alloc_bytes_per_call", Json.Float span_alloc);
+              ("health_ns_per_call", Json.Float health_ns);
+              ("health_alloc_bytes_per_call", Json.Float health_alloc);
+            ] );
+        ( "budget",
+          Json.Obj
+            [
+              ( "max_flight_ns_per_event",
+                match max_flight_ns with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "max_flight_alloc_bytes_per_event",
+                match max_flight_alloc with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "max_disabled_ns_per_event",
+                match max_disabled_ns with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "max_detached_hook_ns",
+                match max_detached_ns with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ("pass", Json.Bool pass);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json\n%!";
+  if not flight_ns_ok then
+    Printf.printf "BUDGET FAIL: flight %.1f ns/event above budget %.1f\n%!"
+      flight_ns
+      (Option.get max_flight_ns);
+  if not flight_alloc_ok then
+    Printf.printf
+      "BUDGET FAIL: flight %.2f allocated bytes/event above budget %.2f\n%!"
+      flight_alloc
+      (Option.get max_flight_alloc);
+  if not disabled_ok then
+    Printf.printf
+      "BUDGET FAIL: disabled recorder %.1f ns/event above budget %.1f\n%!"
+      disabled_ns
+      (Option.get max_disabled_ns);
+  if not detached_ok then
+    Printf.printf
+      "BUDGET FAIL: detached hook cost (span %.1f / health %.1f ns) above \
+       budget %.1f\n\
+       %!"
+      span_ns health_ns
+      (Option.get max_detached_ns);
+  if budget = None then
+    Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
+  if not pass then exit 1
+
 let () =
+  if mode_obs then begin
+    bench_obs ();
+    exit 0
+  end;
   if mode_kv then begin
     bench_kv ();
     exit 0

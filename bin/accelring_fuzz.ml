@@ -9,8 +9,22 @@
 
 open Aring_fuzz
 
+(* Post-mortem artifacts for a failed run: the flight recorder's tail as
+   JSONL (the recorder is reset at the start of every run, so it holds
+   exactly the failing run's last records) and the rendered outcome —
+   which, for a health-watchdog stall, carries the full per-node
+   phase-cycle report — as a sibling .report.txt. *)
+let dump_flight ~path outcome =
+  Aring_obs.Flight.dump_jsonl_file path;
+  let report_path = path ^ ".report.txt" in
+  Out_channel.with_open_text report_path (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Runner.pp_outcome outcome);
+  Printf.printf "flight recorder: %d records -> %s (+ %s)\n"
+    (Aring_obs.Flight.stored ()) path report_path
+
 let run trials seed bug_name adaptive app_name shrink max_shrink_runs
-    time_budget replay_path trace_file corpus_dir quiet =
+    time_budget replay_path trace_file corpus_dir flight_dump quiet =
   let bug =
     match Bug.of_string bug_name with
     | Ok b -> b
@@ -44,7 +58,14 @@ let run trials seed bug_name adaptive app_name shrink max_shrink_runs
         (fun (name, schedule) ->
           let outcome = Fuzzer.replay ~bug ~adaptive ~app ?extra_sink schedule in
           Format.printf "%s: %a@." name Runner.pp_outcome outcome;
-          if not (Runner.passed outcome) then incr failed)
+          if not (Runner.passed outcome) then begin
+            (* Dump the first failure: the recorder holds this run's tail
+               until the next replay overwrites it. *)
+            (match flight_dump with
+            | Some path when !failed = 0 -> dump_flight ~path outcome
+            | _ -> ());
+            incr failed
+          end)
         entries;
       Option.iter close_out trace_oc;
       Printf.printf "replayed %d entries, %d failed\n" (List.length entries)
@@ -95,6 +116,14 @@ let run trials seed bug_name adaptive app_name shrink max_shrink_runs
               in
               let path = Corpus.save ~dir ~label reproducer in
               Printf.printf "saved to %s\n" path
+          | None -> ());
+          (match flight_dump with
+          | Some path ->
+              (* The recorder holds whichever run executed last (usually a
+                 shrink probe); re-run the reproducer once so the dump
+                 matches the schedule printed above. *)
+              let outcome = Fuzzer.replay ~bug ~adaptive ~app reproducer in
+              dump_flight ~path outcome
           | None -> ());
           exit 1)
 
@@ -179,6 +208,20 @@ let corpus_dir =
     & info [ "corpus" ] ~docv:"DIR"
         ~doc:"Save the (shrunk) reproducer of a failure under $(docv).")
 
+let flight_dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "On failure, dump the always-on flight recorder (the last ~512 \
+           protocol events per node of the failing run) as JSONL to \
+           $(docv), plus the rendered outcome — including the health \
+           watchdog's phase-cycle report when it fired — to \
+           $(docv).report.txt. With --replay, the first failing entry is \
+           dumped; after a campaign, the reproducer is re-run once so the \
+           dump matches it.")
+
 let quiet =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-trial log lines.")
 
@@ -189,6 +232,6 @@ let cmd =
     Term.(
       const run $ trials $ seed $ bug_name $ adaptive $ app_name $ shrink
       $ max_shrink_runs $ time_budget $ replay_path $ trace_file $ corpus_dir
-      $ quiet)
+      $ flight_dump $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -13,8 +13,25 @@ let net_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown network %S (use 1g|10g)" s))
 
 let run nodes net rate seconds keys hot value_bytes reads sync_reads cas dels
-    partition_spec seed verbose =
+    partition_spec seed verbose trace_file chrome_file show_metrics =
   if verbose then Aring_util.Log.setup ~level:Logs.Info ();
+  let module Trace = Aring_obs.Trace in
+  (* Same sink assembly as accelring_sim: a JSONL stream and/or an
+     in-memory buffer feeding the Chrome exporter. With neither
+     requested, tracing stays disabled and free. *)
+  let jsonl_oc = Option.map open_out trace_file in
+  let mem = if chrome_file <> None then Some (Trace.memory ()) else None in
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map Aring_obs.Trace_json.jsonl_sink jsonl_oc;
+        Option.map Trace.memory_sink mem;
+      ]
+  in
+  (match sinks with
+  | [] -> ()
+  | [ s ] -> Trace.install s
+  | ss -> Trace.install (Trace.tee ss));
   let partition =
     match partition_spec with
     | None -> None
@@ -46,7 +63,18 @@ let run nodes net rate seconds keys hot value_bytes reads sync_reads cas dels
     }
   in
   let result = Kv_scenario.run spec in
+  if sinks <> [] then Trace.uninstall ();
+  Option.iter close_out jsonl_oc;
+  Option.iter
+    (fun m ->
+      let path = Option.get chrome_file in
+      Aring_obs.Chrome_trace.write_file path (Trace.memory_events m);
+      Format.printf "chrome trace (%d events) written to %s@."
+        (Trace.memory_count m) path)
+    mem;
   Format.printf "%a@." Kv_scenario.pp_result result;
+  if show_metrics then
+    Format.printf "%a@." Aring_obs.Metrics.pp result.Kv_scenario.metrics;
   if result.Kv_scenario.oracle_violations > 0 then begin
     Format.printf "CONSISTENCY VIOLATIONS:@.%a@." Oracle.pp
       result.Kv_scenario.oracle;
@@ -119,12 +147,38 @@ let partition_spec =
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the structured event trace as JSONL to $(docv).")
+
+let chrome_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).")
+
+let show_metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the full metrics registry after the run: netsim / engine \
+           / daemon / app counters and the per-stage latency-span \
+           histograms (span.*).")
+
 let cmd =
   let doc = "Replicated KV store on the Accelerated Ring: simulate and measure" in
   Cmd.v
     (Cmd.info "accelring_kv" ~doc)
     Term.(
       const run $ nodes $ net $ rate $ seconds $ keys $ hot $ value_bytes
-      $ reads $ sync_reads $ cas $ dels $ partition_spec $ seed $ verbose)
+      $ reads $ sync_reads $ cas $ dels $ partition_spec $ seed $ verbose
+      $ trace_file $ chrome_file $ show_metrics)
 
 let () = exit (Cmd.eval cmd)

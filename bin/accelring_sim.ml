@@ -25,7 +25,8 @@ let service_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown service %S" s))
 
 let run nodes net tier protocol service payload rate pw gw aw seconds
-    find_max seed verbose trace_file chrome_file check rotation adaptive =
+    find_max seed verbose trace_file chrome_file check rotation adaptive spans
+    =
   if verbose then Aring_util.Log.setup ~level:Logs.Info ();
   let module Trace = Aring_obs.Trace in
   (* Assemble the requested trace sinks: a JSONL stream, an in-memory
@@ -73,6 +74,14 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
          else None);
     }
   in
+  (* Latency spans ride outside the trace stream: attach a collector for
+     the run, report per-stage quantiles after. The baselines (sequencer,
+     ring-paxos) bypass the engine's stage notes, so their report is
+     empty. *)
+  let span =
+    if spans then Some (Aring_obs.Span.create ()) else None
+  in
+  Option.iter Aring_obs.Span.attach span;
   let result =
     match protocol with
     | "sequencer" ->
@@ -92,6 +101,7 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
     | _ ->
         if find_max then Scenario.find_max_throughput spec else Scenario.run spec
   in
+  if spans then Aring_obs.Span.detach ();
   if sinks <> [] then Trace.uninstall ();
   Option.iter close_out jsonl_oc;
   Option.iter
@@ -102,6 +112,12 @@ let run nodes net tier protocol service payload rate pw gw aw seconds
         (Trace.memory_count m) path)
     mem;
   Format.printf "%a@." Scenario.pp_result result;
+  Option.iter
+    (fun s ->
+      match Aring_obs.Span.report s with
+      | [] -> Format.printf "no latency spans recorded@."
+      | stages -> Format.printf "%a@." Aring_obs.Span.pp_report stages)
+    span;
   (match result.Scenario.rotation with
   | Some s -> Format.printf "%a@." Aring_obs.Rotation.pp_summary s
   | None -> ());
@@ -193,6 +209,15 @@ let adaptive =
            capped at the personal window); --aw only sets the starting \
            window.")
 
+let spans =
+  Arg.(
+    value & flag
+    & info [ "spans" ]
+        ~doc:
+          "Collect end-to-end latency spans during the run and print \
+           per-stage p50/p99/p99.9 (submit-wait, token-order, deliver, \
+           end-to-end) after the profile.")
+
 let cmd =
   let doc = "Simulate an Accelerated Ring cluster and measure its profile" in
   Cmd.v
@@ -200,6 +225,6 @@ let cmd =
     Term.(
       const run $ nodes $ net $ tier $ protocol $ service $ payload $ rate
       $ pw $ gw $ aw $ seconds $ find_max $ seed $ verbose $ trace_file
-      $ chrome_file $ check $ rotation $ adaptive)
+      $ chrome_file $ check $ rotation $ adaptive $ spans)
 
 let () = exit (Cmd.eval cmd)

@@ -139,6 +139,9 @@ let apply_write t op =
   t.stats.ops_applied <- t.stats.ops_applied + 1;
   let value = Hashtbl.find_opt t.store key in
   observe t (Applied { index = t.applied_n; op; value });
+  Aring_obs.Flight.record ~node:t.me ~code:Aring_obs.Flight.ev_apply
+    ~a:t.applied_n ~b:(if value = None then 1 else 0) ~c:0 ~d:0;
+  Aring_obs.Span.note_applied ~node:t.me;
   if Trace.enabled () then
     Trace.emit ~node:t.me
       (Trace.App_apply { index = t.applied_n; key; deleted = value = None })

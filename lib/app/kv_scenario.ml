@@ -4,6 +4,7 @@ module Daemon = Aring_daemon.Daemon
 module Prng = Aring_util.Prng
 module Stats = Aring_util.Stats
 module Metrics = Aring_obs.Metrics
+module Span = Aring_obs.Span
 module Scenario = Aring_harness.Scenario
 
 type partition = { part_at_ns : int; heal_at_ns : int; island : int list }
@@ -143,6 +144,14 @@ let run spec =
   in
   let sim = cl.sim and kvs = cl.kvs in
   Option.iter (install_partition sim n) spec.partition;
+  (* Latency spans are always collected here: the stage histograms land
+     in the run's metrics registry under the span dotted names,
+     decomposing the end-to-end write latency into ordering, delivery
+     and apply stages. The collector is deterministic (virtual clock, no
+     trace events), so it never perturbs results. *)
+  let metrics = Metrics.create () in
+  let span = Span.create ~metrics () in
+  Span.attach span;
   let horizon = spec.warmup_ns + spec.measure_ns in
   let deadline = horizon + spec.drain_ns in
   let write_latency = Stats.create () in
@@ -253,14 +262,15 @@ let run spec =
   in
   let t = ref 0 in
   let stop = ref false in
-  while not !stop do
-    t := min deadline (!t + ms 25);
-    Netsim.run_until sim !t;
-    if !t >= deadline then stop := true
-    else if !t > horizon && kv_converged kvs && pending () = 0 then stop := true
-  done;
+  Fun.protect ~finally:Span.detach (fun () ->
+      while not !stop do
+        t := min deadline (!t + ms 25);
+        Netsim.run_until sim !t;
+        if !t >= deadline then stop := true
+        else if !t > horizon && kv_converged kvs && pending () = 0 then
+          stop := true
+      done);
   Oracle.check_convergence cl.oracle (Array.to_list kvs);
-  let metrics = Metrics.create () in
   Netsim.record_metrics sim metrics;
   Array.iter (fun d -> Daemon.record_metrics d metrics) cl.daemons;
   Array.iter (fun kv -> Kv.record_metrics kv metrics) kvs;
@@ -367,7 +377,7 @@ let pp_result ppf r =
      p99=%.0fus@,\
     \  sync reads: %d (p50=%.0fus p99=%.0fus), local reads: %d@,\
     \  transfers: %d installs%s@,\
-    \  oracle: %d violation(s), converged=%b, store=%d entries@]"
+    \  oracle: %d violation(s), converged=%b, store=%d entries"
     r.spec.label r.spec.n_nodes r.spec.ops_per_sec r.writes_submitted
     r.writes_applied r.write_ops_per_sec
     (Stats.percentile r.write_latency_us 50.0)
@@ -380,4 +390,15 @@ let pp_result ppf r =
        Printf.sprintf " (xfer p50=%.0fus)"
          (Stats.percentile r.transfer_us 50.0)
      else "")
-    r.oracle_violations r.converged r.final_store_size
+    r.oracle_violations r.converged r.final_store_size;
+  (match Span.report_of_metrics r.metrics with
+  | [] -> ()
+  | stages ->
+      Format.fprintf ppf "@,  latency by stage:";
+      List.iter
+        (fun (s : Span.stage_report) ->
+          Format.fprintf ppf
+            "@,    %-22s n=%-7d p50=%.1fus p99=%.1fus p99.9=%.1fus"
+            s.Span.stage s.Span.count s.Span.p50_us s.Span.p99_us s.Span.p999_us)
+        stages);
+  Format.fprintf ppf "@]"

@@ -1,5 +1,6 @@
 open Aring_wire
 open Aring_ring
+module Span = Aring_obs.Span
 
 type callbacks = {
   on_message :
@@ -35,6 +36,9 @@ type t = {
   mutable pack_buffer : Envelope.t list;
   mutable pack_bytes : int;
   mutable pack_service : Types.service;
+  (* Span stamps parallel to [pack_buffer] (newest first); 0 when no
+     span collector was attached at buffering time. *)
+  mutable pack_stamps : int list;
   (* Application-layer hook: every delivered configuration (transitional
      and regular), invoked after the daemon's own pruning and
      re-announcement so anything the hook submits is ordered after the
@@ -60,6 +64,7 @@ let create ?(packing = false) ?(pack_threshold = 1300) ~member () =
     pack_buffer = [];
     pack_bytes = 0;
     pack_service = Types.Agreed;
+    pack_stamps = [];
     on_view = None;
   }
 
@@ -101,16 +106,24 @@ let submit_plain t service env =
 
 (* Flush the packing buffer as one Batch (or a plain envelope when it
    holds a single entry). *)
+let note_packed t =
+  List.iter
+    (fun submit_ns -> if submit_ns > 0 then Span.note_packed ~submit_ns)
+    t.pack_stamps;
+  t.pack_stamps <- []
+
 let flush t =
   match t.pack_buffer with
   | [] -> ()
   | [ env ] ->
+      note_packed t;
       submit_plain t t.pack_service env;
       t.pack_buffer <- [];
       t.pack_bytes <- 0
   | entries ->
       t.stats.packs_sent <- t.stats.packs_sent + 1;
       t.stats.envelopes_packed <- t.stats.envelopes_packed + List.length entries;
+      note_packed t;
       submit_plain t t.pack_service (Envelope.Batch (List.rev entries));
       t.pack_buffer <- [];
       t.pack_bytes <- 0
@@ -127,6 +140,7 @@ let submit_envelope t service env =
     else begin
       t.pack_service <- service;
       t.pack_buffer <- env :: t.pack_buffer;
+      t.pack_stamps <- Span.submit_stamp () :: t.pack_stamps;
       t.pack_bytes <- t.pack_bytes + size
     end
   end

@@ -50,6 +50,12 @@ type failure =
   | Kv_unsettled of { nodes : (int * string) list }
       (** Probes converged but the KV replicas never reached a common
           settled (applied, digest) state within the drain budget. *)
+  | Health_stall of { report : Aring_obs.Health.report }
+      (** The health watchdog (fourth judge, liveness schedules only)
+          flagged a formation livelock or delivery stall before the
+          drain deadline; the report carries per-node phase-cycle
+          statistics and recent phase trails. The flight recorder still
+          holds the run's tail at return — dump it for the post-mortem. *)
   | Run_exception of string
       (** The protocol or simulator raised; the string is the exception. *)
 
@@ -91,6 +97,6 @@ val app_of_string : string -> (app, string) result
 
 val failure_label : failure -> string
 (** ["invariant"], ["no_merge"], ["no_convergence"], ["kv_violation"],
-    ["kv_unsettled"] or ["exception"]. *)
+    ["kv_unsettled"], ["health_stall"] or ["exception"]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

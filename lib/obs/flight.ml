@@ -1,0 +1,198 @@
+(* Always-on flight recorder: a fixed-capacity ring of compact binary
+   records per node, capturing the most recent protocol steps even when
+   no trace sink is installed. The analogue of an aircraft flight
+   recorder — cheap enough to leave on in every run, read out only after
+   something goes wrong.
+
+   Records are six machine words (timestamp, event code, four integer
+   arguments) written into a preallocated flat [int array] per node, in
+   the spirit of the Netsim event arena: after the first record from a
+   node its ring exists and steady-state recording allocates nothing.
+   The recorder is deliberately outside the {!Trace} sink stream — it
+   never feeds the FNV-hashed JSONL rendering, so enabling or dumping it
+   cannot perturb pinned corpus trace hashes. *)
+
+let slot_words = 6
+let default_capacity = 512
+
+type ring = {
+  buf : int array;  (* capacity * slot_words, flat *)
+  cap : int;
+  mutable next : int;  (* slot index, [0, cap) *)
+  mutable total : int;  (* lifetime records, >= stored *)
+}
+
+let capacity = ref default_capacity
+let rings : ring option array ref = ref [||]
+let on = ref true
+
+let enabled () = !on
+let set_enabled b = on := b
+let reset () = rings := [||]
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Flight.set_capacity: capacity must be > 0";
+  capacity := n;
+  reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Event codes                                                         *)
+
+let ev_token_recv = 1
+let ev_token_send = 2
+let ev_token_retransmit = 3
+let ev_token_lost = 4
+let ev_data_send = 5
+let ev_data_recv = 6
+let ev_deliver = 7
+let ev_phase = 8
+let ev_recheck = 9
+let ev_recheck_giveup = 10
+let ev_flood = 11
+let ev_apply = 12
+
+let code_name = function
+  | 1 -> "token_recv"
+  | 2 -> "token_send"
+  | 3 -> "token_retransmit"
+  | 4 -> "token_lost"
+  | 5 -> "data_send"
+  | 6 -> "data_recv"
+  | 7 -> "deliver"
+  | 8 -> "phase"
+  | 9 -> "exchange_recheck"
+  | 10 -> "recheck_giveup"
+  | 11 -> "recovery_flood"
+  | 12 -> "apply"
+  | _ -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Recording (hot path)                                                *)
+
+let grow node =
+  let r = !rings in
+  let grown = Array.make (max (node + 1) (2 * Array.length r)) None in
+  Array.blit r 0 grown 0 (Array.length r);
+  rings := grown
+
+let record ~node ~code ~a ~b ~c ~d =
+  if !on && node >= 0 then begin
+    if node >= Array.length !rings then grow node;
+    let ring =
+      match (!rings).(node) with
+      | Some ring -> ring
+      | None ->
+          let cap = !capacity in
+          let ring = { buf = Array.make (cap * slot_words) 0; cap; next = 0; total = 0 } in
+          (!rings).(node) <- Some ring;
+          ring
+    in
+    let base = ring.next * slot_words in
+    let buf = ring.buf in
+    buf.(base) <- Trace.now ();
+    buf.(base + 1) <- code;
+    buf.(base + 2) <- a;
+    buf.(base + 3) <- b;
+    buf.(base + 4) <- c;
+    buf.(base + 5) <- d;
+    let next = ring.next + 1 in
+    ring.next <- (if next = ring.cap then 0 else next);
+    ring.total <- ring.total + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Readout                                                             *)
+
+type record_view = {
+  r_ns : int;
+  r_node : int;
+  r_code : int;
+  r_a : int;
+  r_b : int;
+  r_c : int;
+  r_d : int;
+}
+
+let node_records node ring =
+  let stored = min ring.total ring.cap in
+  let first = (ring.next - stored + ring.cap) mod ring.cap in
+  List.init stored (fun i ->
+      let base = (first + i) mod ring.cap * slot_words in
+      {
+        r_ns = ring.buf.(base);
+        r_node = node;
+        r_code = ring.buf.(base + 1);
+        r_a = ring.buf.(base + 2);
+        r_b = ring.buf.(base + 3);
+        r_c = ring.buf.(base + 4);
+        r_d = ring.buf.(base + 5);
+      })
+
+(* All nodes, globally time-ordered (stable within a node). *)
+let records () =
+  let all = ref [] in
+  Array.iteri
+    (fun node -> function
+      | Some ring -> all := node_records node ring :: !all
+      | None -> ())
+    !rings;
+  List.concat !all
+  |> List.stable_sort (fun a b ->
+         match compare a.r_ns b.r_ns with 0 -> compare a.r_node b.r_node | c -> c)
+
+let total () =
+  Array.fold_left
+    (fun acc -> function Some r -> acc + r.total | None -> acc)
+    0 !rings
+
+let stored () =
+  Array.fold_left
+    (fun acc -> function Some r -> acc + min r.total r.cap | None -> acc)
+    0 !rings
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+
+let dump_jsonl oc =
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "{\"ns\":%d,\"node\":%d,\"ev\":\"%s\",\"a\":%d,\"b\":%d,\"c\":%d,\"d\":%d}\n"
+        r.r_ns r.r_node (code_name r.r_code) r.r_a r.r_b r.r_c r.r_d)
+    (records ())
+
+let chrome_json () =
+  let instant r =
+    Json.Obj
+      [
+        ("name", Json.String (code_name r.r_code));
+        ("ph", Json.String "i");
+        ("ts", Json.Int (r.r_ns / 1_000));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int r.r_node);
+        ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [
+             ("a", Json.Int r.r_a);
+             ("b", Json.Int r.r_b);
+             ("c", Json.Int r.r_c);
+             ("d", Json.Int r.r_d);
+           ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map instant (records ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let dump_chrome oc =
+  output_string oc (Json.to_string (chrome_json ()));
+  output_char oc '\n'
+
+let dump_jsonl_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> dump_jsonl oc)
+
+let capacity () = !capacity

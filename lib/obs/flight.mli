@@ -1,0 +1,67 @@
+(** Always-on flight recorder: per-node fixed-capacity rings of compact
+    six-word binary records (timestamp, event code, four int arguments),
+    kept even when no {!Trace} sink is installed. Steady-state recording
+    allocates nothing once a node's ring exists; the recorder never
+    feeds the hashed trace stream, so pinned corpus hashes are
+    unaffected by it. Dump on demand as JSONL or a Chrome trace. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Recording is on by default; disabling is for overhead baselines. *)
+
+val reset : unit -> unit
+(** Drop every ring (a fresh run should start from an empty recorder). *)
+
+val set_capacity : int -> unit
+(** Records retained per node (default 512). Resets the recorder. *)
+
+val capacity : unit -> int
+
+(** {2 Event codes} *)
+
+val ev_token_recv : int
+val ev_token_send : int
+val ev_token_retransmit : int
+val ev_token_lost : int
+val ev_data_send : int
+val ev_data_recv : int
+val ev_deliver : int
+val ev_phase : int
+val ev_recheck : int
+val ev_recheck_giveup : int
+val ev_flood : int
+val ev_apply : int
+
+val code_name : int -> string
+
+(** {2 Recording} *)
+
+val record : node:int -> code:int -> a:int -> b:int -> c:int -> d:int -> unit
+(** Append one record to [node]'s ring, overwriting the oldest once
+    full. Zero-allocation after the node's first record. No-op when
+    disabled or [node < 0]. *)
+
+(** {2 Readout} *)
+
+type record_view = {
+  r_ns : int;
+  r_node : int;
+  r_code : int;
+  r_a : int;
+  r_b : int;
+  r_c : int;
+  r_d : int;
+}
+
+val records : unit -> record_view list
+(** Every retained record across all nodes, time-ordered. *)
+
+val total : unit -> int
+(** Lifetime records written (including overwritten ones). *)
+
+val stored : unit -> int
+(** Records currently retained. *)
+
+val dump_jsonl : out_channel -> unit
+val dump_jsonl_file : string -> unit
+val dump_chrome : out_channel -> unit

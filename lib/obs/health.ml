@@ -1,0 +1,356 @@
+(* Health watchdog: per-node membership-phase accounting (time-in-state,
+   entry counters, exchange-recheck and recovery-flood volume) plus a
+   stall detector. Two triggers:
+
+   - Formation_cycle: a node has started [k_formation] gather phases
+     since it last reached operational — the signature of the
+     recovery-flood livelock, where every formation attempt dies in the
+     exchange/recheck loop and re-gathers forever.
+   - No_progress: no message delivered anywhere for [stall_ns] of
+     virtual time while some live node is stuck outside operational.
+
+   Like Trace and Span, the watchdog is a global attach/detach
+   instrument: Member and Engine feed it through self-guarded notes, so
+   a run without a watchdog pays one ref read per note site. It emits
+   no trace events — pinned corpus hashes cannot see it. *)
+
+type config = { k_formation : int; stall_ns : int }
+
+let default_config = { k_formation = 8; stall_ns = 1_000_000_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Phase codes (shared with Flight's ev_phase argument)                *)
+
+let phase_operational = 0
+let phase_gather = 1
+let phase_commit = 2
+let phase_recover = 3
+let n_phases = 4
+
+(* Trail entries extend the phase codes with watchdog-relevant moments. *)
+let trail_crash = 4
+let trail_recheck = 5
+let trail_giveup = 6
+
+let phase_name = function
+  | 0 -> "operational"
+  | 1 -> "gather"
+  | 2 -> "commit"
+  | 3 -> "recover"
+  | 4 -> "crashed"
+  | 5 -> "exchange-recheck"
+  | 6 -> "recheck-giveup"
+  | _ -> "unknown"
+
+let trail_capacity = 64
+
+type node_state = {
+  mutable ns_phase : int;  (* current phase code; trail_crash once dead *)
+  mutable ns_phase_since : int;
+  ns_time_in : int array;  (* ns accumulated per phase, length n_phases *)
+  ns_entries : int array;  (* lifetime phase entries, length n_phases *)
+  mutable ns_attempts : int;  (* gather entries since last operational *)
+  mutable ns_rechecks : int;  (* recheck fires since last operational *)
+  mutable ns_giveups : int;  (* recheck give-ups since last operational *)
+  mutable ns_floods : int;  (* recovery messages flooded since last operational *)
+  trail : int array;  (* recent trail codes, ring *)
+  trail_ns : int array;
+  mutable trail_next : int;
+  mutable trail_total : int;
+}
+
+type t = {
+  cfg : config;
+  nodes : node_state array;
+  mutable last_delivery_ns : int;
+  mutable deliveries : int;
+}
+
+let create ?(config = default_config) ~n () =
+  if n <= 0 then invalid_arg "Health.create: n must be > 0";
+  {
+    cfg = config;
+    nodes =
+      Array.init n (fun _ ->
+          {
+            ns_phase = -1;
+            ns_phase_since = 0;
+            ns_time_in = Array.make n_phases 0;
+            ns_entries = Array.make n_phases 0;
+            ns_attempts = 0;
+            ns_rechecks = 0;
+            ns_giveups = 0;
+            ns_floods = 0;
+            trail = Array.make trail_capacity (-1);
+            trail_ns = Array.make trail_capacity 0;
+            trail_next = 0;
+            trail_total = 0;
+          });
+    last_delivery_ns = 0;
+    deliveries = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global instrument                                                   *)
+
+let current : t option ref = ref None
+
+let enabled () = Option.is_some !current
+let attach t = current := Some t
+let detach () = current := None
+
+let with_health t f =
+  attach t;
+  Fun.protect ~finally:detach f
+
+(* ------------------------------------------------------------------ *)
+(* Feeds                                                               *)
+
+let push_trail ns code now =
+  ns.trail.(ns.trail_next) <- code;
+  ns.trail_ns.(ns.trail_next) <- now;
+  ns.trail_next <- (ns.trail_next + 1) mod trail_capacity;
+  ns.trail_total <- ns.trail_total + 1
+
+let close_phase ns now =
+  if ns.ns_phase >= 0 && ns.ns_phase < n_phases then
+    ns.ns_time_in.(ns.ns_phase) <-
+      ns.ns_time_in.(ns.ns_phase) + max 0 (now - ns.ns_phase_since)
+
+let node_state t node =
+  if node >= 0 && node < Array.length t.nodes then Some t.nodes.(node)
+  else None
+
+let note_phase ~node ~phase =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns ->
+          if ns.ns_phase <> trail_crash then begin
+            let now = Trace.now () in
+            close_phase ns now;
+            ns.ns_phase <- phase;
+            ns.ns_phase_since <- now;
+            if phase >= 0 && phase < n_phases then
+              ns.ns_entries.(phase) <- ns.ns_entries.(phase) + 1;
+            if phase = phase_gather then ns.ns_attempts <- ns.ns_attempts + 1;
+            if phase = phase_operational then begin
+              ns.ns_attempts <- 0;
+              ns.ns_rechecks <- 0;
+              ns.ns_giveups <- 0;
+              ns.ns_floods <- 0
+            end;
+            push_trail ns phase now
+          end)
+
+let note_recheck ~node =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns ->
+          ns.ns_rechecks <- ns.ns_rechecks + 1;
+          push_trail ns trail_recheck (Trace.now ()))
+
+let note_recheck_giveup ~node =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns ->
+          ns.ns_giveups <- ns.ns_giveups + 1;
+          push_trail ns trail_giveup (Trace.now ()))
+
+let note_flood ~node ~count =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns -> ns.ns_floods <- ns.ns_floods + count)
+
+let note_delivery () =
+  match !current with
+  | None -> ()
+  | Some t ->
+      t.last_delivery_ns <- Trace.now ();
+      t.deliveries <- t.deliveries + 1
+
+let note_crash ~node =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns ->
+          let now = Trace.now () in
+          close_phase ns now;
+          ns.ns_phase <- trail_crash;
+          ns.ns_phase_since <- now;
+          push_trail ns trail_crash now)
+
+(* ------------------------------------------------------------------ *)
+(* Stall detection                                                     *)
+
+type stall =
+  | Formation_cycle of {
+      fc_node : int;
+      fc_attempts : int;
+      fc_rechecks : int;
+      fc_giveups : int;
+      fc_floods : int;
+    }
+  | No_progress of { np_idle_ns : int; np_stuck : (int * string) list }
+
+let check t ~now =
+  let cycles =
+    Array.to_list t.nodes
+    |> List.mapi (fun node ns -> (node, ns))
+    |> List.filter_map (fun (node, ns) ->
+           if ns.ns_phase <> trail_crash && ns.ns_attempts >= t.cfg.k_formation
+           then
+             Some
+               (Formation_cycle
+                  {
+                    fc_node = node;
+                    fc_attempts = ns.ns_attempts;
+                    fc_rechecks = ns.ns_rechecks;
+                    fc_giveups = ns.ns_giveups;
+                    fc_floods = ns.ns_floods;
+                  })
+           else None)
+  in
+  let idle = now - t.last_delivery_ns in
+  let stuck =
+    Array.to_list t.nodes
+    |> List.mapi (fun node ns -> (node, ns))
+    |> List.filter_map (fun (node, ns) ->
+           if
+             ns.ns_phase >= 0
+             && ns.ns_phase <> trail_crash
+             && ns.ns_phase <> phase_operational
+             && now - ns.ns_phase_since > t.cfg.stall_ns
+           then Some (node, phase_name ns.ns_phase)
+           else None)
+  in
+  let progress =
+    if idle > t.cfg.stall_ns && stuck <> [] then
+      [ No_progress { np_idle_ns = idle; np_stuck = stuck } ]
+    else []
+  in
+  cycles @ progress
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+type node_report = {
+  nr_node : int;
+  nr_phase : string;
+  nr_attempts : int;
+  nr_rechecks : int;
+  nr_giveups : int;
+  nr_floods : int;
+  nr_entries : (string * int) list;
+  nr_time_in_ms : (string * float) list;
+  nr_trail : string list;  (* oldest first, run-length compressed *)
+}
+
+type report = {
+  r_now_ns : int;
+  r_deliveries : int;
+  r_stalls : stall list;
+  r_nodes : node_report list;
+}
+
+let trail_codes ns =
+  let stored = min ns.trail_total trail_capacity in
+  let first = (ns.trail_next - stored + trail_capacity) mod trail_capacity in
+  List.init stored (fun i -> ns.trail.((first + i) mod trail_capacity))
+
+(* "gather, recheck, recheck, recheck" -> ["gather"; "recheck x3"]. *)
+let compress_trail codes =
+  let rec go = function
+    | [] -> []
+    | code :: rest ->
+        let rec span n = function
+          | c :: tl when c = code -> span (n + 1) tl
+          | tl -> (n, tl)
+        in
+        let n, rest = span 1 rest in
+        let name = phase_name code in
+        (if n = 1 then name else Printf.sprintf "%s x%d" name n) :: go rest
+  in
+  go codes
+
+let report t ~now =
+  let nodes =
+    Array.to_list t.nodes
+    |> List.mapi (fun node ns ->
+           let label i = phase_name i in
+           {
+             nr_node = node;
+             nr_phase = phase_name ns.ns_phase;
+             nr_attempts = ns.ns_attempts;
+             nr_rechecks = ns.ns_rechecks;
+             nr_giveups = ns.ns_giveups;
+             nr_floods = ns.ns_floods;
+             nr_entries =
+               List.init n_phases (fun i -> (label i, ns.ns_entries.(i)));
+             nr_time_in_ms =
+               List.init n_phases (fun i ->
+                   let extra =
+                     if ns.ns_phase = i then max 0 (now - ns.ns_phase_since)
+                     else 0
+                   in
+                   (label i,
+                    float_of_int (ns.ns_time_in.(i) + extra) /. 1e6));
+             nr_trail = compress_trail (trail_codes ns);
+           })
+  in
+  {
+    r_now_ns = now;
+    r_deliveries = t.deliveries;
+    r_stalls = check t ~now;
+    r_nodes = nodes;
+  }
+
+let pp_stall ppf = function
+  | Formation_cycle { fc_node; fc_attempts; fc_rechecks; fc_giveups; fc_floods } ->
+      Format.fprintf ppf
+        "node %d: repeated gather→exchange→recheck cycling — %d formation \
+         attempts without reaching operational (%d exchange-recheck timeouts, \
+         %d recheck give-ups, %d recovery floods)"
+        fc_node fc_attempts fc_rechecks fc_giveups fc_floods
+  | No_progress { np_idle_ns; np_stuck } ->
+      Format.fprintf ppf
+        "no delivery progress for %dms; nodes stuck outside operational:%s"
+        (np_idle_ns / 1_000_000)
+        (String.concat ""
+           (List.map
+              (fun (n, p) -> Printf.sprintf " %d(%s)" n p)
+              np_stuck))
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>health verdict at %dms (%d deliveries):"
+    (r.r_now_ns / 1_000_000) r.r_deliveries;
+  List.iter (fun s -> Format.fprintf ppf "@,  stall: %a" pp_stall s) r.r_stalls;
+  List.iter
+    (fun nr ->
+      Format.fprintf ppf
+        "@,  node %d: phase=%s attempts=%d rechecks=%d giveups=%d floods=%d"
+        nr.nr_node nr.nr_phase nr.nr_attempts nr.nr_rechecks nr.nr_giveups
+        nr.nr_floods;
+      Format.fprintf ppf "@,    entries:%s time:%s"
+        (String.concat ""
+           (List.map (fun (p, n) -> Printf.sprintf " %s=%d" p n) nr.nr_entries))
+        (String.concat ""
+           (List.map
+              (fun (p, ms) -> Printf.sprintf " %s=%.1fms" p ms)
+              nr.nr_time_in_ms));
+      Format.fprintf ppf "@,    trail: %s" (String.concat " → " nr.nr_trail))
+    r.r_nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+(** Recovery/stall health watchdog. Tracks per-node membership-phase
+    time-in-state and entry counters (fed by [Member]), exchange-recheck
+    and recovery-flood volume, and cluster-wide delivery progress (fed
+    by [Engine]); detects formation livelock ("K gather attempts without
+    reaching operational") and delivery stalls ("no progress for T
+    virtual ns while a node is stuck outside operational"). Global
+    attach/detach like {!Trace}; emits no trace events, so pinned corpus
+    hashes never see it. *)
+
+type config = { k_formation : int; stall_ns : int }
+
+val default_config : config
+(** [k_formation = 8] attempts, [stall_ns] = 1 virtual second. *)
+
+(** {2 Phase codes} (shared with {!Flight}'s [ev_phase] argument) *)
+
+val phase_operational : int
+val phase_gather : int
+val phase_commit : int
+val phase_recover : int
+val phase_name : int -> string
+
+type t
+
+val create : ?config:config -> n:int -> unit -> t
+
+(** {2 Global instrument} *)
+
+val enabled : unit -> bool
+val attach : t -> unit
+val detach : unit -> unit
+val with_health : t -> (unit -> 'a) -> 'a
+
+(** {2 Feeds} (self-guarded: no-ops when nothing is attached) *)
+
+val note_phase : node:int -> phase:int -> unit
+val note_recheck : node:int -> unit
+val note_recheck_giveup : node:int -> unit
+val note_flood : node:int -> count:int -> unit
+val note_delivery : unit -> unit
+val note_crash : node:int -> unit
+
+(** {2 Stall detection} *)
+
+type stall =
+  | Formation_cycle of {
+      fc_node : int;
+      fc_attempts : int;  (** gather entries since last operational *)
+      fc_rechecks : int;
+      fc_giveups : int;
+      fc_floods : int;
+    }
+  | No_progress of { np_idle_ns : int; np_stuck : (int * string) list }
+
+val check : t -> now:int -> stall list
+(** Empty when healthy. *)
+
+(** {2 Reporting} *)
+
+type node_report = {
+  nr_node : int;
+  nr_phase : string;
+  nr_attempts : int;
+  nr_rechecks : int;
+  nr_giveups : int;
+  nr_floods : int;
+  nr_entries : (string * int) list;
+  nr_time_in_ms : (string * float) list;
+  nr_trail : string list;
+}
+
+type report = {
+  r_now_ns : int;
+  r_deliveries : int;
+  r_stalls : stall list;
+  r_nodes : node_report list;
+}
+
+val report : t -> now:int -> report
+val pp_stall : Format.formatter -> stall -> unit
+val pp_report : Format.formatter -> report -> unit

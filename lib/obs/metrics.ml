@@ -154,6 +154,13 @@ let hist_quantile h q =
     go 0 0.0
   end
 
+(* Counts saturate at [max_int] instead of wrapping: a merged registry
+   aggregating many long runs should degrade to "a lot", never to a
+   negative count that would corrupt every quantile downstream. *)
+let sat_add a b =
+  let s = a + b in
+  if a > 0 && b > 0 && s < 0 then max_int else s
+
 let hist_merge a b =
   if a.bounds <> b.bounds then
     invalid_arg "Metrics.hist_merge: incompatible bucket bounds";
@@ -161,9 +168,11 @@ let hist_merge a b =
     {
       h_name = a.h_name;
       bounds = Array.copy a.bounds;
-      counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      counts =
+        Array.init (Array.length a.counts) (fun i ->
+            sat_add a.counts.(i) b.counts.(i));
       h_sum = a.h_sum +. b.h_sum;
-      h_count = a.h_count + b.h_count;
+      h_count = sat_add a.h_count b.h_count;
     }
   in
   m

@@ -1,0 +1,170 @@
+(* End-to-end latency spans: each message is stamped with the virtual
+   time of its submission, and stage transitions are folded into
+   per-stage mergeable histograms of the {!Metrics} registry:
+
+     submit -> packed         span.submit_wait_us  (daemon pack buffer)
+     submit -> token-ordered  span.order_us        (queueing + flow control)
+     ordered -> delivered     span.deliver_us      (propagation + stability)
+     delivered -> applied     span.apply_us        (app apply, synchronous)
+     submit -> delivered      span.e2e_us
+
+   The collector is opt-in and global (attach/detach, like the Trace
+   sink): when detached, the engine stamps nothing and every note is a
+   single ref read. Spans never emit trace events, so pinned corpus
+   hashes are unaffected. In-flight bookkeeping is bounded: the
+   (sender, seq) table is cleared if it ever exceeds [max_inflight]
+   entries, trading a few lost samples for a hard memory cap. *)
+
+let max_inflight = 1 lsl 16
+
+let stage_submit_wait = "span.submit_wait_us"
+let stage_order = "span.order_us"
+let stage_deliver = "span.deliver_us"
+let stage_apply = "span.apply_us"
+let stage_e2e = "span.e2e_us"
+
+let stage_names =
+  [ stage_submit_wait; stage_order; stage_deliver; stage_apply; stage_e2e ]
+
+type t = {
+  sp_metrics : Metrics.t;
+  h_submit_wait : Metrics.histogram;
+  h_order : Metrics.histogram;
+  h_deliver : Metrics.histogram;
+  h_apply : Metrics.histogram;
+  h_e2e : Metrics.histogram;
+  inflight : (int, int * int) Hashtbl.t;  (* key -> (submit_ns, ordered_ns) *)
+  mutable deliver_ns : int array;  (* per node: ns of the delivery being processed *)
+}
+
+let create ?metrics () =
+  let reg = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    sp_metrics = reg;
+    h_submit_wait = Metrics.histogram reg stage_submit_wait;
+    h_order = Metrics.histogram reg stage_order;
+    h_deliver = Metrics.histogram reg stage_deliver;
+    h_apply = Metrics.histogram reg stage_apply;
+    h_e2e = Metrics.histogram reg stage_e2e;
+    inflight = Hashtbl.create 1024;
+    deliver_ns = Array.make 16 (-1);
+  }
+
+let metrics t = t.sp_metrics
+
+(* ------------------------------------------------------------------ *)
+(* Global collector                                                    *)
+
+let current : t option ref = ref None
+
+let enabled () = Option.is_some !current
+let attach t = current := Some t
+let detach () = current := None
+
+let with_span t f =
+  attach t;
+  Fun.protect ~finally:detach f
+
+(* ------------------------------------------------------------------ *)
+(* Stage notes                                                         *)
+
+let us ns = float_of_int ns /. 1_000.0
+
+(* Submission stamp carried by the engine's pending entry; 0 ("no
+   stamp") when no collector is attached, so a disabled run pays only
+   this ref read per submit. *)
+let submit_stamp () = match !current with None -> 0 | Some _ -> Trace.now ()
+
+(* seq fits comfortably below 2^44 in any simulated run; sender pids are
+   small ints. *)
+let key ~sender ~seq = (sender lsl 44) lor (seq land ((1 lsl 44) - 1))
+
+let note_packed ~submit_ns =
+  match !current with
+  | None -> ()
+  | Some t ->
+      if submit_ns > 0 then
+        Metrics.observe t.h_submit_wait (us (Trace.now () - submit_ns))
+
+let note_ordered ~sender ~seq ~submit_ns =
+  match !current with
+  | None -> ()
+  | Some t ->
+      if submit_ns > 0 then begin
+        let now = Trace.now () in
+        Metrics.observe t.h_order (us (now - submit_ns));
+        if Hashtbl.length t.inflight >= max_inflight then
+          Hashtbl.reset t.inflight;
+        Hashtbl.replace t.inflight (key ~sender ~seq) (submit_ns, now)
+      end
+
+let ensure_node t node =
+  if node >= Array.length t.deliver_ns then begin
+    let grown = Array.make (max (node + 1) (2 * Array.length t.deliver_ns)) (-1) in
+    Array.blit t.deliver_ns 0 grown 0 (Array.length t.deliver_ns);
+    t.deliver_ns <- grown
+  end
+
+let note_delivered ~node ~sender ~seq =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let now = Trace.now () in
+      if node >= 0 then begin
+        ensure_node t node;
+        t.deliver_ns.(node) <- now
+      end;
+      (match Hashtbl.find_opt t.inflight (key ~sender ~seq) with
+      | Some (submit_ns, ordered_ns) ->
+          Metrics.observe t.h_deliver (us (now - ordered_ns));
+          Metrics.observe t.h_e2e (us (now - submit_ns))
+      | None -> ())
+
+let note_applied ~node =
+  match !current with
+  | None -> ()
+  | Some t ->
+      if node >= 0 && node < Array.length t.deliver_ns
+         && t.deliver_ns.(node) >= 0
+      then Metrics.observe t.h_apply (us (Trace.now () - t.deliver_ns.(node)))
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+type stage_report = {
+  stage : string;
+  count : int;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+}
+
+(* Stage quantiles from any registry holding span histograms — works on
+   a live collector's registry and on merged cross-node registries
+   alike. Stages with no samples are omitted. *)
+let report_of_metrics reg =
+  List.filter_map
+    (fun stage ->
+      match
+        List.assoc_opt stage (Metrics.histograms reg)
+      with
+      | Some h when Metrics.hist_count h > 0 ->
+          Some
+            {
+              stage;
+              count = Metrics.hist_count h;
+              p50_us = Metrics.hist_quantile h 0.5;
+              p99_us = Metrics.hist_quantile h 0.99;
+              p999_us = Metrics.hist_quantile h 0.999;
+            }
+      | _ -> None)
+    stage_names
+
+let report t = report_of_metrics t.sp_metrics
+
+let pp_report ppf reports =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-22s n=%-8d p50=%8.1fus p99=%8.1fus p99.9=%8.1fus@."
+        r.stage r.count r.p50_us r.p99_us r.p999_us)
+    reports

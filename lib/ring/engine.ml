@@ -1,6 +1,9 @@
 open Aring_wire
 module Trace = Aring_obs.Trace
 module Metrics = Aring_obs.Metrics
+module Flight = Aring_obs.Flight
+module Span = Aring_obs.Span
+module Health = Aring_obs.Health
 
 type timer_kind = Token_retransmit | Token_loss
 
@@ -35,6 +38,14 @@ let max_rtr_per_round = 512
 (* What one token rotation looked like from this node, captured for
    adaptive-window controllers. Purely observational: nothing in the
    engine reads it back. *)
+(* A queued client submission. The submit stamp is 0 unless a latency
+   span collector is attached at submission time. *)
+type pending = {
+  p_service : Types.service;
+  p_payload : bytes;
+  p_submit_ns : int;
+}
+
 type round_signals = {
   sr_round : Types.round;
   sr_fcc : int;  (* fcc carried by the incoming token *)
@@ -50,7 +61,7 @@ type t = {
   me : Types.pid;
   my_pos : int;
   buffer : (Types.seqno, Message.data) Hashtbl.t;
-  pending : (Types.service * bytes) Queue.t;
+  pending : pending Queue.t;
   mutable round : Types.round;
   mutable last_token_id : int;
   mutable local_aru : Types.seqno;
@@ -197,6 +208,10 @@ let deliver_ready_into t tail =
         else begin
           t.delivered <- next;
           t.stats.delivered <- t.stats.delivered + 1;
+          Flight.record ~node:t.me ~code:Flight.ev_deliver ~a:next ~b:d.pid
+            ~c:0 ~d:0;
+          Span.note_delivered ~node:t.me ~sender:d.pid ~seq:next;
+          Health.note_delivery ();
           loop (Deliver d :: acc)
         end
   in
@@ -229,6 +244,8 @@ let is_progress_evidence t (d : Message.data) =
 let handle_data t (d : Message.data) =
   if is_progress_evidence t d then t.progress_gen <- t.progress_gen + 1;
   let dup = d.seq <= t.discard_floor || Hashtbl.mem t.buffer d.seq in
+  Flight.record ~node:t.me ~code:Flight.ev_data_recv ~a:d.seq ~b:d.pid
+    ~c:(if dup then 1 else 0) ~d:0;
   if Trace.enabled () then
     Trace.emit ~node:t.me
       (Trace.Data_recv { ring = t.ring_id; seq = d.seq; sender = d.pid; dup });
@@ -283,6 +300,8 @@ let handle_token t (tok : Message.token) =
     t.progress_gen <- t.progress_gen + 1;
     t.loss_gen <- t.loss_gen + 1;
     t.retransmit_count <- 0;
+    Flight.record ~node:t.me ~code:Flight.ev_token_recv ~a:tok.token_id
+      ~b:tok.t_seq ~c:tok.aru ~d:t.local_aru;
     if Trace.enabled () then
       Trace.emit ~node:t.me
         (Trace.Token_recv
@@ -307,6 +326,8 @@ let handle_token t (tok : Message.token) =
           match Hashtbl.find_opt t.buffer seq with
           | Some d ->
               t.stats.retrans_sent <- t.stats.retrans_sent + 1;
+              Flight.record ~node:t.me ~code:Flight.ev_data_send ~a:d.seq
+                ~b:0 ~c:1 ~d:0;
               if Trace.enabled () then
                 Trace.emit ~node:t.me
                   (Trace.Data_send
@@ -350,7 +371,7 @@ let handle_token t (tok : Message.token) =
            });
     let rev_pre = ref [] and rev_post = ref [] in
     for i = 0 to allowed_new - 1 do
-      let service, payload = Queue.pop t.pending in
+      let p = Queue.pop t.pending in
       let d : Message.data =
         {
           d_ring = t.ring_id;
@@ -358,13 +379,17 @@ let handle_token t (tok : Message.token) =
           pid = t.me;
           d_round = t.round;
           post_token = i >= n_pre;
-          service;
-          payload;
+          service = p.p_service;
+          payload = p.p_payload;
         }
       in
       (* We trivially "have" our own message the moment it exists. *)
       Hashtbl.replace t.buffer d.seq d;
       t.stats.new_sent <- t.stats.new_sent + 1;
+      if p.p_submit_ns > 0 then
+        Span.note_ordered ~sender:t.me ~seq:d.seq ~submit_ns:p.p_submit_ns;
+      Flight.record ~node:t.me ~code:Flight.ev_data_send ~a:d.seq
+        ~b:(if d.post_token then 1 else 0) ~c:0 ~d:0;
       if Trace.enabled () then
         Trace.emit ~node:t.me
           (Trace.Data_send
@@ -426,6 +451,8 @@ let handle_token t (tok : Message.token) =
     t.last_sent_aru <- new_aru;
     let line = min t.prev_sent_aru t.last_sent_aru in
     if line > t.safe_line then t.safe_line <- line;
+    Flight.record ~node:t.me ~code:Flight.ev_token_send ~a:token'.token_id
+      ~b:token'.t_seq ~c:token'.aru ~d:(List.length token'.rtr);
     if Trace.enabled () then begin
       Trace.emit ~node:t.me
         (Trace.Token_send
@@ -490,6 +517,8 @@ let handle_timer t kind gen =
             else begin
               t.retransmit_count <- t.retransmit_count + 1;
               t.stats.token_retransmits <- t.stats.token_retransmits + 1;
+              Flight.record ~node:t.me ~code:Flight.ev_token_retransmit
+                ~a:tok.token_id ~b:t.retransmit_count ~c:0 ~d:0;
               if Trace.enabled () then begin
                 Trace.emit ~node:t.me
                   (Trace.Timer_fire { timer = "token_retransmit" });
@@ -506,6 +535,8 @@ let handle_timer t kind gen =
   | Token_loss ->
       if gen <> t.loss_gen then []
       else begin
+        Flight.record ~node:t.me ~code:Flight.ev_token_lost ~a:t.round ~b:0
+          ~c:0 ~d:0;
         if Trace.enabled () then begin
           Trace.emit ~node:t.me (Trace.Timer_fire { timer = "token_loss" });
           Trace.emit ~node:t.me Trace.Token_lost
@@ -521,7 +552,10 @@ let handle t input =
   | Data_received d ->
       if Types.ring_id_equal d.d_ring t.ring_id then handle_data t d else []
   | Submit (service, payload) ->
-      Queue.push (service, payload) t.pending;
+      Queue.push
+        { p_service = service; p_payload = payload;
+          p_submit_ns = Span.submit_stamp () }
+        t.pending;
       []
   | Timer_expired (kind, gen) -> handle_timer t kind gen
 
@@ -529,7 +563,7 @@ let drain_pending t =
   let rec loop acc =
     match Queue.take_opt t.pending with
     | None -> List.rev acc
-    | Some entry -> loop (entry :: acc)
+    | Some p -> loop ((p.p_service, p.p_payload) :: acc)
   in
   loop []
 

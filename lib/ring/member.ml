@@ -1,5 +1,7 @@
 open Aring_wire
 module Deque = Aring_util.Deque
+module Flight = Aring_obs.Flight
+module Health = Aring_obs.Health
 
 type memb_timer_kind =
   | Join_retransmit
@@ -102,9 +104,20 @@ let state_name t =
   | Commit_wait _ -> "commit"
   | Recover _ -> "recover"
 
-(* Emit a trace event for the phase just entered (call after updating
-   [t.phase]). Free when no sink is installed. *)
+let phase_code t =
+  match t.phase with
+  | Operational _ -> Health.phase_operational
+  | Gather _ -> Health.phase_gather
+  | Commit_wait _ -> Health.phase_commit
+  | Recover _ -> Health.phase_recover
+
+(* Note the phase just entered (call after updating [t.phase]): flight
+   recorder always, health watchdog when attached, trace sink when
+   installed. Only the trace event is part of the hashed stream. *)
 let trace_phase t =
+  Flight.record ~node:t.me ~code:Flight.ev_phase ~a:(phase_code t)
+    ~b:t.memb_gen ~c:0 ~d:0;
+  Health.note_phase ~node:t.me ~phase:(phase_code t);
   if Aring_obs.Trace.enabled () then
     Aring_obs.Trace.emit ~node:t.me (Phase { phase = state_name t })
 
@@ -516,6 +529,10 @@ and enter_recover t (c : Message.commit) order =
   t.memb_gen <- t.memb_gen + 1;
   t.phase <- Recover r;
   trace_phase t;
+  let n_flood = List.length !floods in
+  Flight.record ~node:t.me ~code:Flight.ev_flood ~a:n_flood ~b:min_aru
+    ~c:max_high ~d:0;
+  Health.note_flood ~node:t.me ~count:n_flood;
   ( r,
     !floods
     @ [
@@ -719,10 +736,17 @@ let fire_memb_timer t kind gen =
         | Some c ->
             r.r_pending <- None;
             r.r_rechecks <- r.r_rechecks + 1;
-            if r.r_rechecks > 5 then
+            Flight.record ~node:t.me ~code:Flight.ev_recheck ~a:r.r_rechecks
+              ~b:t.memb_gen ~c:0 ~d:0;
+            Health.note_recheck ~node:t.me;
+            if r.r_rechecks > 5 then begin
               (* The advertised messages never arrived: this formation
                  attempt cannot install consistently. *)
+              Flight.record ~node:t.me ~code:Flight.ev_recheck_giveup
+                ~a:r.r_rechecks ~b:t.memb_gen ~c:0 ~d:0;
+              Health.note_recheck_giveup ~node:t.me;
               enter_gather t
+            end
             else handle_commit t c)
     | Exchange_recheck, (Operational _ | Gather _ | Commit_wait _) -> []
     | Merge_probe, Operational node ->

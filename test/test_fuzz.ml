@@ -331,6 +331,69 @@ let test_kv_corpus_replays_green () =
             name)
     entries
 
+(* ------------------------------------------------------------------ *)
+(* Health watchdog: the recovery-flood livelock (ROADMAP known bug)    *)
+
+(* Near-MTU payloads + a small switch buffer + a heavy loss burst: the
+   unpaced recovery flood overflows the switch ports on every formation
+   attempt, pass 4 re-checks 5x then re-gathers, and the cycle repeats
+   past the drain deadline (the seed tree fails this schedule with
+   [No_convergence] only after the full 2 s drain). This is the ROADMAP
+   recovery-flood livelock with the payload restored to near-MTU — the
+   original reproducer relied on KV values following the schedule's
+   payload knob, a trigger path since capped at [Runner.kv_max_value]. *)
+let livelock_schedule_json =
+  {|{"seed":"2092789425003139053","n_nodes":7,"tier_ids":[2,0,2,1,2,2,0],"ten_gig":false,"base_loss_permille":0,"small_switch_buffer":true,"accelerated_window":3,"personal_window":31,"aggressive":true,"max_seq_gap":816,"payload":1350,"submit_gap_ns":679192,"safe_permille":249,"horizon_ns":90500000,"drain_ns":2000000000,"liveness":true,"faults":[{"fault":"loss_burst","at":29230061,"until":90000000,"permille":400}]}|}
+
+(* The watchdog must (a) flag the livelock well before the drain
+   deadline, (b) name the repeated gather→exchange→recheck cycle in its
+   verdict so the post-mortem starts from the mechanism instead of a
+   bare timeout, and (c) leave the flight recorder holding the run's
+   tail for the dump. *)
+let test_watchdog_flags_recovery_flood_livelock () =
+  let s = Schedule.of_string livelock_schedule_json in
+  let o = Fuzzer.replay s in
+  match o.Runner.failure with
+  | Some (Runner.Health_stall { report } as f) ->
+      Alcotest.(check string)
+        "failure label" "health_stall" (Runner.failure_label f);
+      let deadline =
+        s.Schedule.config.Schedule.horizon_ns
+        + s.Schedule.config.Schedule.drain_ns
+      in
+      Alcotest.(check bool)
+        "stalled run cut short of the drain deadline" true
+        (o.Runner.end_ns < deadline);
+      let text = Format.asprintf "%a" Aring_obs.Health.pp_report report in
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec scan i =
+          i + nl <= tl && (String.sub text i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "verdict names %S" needle)
+            true (contains needle))
+        [
+          "repeated gather\xe2\x86\x92exchange\xe2\x86\x92recheck cycling";
+          "formation attempts without reaching operational";
+          "exchange-recheck timeouts";
+          "recovery floods";
+        ];
+      Alcotest.(check bool)
+        "flight recorder holds the run tail" true
+        (Aring_obs.Flight.stored () > 0)
+  | Some f ->
+      Alcotest.failf "expected health_stall, got %s: %s"
+        (Runner.failure_label f)
+        (Format.asprintf "%a" Runner.pp_outcome o)
+  | None ->
+      Alcotest.fail
+        "recovery-flood livelock schedule passed — watchdog regression"
+
 let test_corpus_save_load () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "aring-corpus-test" in
   let s = Schedule.generate ~seed:99L in
@@ -356,5 +419,7 @@ let suite =
     ("finds skip-delivery under kv app", `Slow, test_finds_skip_delivery_under_kv);
     ("kv corpus replays green + catches its bug", `Quick,
      test_kv_corpus_replays_green);
+    ("watchdog flags recovery-flood livelock", `Slow,
+     test_watchdog_flags_recovery_flood_livelock);
     ("corpus save/load", `Quick, test_corpus_save_load);
   ]

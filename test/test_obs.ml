@@ -351,6 +351,307 @@ let test_rotation_profiler () =
   check Alcotest.int "rotations exported" s.Rotation.rotations
     (Metrics.counter_value reg "rotation.rotations")
 
+(* -------------------------------------------------------------------- *)
+(* Histogram merge edge cases                                            *)
+
+let test_hist_merge_edge_cases () =
+  (* Empty + empty: still a valid histogram. *)
+  let bounds = [| 1.0 |] in
+  let ea = Metrics.histogram ~bounds (Metrics.create ()) "e" in
+  let eb = Metrics.histogram ~bounds (Metrics.create ()) "e" in
+  let m = Metrics.hist_merge ea eb in
+  check Alcotest.int "empty merge count" 0 (Metrics.hist_count m);
+  Alcotest.(check bool) "empty merge quantile is nan" true
+    (Float.is_nan (Metrics.hist_quantile m 0.5));
+  (* Single-bucket bounds: one bound, two buckets (the overflow). *)
+  let sa = Metrics.histogram ~bounds (Metrics.create ()) "s" in
+  Metrics.observe sa 0.5;
+  Metrics.observe sa 2.0;
+  let m = Metrics.hist_merge sa ea in
+  check
+    Alcotest.(array int)
+    "single-bucket merge" [| 1; 1 |]
+    (Metrics.hist_bucket_counts m);
+  (* Empty merged into populated keeps the population. *)
+  check Alcotest.int "asymmetric merge count" 2 (Metrics.hist_count m)
+
+(* Counts saturate at [max_int] instead of wrapping negative: doubling a
+   one-observation histogram 70 times would overflow a 63-bit count. *)
+let test_hist_merge_saturates () =
+  let h = Metrics.histogram ~bounds:[| 1.0 |] (Metrics.create ()) "h" in
+  Metrics.observe h 0.5;
+  let m = ref (Metrics.hist_merge h h) in
+  for _ = 1 to 70 do
+    m := Metrics.hist_merge !m !m
+  done;
+  check Alcotest.int "count saturates at max_int" max_int
+    (Metrics.hist_count !m);
+  check Alcotest.int "bucket saturates at max_int" max_int
+    (Metrics.hist_bucket_counts !m).(0);
+  Alcotest.(check bool) "saturated count never negative" true
+    (Metrics.hist_count !m > 0)
+
+let prop_hist_merge_counts =
+  QCheck.Test.make ~count:200 ~name:"hist merge adds counts per bucket"
+    QCheck.(pair (small_list (float_range 0.0 200.0)) (small_list (float_range 0.0 200.0)))
+    (fun (xs, ys) ->
+      let bounds = [| 1.0; 10.0; 100.0 |] in
+      let ha = Metrics.histogram ~bounds (Metrics.create ()) "a" in
+      let hb = Metrics.histogram ~bounds (Metrics.create ()) "b" in
+      List.iter (Metrics.observe ha) xs;
+      List.iter (Metrics.observe hb) ys;
+      let m = Metrics.hist_merge ha hb in
+      Metrics.hist_count m = List.length xs + List.length ys
+      && Metrics.hist_bucket_counts m
+         = Array.map2 ( + )
+             (Metrics.hist_bucket_counts ha)
+             (Metrics.hist_bucket_counts hb))
+
+(* -------------------------------------------------------------------- *)
+(* Chrome exporter JSON escaping                                         *)
+
+module Json = Aring_obs.Json
+
+(* Strings that ride inside trace events (service names, drop reasons,
+   membership phases, timer labels) must be escaped into valid JSON no
+   matter what bytes they hold. *)
+let test_chrome_escaping () =
+  let hostile = "ag\"re\\ed\n\t\r\x01end" in
+  let events =
+    [
+      ev 1_000 0 (deliver ~seq:1 ~sender:0 ());
+      ev 2_000 0 (Trace.Deliver { ring = rid; seq = 2; sender = 1; service = hostile });
+      ev 3_000 1 (Trace.Drop { reason = hostile; size = 10 });
+      ev 4_000 1 (Trace.Phase { phase = hostile });
+      ev 5_000 2 (Trace.Timer_arm { timer = hostile; delay_ns = 5 });
+    ]
+  in
+  let s = Chrome_trace.to_string events in
+  (* Must parse back as JSON — unescaped quotes/newlines would break it. *)
+  match Json.of_string s with
+  | exception Json.Parse_error e ->
+      Alcotest.failf "chrome output with hostile strings unparseable: %s" e
+  | j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List l) ->
+          Alcotest.(check bool) "events survived" true (List.length l >= 5)
+      | _ -> Alcotest.fail "no traceEvents list")
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json string escape round-trips"
+    QCheck.(string_gen (Gen.char_range '\x00' '\x7f'))
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Json.String s' -> s' = s
+      | _ -> false)
+
+(* -------------------------------------------------------------------- *)
+(* Flight recorder                                                       *)
+
+module Flight = Aring_obs.Flight
+
+let with_virtual_clock f =
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  Fun.protect ~finally:(fun () -> Trace.set_clock (fun () -> 0)) (fun () -> f t)
+
+let test_flight_wrap_and_dump () =
+  with_virtual_clock (fun t ->
+      Flight.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Flight.set_capacity 512)
+        (fun () ->
+          for i = 1 to 10 do
+            t := i * 100;
+            Flight.record ~node:0 ~code:Flight.ev_deliver ~a:i ~b:7 ~c:0 ~d:0
+          done;
+          t := 1_050;
+          Flight.record ~node:1 ~code:Flight.ev_token_recv ~a:1 ~b:0 ~c:0 ~d:0;
+          check Alcotest.int "lifetime total" 11 (Flight.total ());
+          check Alcotest.int "stored capped at capacity" 5 (Flight.stored ());
+          let rs = Flight.records () in
+          check
+            Alcotest.(list int)
+            "newest records survive the wrap, time-ordered"
+            [ 700; 800; 900; 1000; 1050 ]
+            (List.map (fun r -> r.Flight.r_ns) rs);
+          check
+            Alcotest.(list int)
+            "argument a preserved" [ 7; 8; 9; 10; 1 ]
+            (List.map (fun r -> r.Flight.r_a) rs);
+          (* The JSONL dump parses line by line. *)
+          let path = Filename.temp_file "flight" ".jsonl" in
+          Flight.dump_jsonl_file path;
+          let lines = ref [] in
+          let ic = open_in path in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          Sys.remove path;
+          check Alcotest.int "one line per stored record" 5
+            (List.length !lines);
+          List.iter
+            (fun line ->
+              match Json.of_string line with
+              | Json.Obj _ -> ()
+              | _ -> Alcotest.failf "bad dump line: %s" line
+              | exception Json.Parse_error e ->
+                  Alcotest.failf "unparseable dump line %s: %s" line e)
+            !lines;
+          (* Disabled recording is a no-op. *)
+          Flight.set_enabled false;
+          Flight.record ~node:0 ~code:Flight.ev_deliver ~a:99 ~b:0 ~c:0 ~d:0;
+          Flight.set_enabled true;
+          check Alcotest.int "disabled record dropped" 11 (Flight.total ());
+          Flight.reset ();
+          check Alcotest.int "reset empties" 0 (Flight.stored ())))
+
+(* -------------------------------------------------------------------- *)
+(* Latency spans                                                         *)
+
+module Span = Aring_obs.Span
+
+let test_span_stages () =
+  with_virtual_clock (fun t ->
+      check Alcotest.int "stamp is 0 when detached" 0 (Span.submit_stamp ());
+      let reg = Metrics.create () in
+      let span = Span.create ~metrics:reg () in
+      Span.with_span span (fun () ->
+          t := 1_000;
+          let stamp = Span.submit_stamp () in
+          check Alcotest.int "stamp reads the virtual clock" 1_000 stamp;
+          t := 51_000;
+          Span.note_ordered ~sender:0 ~seq:5 ~submit_ns:stamp;
+          t := 101_000;
+          Span.note_delivered ~node:0 ~sender:0 ~seq:5;
+          Span.note_applied ~node:0);
+      let stages = Span.report span in
+      let find name =
+        List.find_opt (fun (s : Span.stage_report) -> s.Span.stage = name) stages
+      in
+      (match find Span.stage_order with
+      | Some s ->
+          check Alcotest.int "order count" 1 s.Span.count;
+          Alcotest.(check bool) "order p50 ~50us" true
+            (s.Span.p50_us > 10. && s.Span.p50_us < 100.)
+      | None -> Alcotest.fail "order stage missing");
+      (match find Span.stage_e2e with
+      | Some s ->
+          Alcotest.(check bool) "e2e p50 ~100us" true
+            (s.Span.p50_us > 50. && s.Span.p50_us < 250.)
+      | None -> Alcotest.fail "e2e stage missing");
+      (* Unknown (sender, seq) pairs are ignored, not counted. *)
+      Span.with_span span (fun () ->
+          Span.note_delivered ~node:0 ~sender:3 ~seq:999);
+      let stages' = Span.report span in
+      let e2e_count =
+        match
+          List.find_opt (fun (s : Span.stage_report) -> s.Span.stage = Span.stage_e2e) stages'
+        with
+        | Some s -> s.Span.count
+        | None -> 0
+      in
+      check Alcotest.int "unmatched delivery not counted" 1 e2e_count)
+
+(* -------------------------------------------------------------------- *)
+(* Health watchdog                                                       *)
+
+module Health = Aring_obs.Health
+
+let test_health_formation_cycle () =
+  with_virtual_clock (fun t ->
+      let h = Health.create ~n:2 () in
+      Health.with_health h (fun () ->
+          (* Node 0 cycles gather -> commit -> recover without ever
+             reaching operational; node 1 is healthy. *)
+          Health.note_phase ~node:1 ~phase:Health.phase_operational;
+          for i = 1 to 8 do
+            t := i * 10_000_000;
+            Health.note_phase ~node:0 ~phase:Health.phase_gather;
+            Health.note_recheck ~node:0;
+            Health.note_phase ~node:0 ~phase:Health.phase_commit;
+            Health.note_phase ~node:0 ~phase:Health.phase_recover;
+            Health.note_delivery ()
+          done;
+          match Health.check h ~now:!t with
+          | [ Health.Formation_cycle { fc_node; fc_attempts; fc_rechecks; _ } ]
+            ->
+              check Alcotest.int "stalled node" 0 fc_node;
+              check Alcotest.int "attempts counted" 8 fc_attempts;
+              check Alcotest.int "rechecks counted" 8 fc_rechecks
+          | other ->
+              Alcotest.failf "expected one formation cycle, got %d stalls"
+                (List.length other)))
+
+let test_health_operational_resets () =
+  with_virtual_clock (fun t ->
+      let h = Health.create ~n:1 () in
+      Health.with_health h (fun () ->
+          for i = 1 to 7 do
+            t := i * 10_000_000;
+            Health.note_phase ~node:0 ~phase:Health.phase_gather;
+            Health.note_phase ~node:0 ~phase:Health.phase_recover
+          done;
+          (* Reaching operational resets the attempt counter... *)
+          Health.note_phase ~node:0 ~phase:Health.phase_operational;
+          Health.note_delivery ();
+          Health.note_phase ~node:0 ~phase:Health.phase_gather;
+          check Alcotest.int "no stall after operational" 0
+            (List.length (Health.check h ~now:!t));
+          (* ...so the next cycle needs K fresh attempts. *)
+          for i = 8 to 14 do
+            t := i * 10_000_000;
+            Health.note_phase ~node:0 ~phase:Health.phase_gather
+          done;
+          check Alcotest.int "8 fresh attempts stall again" 1
+            (List.length (Health.check h ~now:!t))))
+
+let test_health_no_progress_and_crash () =
+  with_virtual_clock (fun t ->
+      let h = Health.create ~n:2 () in
+      Health.with_health h (fun () ->
+          t := 1_000;
+          Health.note_delivery ();
+          Health.note_phase ~node:0 ~phase:Health.phase_gather;
+          Health.note_phase ~node:1 ~phase:Health.phase_gather;
+          (* Two virtual seconds with no delivery and both nodes stuck. *)
+          t := 2_000_000_000;
+          (match Health.check h ~now:!t with
+          | [ Health.No_progress { np_idle_ns; np_stuck } ] ->
+              Alcotest.(check bool) "idle time reported" true
+                (np_idle_ns > 1_000_000_000);
+              check Alcotest.int "both nodes stuck" 2 (List.length np_stuck)
+          | other ->
+              Alcotest.failf "expected no_progress, got %d stalls"
+                (List.length other));
+          (* Crashed nodes are excluded; a crashed-only stall clears. *)
+          Health.note_crash ~node:0;
+          Health.note_crash ~node:1;
+          check Alcotest.int "crashed nodes never stall" 0
+            (List.length (Health.check h ~now:!t))))
+
+let test_health_report_renders () =
+  with_virtual_clock (fun t ->
+      let h = Health.create ~n:1 () in
+      Health.with_health h (fun () ->
+          for i = 1 to 8 do
+            t := i * 10_000_000;
+            Health.note_phase ~node:0 ~phase:Health.phase_gather;
+            Health.note_recheck ~node:0;
+            Health.note_phase ~node:0 ~phase:Health.phase_recover
+          done);
+      let r = Health.report h ~now:!t in
+      let text = Format.asprintf "%a" Health.pp_report r in
+      Alcotest.(check bool) "names the cycle" true
+        (let needle = "recheck cycling" in
+         let nl = String.length needle and tl = String.length text in
+         let rec scan i =
+           i + nl <= tl && (String.sub text i nl = needle || scan (i + 1))
+         in
+         scan 0))
+
 let suite =
   [
     Alcotest.test_case "metrics: counters and gauges" `Quick test_counters_and_gauges;
@@ -369,4 +670,23 @@ let suite =
     Alcotest.test_case "sim: invariants hold (lossy)" `Quick test_sim_invariants_lossy;
     Alcotest.test_case "sim: invariants hold (crash)" `Slow test_sim_invariants_crash;
     Alcotest.test_case "rotation profiler" `Quick test_rotation_profiler;
+    Alcotest.test_case "metrics: hist merge edge cases" `Quick
+      test_hist_merge_edge_cases;
+    Alcotest.test_case "metrics: hist merge saturates" `Quick
+      test_hist_merge_saturates;
+    QCheck_alcotest.to_alcotest prop_hist_merge_counts;
+    Alcotest.test_case "chrome exporter escapes hostile strings" `Quick
+      test_chrome_escaping;
+    QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
+    Alcotest.test_case "flight recorder: wrap, dump, reset" `Quick
+      test_flight_wrap_and_dump;
+    Alcotest.test_case "latency spans: stage quantiles" `Quick test_span_stages;
+    Alcotest.test_case "health: formation cycle detected" `Quick
+      test_health_formation_cycle;
+    Alcotest.test_case "health: operational resets attempts" `Quick
+      test_health_operational_resets;
+    Alcotest.test_case "health: no-progress stall and crash exclusion" `Quick
+      test_health_no_progress_and_crash;
+    Alcotest.test_case "health: report names the cycle" `Quick
+      test_health_report_renders;
   ]
