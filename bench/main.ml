@@ -22,6 +22,7 @@ let mode_hotpath = Array.exists (fun a -> a = "hotpath") Sys.argv
 let mode_adaptive = Array.exists (fun a -> a = "adaptive") Sys.argv
 let mode_kv = Array.exists (fun a -> a = "kv") Sys.argv
 let mode_obs = Array.exists (fun a -> a = "obs") Sys.argv
+let mode_recovery = Array.exists (fun a -> a = "recovery") Sys.argv
 
 let ms n = n * 1_000_000
 
@@ -1526,7 +1527,229 @@ let bench_obs () =
     Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
   if not pass then exit 1
 
+(* ==================================================================== *)
+(* Recovery-exchange scaling: one member of a bootstrapped N-ring       *)
+(* crashes with traffic in flight; we measure simulated                 *)
+(* crash-to-operational time (detection + gather + exchange + install)  *)
+(* and the recovery-traffic counters — exchange floods actually sent,   *)
+(* sends avoided by designated-holder dedup, paced bursts, nack-driven  *)
+(* resends — per ring size. Emits BENCH_recovery.json, gated by         *)
+(* bench/recovery_budget.json.                                          *)
+
+type recovery_row = {
+  rr_nodes : int;
+  rr_reform_ms : float;
+  rr_attempts : int;
+  rr_floods : int;
+  rr_dedup_saved : int;
+  rr_dedup_ratio : float;
+  rr_bursts : int;
+  rr_resend_reqs : int;
+  rr_resends : int;
+}
+
+let bench_recovery () =
+  let module Health = Aring_obs.Health in
+  Printf.printf "=== Recovery-exchange scaling benchmark%s ===\n%!"
+    (if quick then " [QUICK MODE]" else "");
+  let sizes = if quick then [ 4; 8; 16 ] else [ 4; 8; 16; 32; 64 ] in
+  (* Short membership timeouts (as in the membership test suite) keep the
+     detection share of reform time at 50 ms across sizes, so scaling in
+     the measurement is scaling of gather + exchange + install. *)
+  let params =
+    {
+      (Params.accelerated ()) with
+      token_loss_ns = ms 50;
+      token_retransmit_ns = ms 10;
+      join_retransmit_ns = ms 20;
+      consensus_timeout_ns = ms 100;
+      merge_probe_ns = ms 80;
+    }
+  in
+  let crash_ns = ms 8 in
+  let deadline_ns = ms 5000 in
+  let run_size n =
+    let members =
+      Array.init n (fun me ->
+          Member.create ~params ~me ~initial_ring:(Array.init n (fun i -> i))
+            ())
+    in
+    let sim =
+      Netsim.create ~net:Profile.gigabit
+        ~tiers:(Array.make n Profile.library)
+        ~participants:(Array.map Member.participant members)
+        ~seed:7L ()
+    in
+    (* Dense multicast traffic right up to the crash, with the
+       highest-numbered node starved of the last 3 ms of multicasts (a
+       deterministic straggler — there is no retransmission path once
+       the token dies with the crash), leaves the exchange a real
+       backlog at every size. *)
+    for k = 1 to 160 do
+      Netsim.call_at sim ~at:(k * 50_000) (fun () ->
+          Member.submit members.(k mod n) Types.Agreed
+            (Bytes.of_string (Printf.sprintf "r%d" k)))
+    done;
+    Netsim.call_at sim ~at:(ms 5) (fun () ->
+        Netsim.set_drop sim (fun ~src:_ ~dst -> function
+          | Message.Data _ -> dst = n - 1
+          | _ -> false));
+    Netsim.call_at sim ~at:crash_ns (fun () ->
+        Health.note_crash ~node:1;
+        Netsim.crash sim 1;
+        Netsim.set_drop sim (fun ~src:_ ~dst:_ _ -> false));
+    let h = Health.create ~n () in
+    let reformed () =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if i <> 1 then
+          ok :=
+            !ok
+            && Member.state_name members.(i) = "operational"
+            && Member.installs members.(i) >= 2
+      done;
+      !ok
+    in
+    let reform_ns = ref (-1) in
+    Health.with_health h (fun () ->
+        let t = ref (ms 10) in
+        while !reform_ns < 0 && !t <= deadline_ns do
+          Netsim.run_until sim !t;
+          if reformed () then reform_ns := !t;
+          t := !t + ms 1
+        done);
+    if !reform_ns < 0 then begin
+      Printf.printf "FAIL: %d-node ring did not re-form within %d ms\n%!" n
+        (deadline_ns / ms 1);
+      exit 1
+    end;
+    let report = Health.report h ~now:!reform_ns in
+    let sum f = List.fold_left (fun a nr -> a + f nr) 0 report.Health.r_nodes in
+    let floods = sum (fun (nr : Health.node_report) -> nr.nr_flood_total) in
+    let saved = sum (fun (nr : Health.node_report) -> nr.nr_dedup_saved) in
+    let attempts =
+      List.fold_left
+        (fun a (nr : Health.node_report) -> max a nr.nr_max_attempts)
+        0 report.Health.r_nodes
+    in
+    {
+      rr_nodes = n;
+      rr_reform_ms = float_of_int (!reform_ns - crash_ns) /. 1e6;
+      rr_attempts = attempts;
+      rr_floods = floods;
+      rr_dedup_saved = saved;
+      rr_dedup_ratio =
+        (if floods + saved = 0 then 0.
+         else float_of_int saved /. float_of_int (floods + saved));
+      rr_bursts = sum (fun (nr : Health.node_report) -> nr.nr_bursts);
+      rr_resend_reqs = sum (fun (nr : Health.node_report) -> nr.nr_resend_reqs);
+      rr_resends = sum (fun (nr : Health.node_report) -> nr.nr_resend_total);
+    }
+  in
+  Printf.printf
+    "nodes  reform_ms  attempts  floods  dedup_saved  ratio  bursts  nacks  \
+     resends\n%!";
+  let rows = List.map run_size sizes in
+  List.iter
+    (fun r ->
+      Printf.printf "%5d  %9.1f  %8d  %6d  %11d  %5.2f  %6d  %5d  %7d\n%!"
+        r.rr_nodes r.rr_reform_ms r.rr_attempts r.rr_floods r.rr_dedup_saved
+        r.rr_dedup_ratio r.rr_bursts r.rr_resend_reqs r.rr_resends)
+    rows;
+  (* Committed budget gate. *)
+  let budget_path = "bench/recovery_budget.json" in
+  let budget =
+    try
+      let ic = open_in budget_path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some (Json.of_string s)
+    with Sys_error _ | Json.Parse_error _ -> None
+  in
+  let bound name =
+    Option.bind budget (fun b -> json_float (Json.member name b))
+  in
+  let check_max v = function None -> true | Some m -> v <= m in
+  let max_reform = bound "max_reform_ms" in
+  let max_attempts = bound "max_formation_attempts" in
+  let min_ratio = bound "min_dedup_savings_ratio_largest" in
+  let worst_reform =
+    List.fold_left (fun a r -> Float.max a r.rr_reform_ms) 0. rows
+  in
+  let worst_attempts =
+    List.fold_left (fun a r -> max a r.rr_attempts) 0 rows
+  in
+  let largest = List.nth rows (List.length rows - 1) in
+  let reform_ok = check_max worst_reform max_reform in
+  let attempts_ok = check_max (float_of_int worst_attempts) max_attempts in
+  let ratio_ok =
+    match min_ratio with None -> true | Some m -> largest.rr_dedup_ratio >= m
+  in
+  let pass = reform_ok && attempts_ok && ratio_ok in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "aring.bench.recovery/1");
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ( "sizes",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("nodes", Json.Int r.rr_nodes);
+                     ("reform_ms", Json.Float r.rr_reform_ms);
+                     ("formation_attempts", Json.Int r.rr_attempts);
+                     ("floods", Json.Int r.rr_floods);
+                     ("dedup_saved", Json.Int r.rr_dedup_saved);
+                     ("dedup_ratio", Json.Float r.rr_dedup_ratio);
+                     ("bursts", Json.Int r.rr_bursts);
+                     ("resend_reqs", Json.Int r.rr_resend_reqs);
+                     ("resends", Json.Int r.rr_resends);
+                   ])
+               rows) );
+        ( "budget",
+          Json.Obj
+            [
+              ( "max_reform_ms",
+                match max_reform with Some m -> Json.Float m | None -> Json.Null
+              );
+              ( "max_formation_attempts",
+                match max_attempts with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "min_dedup_savings_ratio_largest",
+                match min_ratio with Some m -> Json.Float m | None -> Json.Null
+              );
+              ("pass", Json.Bool pass);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_recovery.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_recovery.json\n%!";
+  if not reform_ok then
+    Printf.printf "BUDGET FAIL: worst reform %.1f ms above budget %.1f\n%!"
+      worst_reform (Option.get max_reform);
+  if not attempts_ok then
+    Printf.printf "BUDGET FAIL: %d formation attempts above budget %.0f\n%!"
+      worst_attempts (Option.get max_attempts);
+  if not ratio_ok then
+    Printf.printf
+      "BUDGET FAIL: dedup savings ratio %.2f at %d nodes below budget %.2f\n%!"
+      largest.rr_dedup_ratio largest.rr_nodes (Option.get min_ratio);
+  if budget = None then
+    Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
+  if not pass then exit 1
+
 let () =
+  if mode_recovery then begin
+    bench_recovery ();
+    exit 0
+  end;
   if mode_obs then begin
     bench_obs ();
     exit 0

@@ -23,7 +23,7 @@ let dump_flight ~path outcome =
   Printf.printf "flight recorder: %d records -> %s (+ %s)\n"
     (Aring_obs.Flight.stored ()) path report_path
 
-let run trials seed bug_name adaptive app_name shrink max_shrink_runs
+let run trials seed max_nodes bug_name adaptive app_name shrink max_shrink_runs
     time_budget replay_path trace_file corpus_dir flight_dump quiet =
   let bug =
     match Bug.of_string bug_name with
@@ -83,6 +83,7 @@ let run trials seed bug_name adaptive app_name shrink max_shrink_runs
         {
           Fuzzer.trials;
           seed = Int64.of_int seed;
+          max_nodes;
           bug;
           adaptive;
           app;
@@ -135,14 +136,23 @@ let trials =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign master seed.")
 
+let max_nodes =
+  Arg.(
+    value & opt int 8
+    & info [ "max-nodes" ]
+        ~doc:
+          "Cluster-size cap for generated schedules. The default (8) \
+           preserves the historical seed-to-schedule mapping; larger caps \
+           (e.g. 32) stress membership recovery at scale.")
+
 let bug_name =
   Arg.(
     value & opt string "clean"
     & info [ "bug" ]
         ~doc:
           "Inject a known protocol defect: clean, skip-delivery, \
-           skip-retransmission or kv-skip-apply. Used to validate the \
-           fuzzer itself.")
+           skip-retransmission, kv-skip-apply or recovery-flood. Used to \
+           validate the fuzzer itself.")
 
 let adaptive =
   Arg.(
@@ -230,7 +240,8 @@ let cmd =
   Cmd.v
     (Cmd.info "accelring_fuzz" ~doc)
     Term.(
-      const run $ trials $ seed $ bug_name $ adaptive $ app_name $ shrink
+      const run $ trials $ seed $ max_nodes $ bug_name $ adaptive $ app_name
+      $ shrink
       $ max_shrink_runs $ time_budget $ replay_path $ trace_file $ corpus_dir
       $ flight_dump $ quiet)
 

@@ -6,6 +6,7 @@ type t =
   | Skip_delivery of { node : int; every : int }
   | Skip_retransmission
   | Kv_skip_apply of { node : int; every : int }
+  | Recovery_flood
 
 let label = function
   | Clean -> "clean"
@@ -14,12 +15,14 @@ let label = function
   | Skip_retransmission -> "skip-retransmission"
   | Kv_skip_apply { node; every } ->
       Printf.sprintf "kv-skip-apply(node=%d,every=%d)" node every
+  | Recovery_flood -> "recovery-flood"
 
 let of_string = function
   | "clean" -> Ok Clean
   | "skip-delivery" -> Ok (Skip_delivery { node = 0; every = 10 })
   | "skip-retransmission" -> Ok Skip_retransmission
   | "kv-skip-apply" -> Ok (Kv_skip_apply { node = 0; every = 7 })
+  | "recovery-flood" -> Ok Recovery_flood
   | s -> Error (Printf.sprintf "unknown bug %S" s)
 
 (* Rewrite every action list a participant emits through [filter]. *)
@@ -38,6 +41,10 @@ let wrap bug ~node p =
      runner ({!Runner.run} with the kv app), not at the participant
      boundary. *)
   | Kv_skip_apply _ -> p
+  (* A construction-time bug: the runner builds the members with
+     [~legacy_flood:true], restoring the pre-overhaul recovery exchange.
+     The action stream is not tampered with. *)
+  | Recovery_flood -> p
   | Skip_delivery { node = target; every } when node = target ->
       let deliveries = ref 0 in
       filtering p

@@ -24,10 +24,17 @@ type t =
           end-to-end consistency oracle ({!Aring_app.Oracle}), not by the
           protocol checker. Only meaningful when the runner hosts the KV
           app; {!wrap} is the identity for it. *)
+  | Recovery_flood
+      (** Construction-time bug: build every member with
+          [~legacy_flood:true], restoring the pre-overhaul recovery
+          exchange (unpaced, undeduplicated, no retransmission). On
+          schedules with near-MTU payloads and a small switch buffer this
+          livelocks formation — caught by the health watchdog judge.
+          {!wrap} is the identity for it. *)
 
 val label : t -> string
 val of_string : string -> (t, string) result
-(** ["clean"], ["skip-delivery"], ["skip-retransmission"] or
-    ["kv-skip-apply"]. *)
+(** ["clean"], ["skip-delivery"], ["skip-retransmission"],
+    ["kv-skip-apply"] or ["recovery-flood"]. *)
 
 val wrap : t -> node:int -> Aring_ring.Participant.t -> Aring_ring.Participant.t

@@ -11,6 +11,10 @@
 type config = {
   trials : int;  (** Maximum schedules to try. *)
   seed : int64;  (** Campaign master seed. *)
+  max_nodes : int;
+      (** Cluster-size cap handed to {!Schedule.generate}. The default
+          (8) preserves the historical seed→schedule mapping; the CI also
+          runs a 32-node pass to stress recovery at scale. *)
   bug : Bug.t;  (** Injected defect ({!Bug.Clean} for real fuzzing). *)
   adaptive : bool;
       (** Run every node with the AIMD accelerated-window controller
@@ -29,8 +33,8 @@ type config = {
 }
 
 val default_config : config
-(** 200 trials, seed 1, clean, static window, no app, shrink on (budget
-    200), never stops early, silent log. *)
+(** 200 trials, seed 1, max 8 nodes, clean, static window, no app,
+    shrink on (budget 200), never stops early, silent log. *)
 
 type trial = { index : int; schedule : Schedule.t; outcome : Runner.outcome }
 

@@ -37,6 +37,10 @@ type outcome = {
   views : int;
   trace_hash : int64;
   end_ns : int;
+  health : Health.report;
+      (* End-of-run watchdog report, also on passing runs: tests assert
+         convergence quality (peak formation attempts, dedup savings),
+         not just convergence. *)
 }
 
 let passed o = o.failure = None
@@ -252,9 +256,11 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
            ~init:params.Params.accelerated_window ())
     else None
   in
+  let legacy_flood = bug = Bug.Recovery_flood in
   let members =
     Array.init n (fun me ->
-        Member.create ~params ~me ~initial_ring ?controller:(controller ()) ())
+        Member.create ~params ~me ~initial_ring ?controller:(controller ())
+          ~legacy_flood ())
   in
   (* With the kv app, each member hosts a daemon and a KV replica; the
      injected bug wraps the daemon participant (the full stack), and
@@ -295,7 +301,25 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
      The flight recorder restarts empty so a post-mortem dump shows only
      this run. Neither touches the hashed trace stream. *)
   Flight.reset ();
-  let health = Health.create ~n () in
+  (* The formation-cycle threshold must scale with the schedule: a
+     membership attempt rides token circuits of ~2n hops, so under
+     sustained per-hop loss p each attempt fails with probability about
+     1 - (1-p)^(2n) from loss alone -- at 27 nodes and 19 permille
+     that is ~65%, and runs of 8+ consecutive loss-killed attempts are
+     routine, not a livelock. Pick the smallest k that bounds the
+     false-positive odds of k consecutive legitimate failures below
+     ~1e-4; a true livelock (which never succeeds) still trips it, and
+     the deadline oracles keep judging final convergence regardless. *)
+  let health_config =
+    let base = Health.default_config in
+    let p = float_of_int c.Schedule.base_loss_permille /. 1000. in
+    let attempt_fail = 1. -. ((1. -. p) ** float_of_int (2 * n)) in
+    if attempt_fail <= 0. || attempt_fail >= 1. then base
+    else
+      let k = int_of_float (ceil (log 1e-4 /. log attempt_fail)) in
+      { base with Health.k_formation = max base.Health.k_formation k }
+  in
+  let health = Health.create ~config:health_config ~n () in
   Health.attach health;
   let sim =
     Netsim.create ~net:(Schedule.net c) ~tiers ~participants ~seed:s.seed ()
@@ -324,11 +348,23 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
   (* Liveness stage 1: all survivors operational in one common regular
      view whose membership is exactly the survivor set. All fault windows
      close inside the horizon and crashes are permanent, so once reached
-     this is stable (absent real liveness bugs). *)
+     this is stable (absent real liveness bugs). The state_name check is
+     load-bearing: [current_view] reports the last *installed* view, so a
+     node mid-formation still answers with a stale view — without the
+     check, probes can be submitted while nodes are re-forming, land in
+     client_pending, and get sequenced in whichever (possibly partial)
+     ring installs next, never reaching the full membership. *)
   let merged () =
     match alive () with
     | [] -> true
     | survivors ->
+        if
+          not
+            (List.for_all
+               (fun i -> Member.state_name members.(i) = "operational")
+               survivors)
+        then false
+        else
         let views =
           List.map (fun i -> Member.current_view members.(i)) survivors
         in
@@ -494,6 +530,7 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
            end
          done)
    with e -> failure := Some (Run_exception (Printexc.to_string e)));
+  let health_report = Health.report health ~now:(Netsim.now sim) in
   Health.detach ();
   (* Final oracle pass: end-of-run convergence (survivor stores equal and
      byte-identical to their shadows) plus any violation recorded after
@@ -513,6 +550,7 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
     views = !views;
     trace_hash = !hash;
     end_ns = Netsim.now sim;
+    health = health_report;
   }
 
 let pp_failure ppf = function

@@ -68,6 +68,10 @@ type outcome = {
   trace_hash : int64;
       (** FNV-1a over the JSONL rendering of the full trace stream. *)
   end_ns : int;  (** Simulated time at which the run stopped. *)
+  health : Aring_obs.Health.report;
+      (** End-of-run watchdog report, present on passing runs too: use it
+          to assert convergence {e quality} (peak formation attempts,
+          recovery-flood dedup savings), not just convergence. *)
 }
 
 val run :
@@ -80,7 +84,9 @@ val run :
 (** Execute the schedule. [bug] (default {!Bug.Clean}) wraps every
     participant before the cluster is built — used to prove the fuzzer
     catches seeded protocol defects ({!Bug.Kv_skip_apply} instead plants
-    inside the replica and needs [app = App_kv]). With [adaptive]
+    inside the replica and needs [app = App_kv]; {!Bug.Recovery_flood}
+    instead builds every member with the pre-overhaul recovery
+    exchange). With [adaptive]
     (default [false]), every member runs the AIMD accelerated-window
     controller ({!Aring_control.Controller}), exercising the ordering and
     membership invariants while the per-node window moves; [app]

@@ -49,9 +49,11 @@ type config = {
 
 type t = { seed : int64; config : config; faults : fault list }
 
-val generate : seed:int64 -> t
+val generate : ?max_nodes:int -> seed:int64 -> unit -> t
 (** Derive a complete random schedule from [seed]. Equal seeds yield
-    equal schedules. *)
+    equal schedules. [max_nodes] (default 8, the historical bound — the
+    default preserves the seed→schedule mapping exactly) caps the drawn
+    cluster size; raise it to fuzz larger rings. *)
 
 val params : config -> Aring_ring.Params.t
 (** Protocol parameters encoded by the schedule: windows, priority method

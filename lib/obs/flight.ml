@@ -50,6 +50,10 @@ let ev_recheck = 9
 let ev_recheck_giveup = 10
 let ev_flood = 11
 let ev_apply = 12
+let ev_dedup = 13
+let ev_burst = 14
+let ev_nack = 15
+let ev_resend = 16
 
 let code_name = function
   | 1 -> "token_recv"
@@ -64,6 +68,10 @@ let code_name = function
   | 10 -> "recheck_giveup"
   | 11 -> "recovery_flood"
   | 12 -> "apply"
+  | 13 -> "recovery_dedup"
+  | 14 -> "recovery_burst"
+  | 15 -> "recovery_nack"
+  | 16 -> "recovery_resend"
   | _ -> "unknown"
 
 (* ------------------------------------------------------------------ *)

@@ -32,6 +32,24 @@ val ev_recheck_giveup : int
 val ev_flood : int
 val ev_apply : int
 
+val ev_dedup : int
+(** Designated-holder dedup at recovery entry: [a] = exchange-range
+    messages held, [b] = queued for flooding (this node designated),
+    [c] = sends saved by dedup, [d] = this node's survivor position. *)
+
+val ev_burst : int
+(** One paced flood burst: [a] = messages multicast, [b] = still
+    queued after the burst. *)
+
+val ev_nack : int
+(** A recheck found advertised exchange messages still missing and
+    multicast a cumulative nack: [a] = missing seqnos, [b] = compacted
+    ranges, [c] = recheck number. *)
+
+val ev_resend : int
+(** This node answered a nack as the (re-)elected holder: [a] =
+    messages queued for resend, [b] = nack'd seqnos examined. *)
+
 val code_name : int -> string
 
 (** {2 Recording} *)

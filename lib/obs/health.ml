@@ -3,9 +3,18 @@
    stall detector. Two triggers:
 
    - Formation_cycle: a node has started [k_formation] gather phases
-     since it last reached operational — the signature of the
-     recovery-flood livelock, where every formation attempt dies in the
-     exchange/recheck loop and re-gathers forever.
+     since it last reached operational, while *no* node anywhere has
+     completed a formation for [stall_ns] of virtual time — the
+     signature of the recovery-flood livelock, where every formation
+     attempt dies in the exchange/recheck loop and re-gathers forever.
+     The no-install gate is load-bearing: under sustained loss a ring
+     churns through formations with a few unlucky nodes legitimately
+     burning long runs of attempts, but as long as configurations keep
+     installing somewhere (dozens of views per second in such runs),
+     that is retry behavior working, not a livelock. Delivery idleness
+     would be the wrong gate — in the post-horizon drain an already
+     drained ring delivers nothing while it churns toward the final
+     merge.
    - No_progress: no message delivered anywhere for [stall_ns] of
      virtual time while some live node is stuck outside operational.
 
@@ -50,9 +59,18 @@ type node_state = {
   ns_time_in : int array;  (* ns accumulated per phase, length n_phases *)
   ns_entries : int array;  (* lifetime phase entries, length n_phases *)
   mutable ns_attempts : int;  (* gather entries since last operational *)
+  mutable ns_max_attempts : int;  (* peak ns_attempts over the node's lifetime *)
   mutable ns_rechecks : int;  (* recheck fires since last operational *)
   mutable ns_giveups : int;  (* recheck give-ups since last operational *)
   mutable ns_floods : int;  (* recovery messages flooded since last operational *)
+  mutable ns_resends : int;  (* nack-triggered resends since last operational *)
+  (* Lifetime recovery-traffic counters (never reset): the dedup/pacing
+     efficiency measures the recovery bench gates on. *)
+  mutable ns_flood_total : int;  (* exchange messages multicast, incl. resends *)
+  mutable ns_dedup_saved : int;  (* sends avoided by designated-holder dedup *)
+  mutable ns_bursts : int;  (* paced flood bursts fired *)
+  mutable ns_resend_reqs : int;  (* cumulative nacks multicast *)
+  mutable ns_resend_total : int;  (* messages re-sent answering nacks *)
   trail : int array;  (* recent trail codes, ring *)
   trail_ns : int array;
   mutable trail_next : int;
@@ -63,6 +81,7 @@ type t = {
   cfg : config;
   nodes : node_state array;
   mutable last_delivery_ns : int;
+  mutable last_operational_ns : int;
   mutable deliveries : int;
 }
 
@@ -78,15 +97,23 @@ let create ?(config = default_config) ~n () =
             ns_time_in = Array.make n_phases 0;
             ns_entries = Array.make n_phases 0;
             ns_attempts = 0;
+            ns_max_attempts = 0;
             ns_rechecks = 0;
             ns_giveups = 0;
             ns_floods = 0;
+            ns_resends = 0;
+            ns_flood_total = 0;
+            ns_dedup_saved = 0;
+            ns_bursts = 0;
+            ns_resend_reqs = 0;
+            ns_resend_total = 0;
             trail = Array.make trail_capacity (-1);
             trail_ns = Array.make trail_capacity 0;
             trail_next = 0;
             trail_total = 0;
           });
     last_delivery_ns = 0;
+    last_operational_ns = 0;
     deliveries = 0;
   }
 
@@ -135,12 +162,17 @@ let note_phase ~node ~phase =
             ns.ns_phase_since <- now;
             if phase >= 0 && phase < n_phases then
               ns.ns_entries.(phase) <- ns.ns_entries.(phase) + 1;
-            if phase = phase_gather then ns.ns_attempts <- ns.ns_attempts + 1;
+            if phase = phase_gather then begin
+              ns.ns_attempts <- ns.ns_attempts + 1;
+              ns.ns_max_attempts <- max ns.ns_max_attempts ns.ns_attempts
+            end;
             if phase = phase_operational then begin
+              t.last_operational_ns <- now;
               ns.ns_attempts <- 0;
               ns.ns_rechecks <- 0;
               ns.ns_giveups <- 0;
-              ns.ns_floods <- 0
+              ns.ns_floods <- 0;
+              ns.ns_resends <- 0
             end;
             push_trail ns phase now
           end)
@@ -171,7 +203,43 @@ let note_flood ~node ~count =
   | Some t -> (
       match node_state t node with
       | None -> ()
-      | Some ns -> ns.ns_floods <- ns.ns_floods + count)
+      | Some ns ->
+          ns.ns_floods <- ns.ns_floods + count;
+          ns.ns_flood_total <- ns.ns_flood_total + count)
+
+let note_dedup ~node ~saved =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns -> ns.ns_dedup_saved <- ns.ns_dedup_saved + saved)
+
+let note_burst ~node =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns -> ns.ns_bursts <- ns.ns_bursts + 1)
+
+let note_resend_req ~node =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns -> ns.ns_resend_reqs <- ns.ns_resend_reqs + 1)
+
+let note_resend ~node ~count =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match node_state t node with
+      | None -> ()
+      | Some ns ->
+          ns.ns_resends <- ns.ns_resends + count;
+          ns.ns_resend_total <- ns.ns_resend_total + count)
 
 let note_delivery () =
   match !current with
@@ -207,11 +275,15 @@ type stall =
   | No_progress of { np_idle_ns : int; np_stuck : (int * string) list }
 
 let check t ~now =
+  let no_install = now - t.last_operational_ns > t.cfg.stall_ns in
   let cycles =
     Array.to_list t.nodes
     |> List.mapi (fun node ns -> (node, ns))
     |> List.filter_map (fun (node, ns) ->
-           if ns.ns_phase <> trail_crash && ns.ns_attempts >= t.cfg.k_formation
+           if
+             ns.ns_phase <> trail_crash
+             && ns.ns_attempts >= t.cfg.k_formation
+             && no_install
            then
              Some
                (Formation_cycle
@@ -251,9 +323,16 @@ type node_report = {
   nr_node : int;
   nr_phase : string;
   nr_attempts : int;
+  nr_max_attempts : int;
   nr_rechecks : int;
   nr_giveups : int;
   nr_floods : int;
+  nr_resends : int;
+  nr_flood_total : int;
+  nr_dedup_saved : int;
+  nr_bursts : int;
+  nr_resend_reqs : int;
+  nr_resend_total : int;
   nr_entries : (string * int) list;
   nr_time_in_ms : (string * float) list;
   nr_trail : string list;  (* oldest first, run-length compressed *)
@@ -295,9 +374,16 @@ let report t ~now =
              nr_node = node;
              nr_phase = phase_name ns.ns_phase;
              nr_attempts = ns.ns_attempts;
+             nr_max_attempts = ns.ns_max_attempts;
              nr_rechecks = ns.ns_rechecks;
              nr_giveups = ns.ns_giveups;
              nr_floods = ns.ns_floods;
+             nr_resends = ns.ns_resends;
+             nr_flood_total = ns.ns_flood_total;
+             nr_dedup_saved = ns.ns_dedup_saved;
+             nr_bursts = ns.ns_bursts;
+             nr_resend_reqs = ns.ns_resend_reqs;
+             nr_resend_total = ns.ns_resend_total;
              nr_entries =
                List.init n_phases (fun i -> (label i, ns.ns_entries.(i)));
              nr_time_in_ms =
@@ -341,9 +427,15 @@ let pp_report ppf r =
   List.iter
     (fun nr ->
       Format.fprintf ppf
-        "@,  node %d: phase=%s attempts=%d rechecks=%d giveups=%d floods=%d"
+        "@,  node %d: phase=%s attempts=%d rechecks=%d giveups=%d floods=%d \
+         resends=%d"
         nr.nr_node nr.nr_phase nr.nr_attempts nr.nr_rechecks nr.nr_giveups
-        nr.nr_floods;
+        nr.nr_floods nr.nr_resends;
+      Format.fprintf ppf
+        "@,    recovery traffic: peak-attempts=%d floods=%d dedup-saved=%d \
+         bursts=%d nacks=%d resent=%d"
+        nr.nr_max_attempts nr.nr_flood_total nr.nr_dedup_saved nr.nr_bursts
+        nr.nr_resend_reqs nr.nr_resend_total;
       Format.fprintf ppf "@,    entries:%s time:%s"
         (String.concat ""
            (List.map (fun (p, n) -> Printf.sprintf " %s=%d" p n) nr.nr_entries))

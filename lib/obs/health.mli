@@ -36,7 +36,22 @@ val with_health : t -> (unit -> 'a) -> 'a
 val note_phase : node:int -> phase:int -> unit
 val note_recheck : node:int -> unit
 val note_recheck_giveup : node:int -> unit
+
 val note_flood : node:int -> count:int -> unit
+(** Exchange messages actually multicast (initial bursts and resends). *)
+
+val note_dedup : node:int -> saved:int -> unit
+(** Sends avoided at recovery entry by designated-holder dedup. *)
+
+val note_burst : node:int -> unit
+(** One paced flood burst fired. *)
+
+val note_resend_req : node:int -> unit
+(** A cumulative nack multicast after a recheck found messages missing. *)
+
+val note_resend : node:int -> count:int -> unit
+(** Messages queued for re-flooding in answer to a nack. *)
+
 val note_delivery : unit -> unit
 val note_crash : node:int -> unit
 
@@ -60,10 +75,20 @@ val check : t -> now:int -> stall list
 type node_report = {
   nr_node : int;
   nr_phase : string;
-  nr_attempts : int;
+  nr_attempts : int;  (** gather entries since last operational *)
+  nr_max_attempts : int;
+      (** peak consecutive formation attempts over the node's lifetime;
+          unlike [nr_attempts] this survives reaching operational, so a
+          post-run assertion can bound how hard formation ever was *)
   nr_rechecks : int;
   nr_giveups : int;
   nr_floods : int;
+  nr_resends : int;
+  nr_flood_total : int;  (** lifetime exchange multicasts, incl. resends *)
+  nr_dedup_saved : int;  (** lifetime sends avoided by holder dedup *)
+  nr_bursts : int;  (** lifetime paced flood bursts *)
+  nr_resend_reqs : int;  (** lifetime cumulative nacks sent *)
+  nr_resend_total : int;  (** lifetime messages re-sent answering nacks *)
   nr_entries : (string * int) list;
   nr_time_in_ms : (string * float) list;
   nr_trail : string list;

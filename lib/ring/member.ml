@@ -9,6 +9,7 @@ type memb_timer_kind =
   | Formation_timeout
   | Merge_probe
   | Exchange_recheck
+  | Flood_burst
 
 type Participant.timer +=
   | Memb_timer of memb_timer_kind * int
@@ -34,6 +35,11 @@ type gather = {
   mutable proc_set : Types.pid list;  (* sorted *)
   mutable fail_set : Types.pid list;  (* sorted *)
   joins : (Types.pid, Message.join) Hashtbl.t;
+  heard : (Types.pid, unit) Hashtbl.t;
+      (* Processes whose join arrived since the last consensus timeout.
+         The silent-process check runs against this, not [joins]: a
+         crashed process whose pre-crash join still sits in [joins]
+         must not stay immune to failure detection forever. *)
   mutable agreed : bool;  (* consensus reached, waiting for commit token *)
   mutable settled : bool;
       (* Consensus may only conclude after one join-retransmit interval:
@@ -55,6 +61,16 @@ type recover = {
   r_min_aru : Types.seqno;
   r_max_high : Types.seqno;
   r_exchange : (Types.seqno, Message.data) Hashtbl.t;
+  r_flood_q : Types.seqno Deque.t;
+      (* Exchange messages this node is designated to flood, ascending;
+         drained in paced bursts by the [Flood_burst] timer. *)
+  r_queued : (Types.seqno, unit) Hashtbl.t;  (* membership of [r_flood_q] *)
+  r_nacked : (Types.seqno, int) Hashtbl.t;
+      (* How many cumulative nacks have named each seqno. The k-th nack
+         is answered by the k-th candidate holder, so a crashed donor is
+         routed around without any extra agreement round. *)
+  r_pos : int;  (* my index among the survivors, for burst staggering *)
+  mutable r_burst_armed : bool;
   mutable r_pending : Message.commit option;
       (* A pass-4 commit held back while late recovery floods arrive. *)
   mutable r_rechecks : int;
@@ -66,15 +82,38 @@ type phase =
   | Commit_wait of commit_phase
   | Recover of recover
 
+(* Flood work carried across an install. A member must install as soon as
+   it verifies completeness — holding the pass-4 token while its own
+   paced flood queue drains stalls the new ring's token rotation past
+   the token-loss timeout and kills the formation. So the queue, the
+   exchange table and the nack bookkeeping survive the install here, and
+   the member keeps bursting (and answering pass-5 nacks) for peers
+   still recovering the old ring while it is already operational. *)
+type residual = {
+  res_old_ring : Types.ring_id;  (* the exchanged (pre-install) ring *)
+  res_memb : Message.member_info list;  (* for holder re-election *)
+  res_exchange : (Types.seqno, Message.data) Hashtbl.t;
+  res_q : Types.seqno Deque.t;
+  res_queued : (Types.seqno, unit) Hashtbl.t;
+  res_nacked : (Types.seqno, int) Hashtbl.t;
+  mutable res_burst_armed : bool;
+}
+
 type t = {
   params : Params.t;
   me : Types.pid;
+  legacy_flood : bool;
+      (* Pre-overhaul recovery: every survivor floods its whole exchange
+         range immediately and the recheck only re-verifies. Kept behind
+         a flag so the fuzzer can prove the old behavior still livelocks
+         (Bug.Recovery_flood). *)
   initial_ring : Types.pid array option;
   (* One controller for the member's lifetime: each installed
      configuration's Node gets the same instance, so the adapted window
      carries across membership changes. *)
   controller : Aring_control.Controller.t option;
   mutable phase : phase;
+  mutable residual : residual option;  (* flood work from the last install *)
   mutable old_node : Node.t option;  (* engine of the dying configuration *)
   mutable old_ring : Types.ring_id;  (* ring I was last operational in *)
   mutable old_delivered : Types.seqno;  (* its delivery cursor *)
@@ -121,11 +160,12 @@ let trace_phase t =
   if Aring_obs.Trace.enabled () then
     Aring_obs.Trace.emit ~node:t.me (Phase { phase = state_name t })
 
-let create ~params ~me ?initial_ring ?controller () =
+let create ~params ~me ?initial_ring ?controller ?(legacy_flood = false) () =
   let singleton_ring : Types.ring_id = { rep = me; ring_seq = 0 } in
   {
     params;
     me;
+    legacy_flood;
     initial_ring;
     controller;
     phase =
@@ -134,9 +174,11 @@ let create ~params ~me ?initial_ring ?controller () =
           proc_set = [ me ];
           fail_set = [];
           joins = Hashtbl.create 8;
+          heard = Hashtbl.create 8;
           agreed = false;
           settled = false;
         };
+    residual = None;
     old_node = None;
     old_ring = singleton_ring;
     old_delivered = 0;
@@ -152,6 +194,19 @@ let create ~params ~me ?initial_ring ?controller () =
     inbox = Deque.create ();
     stash = Hashtbl.create 64;
   }
+
+(* A member may only install once it holds every exchange-range message
+   some survivor of its old ring advertised (above what it already
+   delivered) — otherwise survivors' delivered sets could diverge. *)
+let missing_from_exchange t (r : recover) holds =
+  match
+    List.find_opt (fun (ring, _) -> Types.ring_id_equal ring t.old_ring) holds
+  with
+  | None -> []
+  | Some (_, seqs) ->
+      List.filter
+        (fun seq -> seq > t.old_delivered && not (Hashtbl.mem r.r_exchange seq))
+        seqs
 
 (* ------------------------------------------------------------------ *)
 (* Node action post-processing                                         *)
@@ -219,6 +274,7 @@ and enter_gather t =
       proc_set = [ t.me ];
       fail_set = [];
       joins = Hashtbl.create 8;
+      heard = Hashtbl.create 8;
       agreed = false;
       settled = false;
     }
@@ -357,6 +413,7 @@ and handle_join t (j : Message.join) =
         end
     | Gather g ->
         Hashtbl.replace g.joins j.j_pid j;
+        Hashtbl.replace g.heard j.j_pid ();
         let proc' = set_union g.proc_set (j.j_pid :: j.proc_set) in
         let fail' = set_diff (set_union g.fail_set j.fail_set) [ t.me ] in
         let changed =
@@ -400,6 +457,23 @@ and install t (r : recover) =
       Hashtbl.replace t.known_rings mi.m_old_ring ())
     r.r_memb;
   Hashtbl.replace t.known_rings t.old_ring ();
+  (* Installing must not wait for this node's own paced floods: carry the
+     unfinished queue (and the exchange table, for answering late pass-5
+     nacks) across the install so peers still recovering the old ring keep
+     being served while this node is already operational. *)
+  t.residual <-
+    (if t.legacy_flood then None
+     else
+       Some
+         {
+           res_old_ring = t.old_ring;
+           res_memb = r.r_memb;
+           res_exchange = r.r_exchange;
+           res_q = r.r_flood_q;
+           res_queued = r.r_queued;
+           res_nacked = r.r_nacked;
+           res_burst_armed = not (Deque.is_empty r.r_flood_q);
+         });
   t.old_node <- None;
   t.old_ring <- r.r_ring;
   t.old_delivered <- 0;
@@ -436,11 +510,20 @@ and install t (r : recover) =
       ]
     else []
   in
+  let residual_burst =
+    match t.residual with
+    | Some res when res.res_burst_armed ->
+        [
+          Participant.Arm_timer
+            (Memb_timer (Flood_burst, t.memb_gen), 1);
+        ]
+    | _ -> []
+  in
   Participant.Deliver_config transitional
   :: old_deliveries
   @ [ Participant.Deliver_config regular ]
   @ rewrap_node_actions t (Node.start node)
-  @ probe
+  @ probe @ residual_burst
 
 (* A member alone at the consensus timeout installs a singleton ring
    without any commit/recover exchange. *)
@@ -468,6 +551,11 @@ and install_singleton t =
       r_min_aru = info.m_aru;
       r_max_high = info.m_high_seq;
       r_exchange = exchange;
+      r_flood_q = Deque.create ();
+      r_queued = Hashtbl.create 1;
+      r_nacked = Hashtbl.create 1;
+      r_pos = 0;
+      r_burst_armed = false;
       r_pending = None;
       r_rechecks = 0;
     }
@@ -475,11 +563,19 @@ and install_singleton t =
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 
-(* Entering recovery: flood every message in the survivors' exchange range
-   (above the minimum aru someone may be missing it), and stage everything
-   we hold beyond our own delivery cursor — messages below the minimum aru
-   are already received by every survivor but possibly still undelivered
-   here, and must be delivered at installation too. *)
+(* Entering recovery: stage everything we hold beyond our own delivery
+   cursor — messages below the minimum aru are already received by every
+   survivor but possibly still undelivered here, and must be delivered at
+   installation too — and queue for flooding the exchange-range messages
+   (above the minimum aru) this node is the designated holder of.
+
+   The flood itself is deduplicated and paced: per sequence number exactly
+   one survivor (the highest-pid holder, computed identically everywhere
+   from the commit token's member infos) floods it, in bursts of
+   [recovery_burst_msgs] spaced [recovery_burst_gap_ns] apart, with the
+   first burst staggered by ring position. The pre-overhaul behavior —
+   every survivor floods everything at once, overflowing a small switch
+   buffer on every formation attempt — survives behind [legacy_flood]. *)
 and enter_recover t (c : Message.commit) order =
   let survivors, min_aru, max_high =
     List.fold_left
@@ -491,6 +587,8 @@ and enter_recover t (c : Message.commit) order =
   in
   let survivors = set_of survivors in
   let exchange = Hashtbl.create 64 in
+  let flood_q = Deque.create () in
+  let queued_tbl = Hashtbl.create 16 in
   let held seq =
     match Hashtbl.find_opt t.stash seq with
     | Some d -> Some d
@@ -500,19 +598,41 @@ and enter_recover t (c : Message.commit) order =
         | None -> None)
   in
   let floods = ref [] in
+  let held_in_range = ref 0 in
+  let queued = ref 0 in
   (* Stage from the lower of (what we still need to deliver) and (what a
      lagging survivor may be missing): a survivor that already delivered a
-     message must still flood it for peers below the minimum aru line. *)
+     message must still hold it for peers below the minimum aru line. *)
   let lo = min t.old_delivered min_aru in
   if max_high > 0 then
     for seq = max_high downto lo + 1 do
       match held seq with
       | Some d ->
           Hashtbl.replace exchange seq d;
-          if seq > min_aru then
-            floods := Participant.Multicast (Message.Data d) :: !floods
+          if seq > min_aru then begin
+            incr held_in_range;
+            if t.legacy_flood then
+              floods := Participant.Multicast (Message.Data d) :: !floods
+            else if
+              Recovery.designated ~infos:c.c_memb ~old_ring:t.old_ring seq
+              = Some t.me
+            then begin
+              (* Descending loop + push_front = ascending flood order. *)
+              Deque.push_front flood_q seq;
+              Hashtbl.replace queued_tbl seq ();
+              incr queued
+            end
+          end
       | None -> ()
     done;
+  let pos =
+    let rec idx i = function
+      | [] -> 0
+      | p :: _ when p = t.me -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 survivors
+  in
   let r =
     {
       r_ring = c.c_ring;
@@ -522,6 +642,11 @@ and enter_recover t (c : Message.commit) order =
       r_min_aru = min_aru;
       r_max_high = max_high;
       r_exchange = exchange;
+      r_flood_q = flood_q;
+      r_queued = queued_tbl;
+      r_nacked = Hashtbl.create 16;
+      r_pos = pos;
+      r_burst_armed = false;
       r_pending = None;
       r_rechecks = 0;
     }
@@ -529,12 +654,33 @@ and enter_recover t (c : Message.commit) order =
   t.memb_gen <- t.memb_gen + 1;
   t.phase <- Recover r;
   trace_phase t;
-  let n_flood = List.length !floods in
-  Flight.record ~node:t.me ~code:Flight.ev_flood ~a:n_flood ~b:min_aru
-    ~c:max_high ~d:0;
-  Health.note_flood ~node:t.me ~count:n_flood;
+  let actions =
+    if t.legacy_flood then begin
+      let n_flood = List.length !floods in
+      Flight.record ~node:t.me ~code:Flight.ev_flood ~a:n_flood ~b:min_aru
+        ~c:max_high ~d:0;
+      Health.note_flood ~node:t.me ~count:n_flood;
+      !floods
+    end
+    else begin
+      Flight.record ~node:t.me ~code:Flight.ev_flood ~a:!queued ~b:min_aru
+        ~c:max_high ~d:0;
+      Flight.record ~node:t.me ~code:Flight.ev_dedup ~a:!held_in_range
+        ~b:!queued ~c:(!held_in_range - !queued) ~d:pos;
+      Health.note_dedup ~node:t.me ~saved:(!held_in_range - !queued);
+      if Deque.is_empty flood_q then []
+      else begin
+        r.r_burst_armed <- true;
+        [
+          Participant.Arm_timer
+            (Memb_timer (Flood_burst, t.memb_gen),
+             1 + (pos * (t.params.recovery_burst_gap_ns / 4)));
+        ]
+      end
+    end
+  in
   ( r,
-    !floods
+    actions
     @ [
         Participant.Arm_timer
           (Memb_timer (Formation_timeout, t.memb_gen), t.params.consensus_timeout_ns);
@@ -543,7 +689,126 @@ and enter_recover t (c : Message.commit) order =
 (* ------------------------------------------------------------------ *)
 (* Commit token                                                        *)
 
+(* Retransmission requests ride the commit channel as a sentinel pass 5
+   (the pass field is a full integer on the wire, so no codec change):
+   [c_memb] identifies the requester, [c_holds] carries its missing
+   sequence numbers as compacted [lo;hi;...] ranges for its old ring.
+   Each survivor counts how many nacks have named each seqno and answers
+   as the k-th candidate holder for the k-th nack — exactly one resender
+   per request when views agree, rotating past crashed donors. *)
+and handle_nack t (c : Message.commit) =
+  match t.phase with
+  | Recover r when Types.ring_id_equal r.r_ring c.c_ring -> (
+      match c.c_memb with
+      | [ requester ]
+        when requester.m_pid <> t.me
+             && Types.ring_id_equal requester.m_old_ring t.old_ring ->
+          let seqs =
+            List.concat_map
+              (fun (ring, encoded) ->
+                if Types.ring_id_equal ring t.old_ring then
+                  Recovery.expand (Recovery.decode_ranges encoded)
+                else [])
+              c.c_holds
+          in
+          let queued = ref 0 in
+          List.iter
+            (fun seq ->
+              let k =
+                1 + Option.value ~default:0 (Hashtbl.find_opt r.r_nacked seq)
+              in
+              Hashtbl.replace r.r_nacked seq k;
+              (* First nack: only the k-th candidate answers (covers a
+                 dropped flood without duplication). Repeated nacks mean
+                 the info-based election keeps pointing at nodes that
+                 discarded the message as stable — every actual holder
+                 answers, trading a few duplicates for a bounded number
+                 of rounds. *)
+              if
+                (not t.legacy_flood)
+                && Hashtbl.mem r.r_exchange seq
+                && (not (Hashtbl.mem r.r_queued seq))
+                && (k >= 2
+                   || Recovery.designated_nth ~infos:r.r_memb
+                        ~old_ring:t.old_ring ~nth:(k - 1) seq
+                      = Some t.me)
+              then begin
+                Deque.push_back r.r_flood_q seq;
+                Hashtbl.replace r.r_queued seq ();
+                incr queued
+              end)
+            seqs;
+          if !queued = 0 then []
+          else begin
+            Flight.record ~node:t.me ~code:Flight.ev_resend ~a:!queued
+              ~b:(List.length seqs) ~c:0 ~d:0;
+            Health.note_resend ~node:t.me ~count:!queued;
+            if r.r_burst_armed then []
+            else begin
+              (* Resends skip the position stagger: the requester has
+                 already waited out a recheck interval. *)
+              r.r_burst_armed <- true;
+              [ Participant.Arm_timer (Memb_timer (Flood_burst, t.memb_gen), 1) ]
+            end
+          end
+      | _ -> [])
+  | Operational _ -> (
+      (* Already installed, but the last exchange survives as residual
+         state: keep answering nacks for the old ring so a straggling
+         peer can finish without forcing a re-gather. *)
+      match (t.residual, c.c_memb) with
+      | Some res, [ requester ]
+        when requester.m_pid <> t.me
+             && Types.ring_id_equal requester.m_old_ring res.res_old_ring ->
+          let seqs =
+            List.concat_map
+              (fun (ring, encoded) ->
+                if Types.ring_id_equal ring res.res_old_ring then
+                  Recovery.expand (Recovery.decode_ranges encoded)
+                else [])
+              c.c_holds
+          in
+          let queued = ref 0 in
+          List.iter
+            (fun seq ->
+              let k =
+                1
+                + Option.value ~default:0 (Hashtbl.find_opt res.res_nacked seq)
+              in
+              Hashtbl.replace res.res_nacked seq k;
+              if
+                Hashtbl.mem res.res_exchange seq
+                && (not (Hashtbl.mem res.res_queued seq))
+                && (k >= 2
+                   || Recovery.designated_nth ~infos:res.res_memb
+                        ~old_ring:res.res_old_ring ~nth:(k - 1) seq
+                      = Some t.me)
+              then begin
+                Deque.push_back res.res_q seq;
+                Hashtbl.replace res.res_queued seq ();
+                incr queued
+              end)
+            seqs;
+          if !queued = 0 then []
+          else begin
+            Flight.record ~node:t.me ~code:Flight.ev_resend ~a:!queued
+              ~b:(List.length seqs) ~c:0 ~d:0;
+            Health.note_resend ~node:t.me ~count:!queued;
+            if res.res_burst_armed then []
+            else begin
+              res.res_burst_armed <- true;
+              [ Participant.Arm_timer (Memb_timer (Flood_burst, t.memb_gen), 1) ]
+            end
+          end
+      | _ -> [])
+  | Gather _ | Commit_wait _ | Recover _ ->
+      (* Not recovering the requester's ring (or our own nack echoed
+         back): the formation-timeout re-gather is the backstop. *)
+      []
+
 and handle_commit t (c : Message.commit) =
+  if c.c_pass = 5 then handle_nack t c
+  else begin
   let memb_pids = List.map (fun (mi : Message.member_info) -> mi.m_pid) c.c_memb in
   if not (set_mem t.me memb_pids) then []
   else begin
@@ -575,20 +840,6 @@ and handle_commit t (c : Message.commit) =
             else (ring, seqs) :: update rest
       in
       update c.c_holds
-    in
-    (* A member may only install once it holds every exchange-range message
-       some survivor of its old ring advertised (above what it already
-       delivered) — otherwise survivors' delivered sets could diverge. *)
-    let missing_from_exchange (r : recover) holds =
-      match
-        List.find_opt (fun (ring, _) -> Types.ring_id_equal ring t.old_ring) holds
-      with
-      | None -> []
-      | Some (_, seqs) ->
-          List.filter
-            (fun seq ->
-              seq > t.old_delivered && not (Hashtbl.mem r.r_exchange seq))
-            seqs
     in
     let i_am_rep = c.c_ring.rep = t.me in
     match (c.c_pass, t.phase) with
@@ -633,13 +884,20 @@ and handle_commit t (c : Message.commit) =
           [ forward 4 c.c_memb ]
         else [ forward ~holds:(merged_holds r) 3 c.c_memb ]
     | 4, Recover r when Types.ring_id_equal r.r_ring c.c_ring ->
-        if missing_from_exchange r c.c_holds = [] then
+        if missing_from_exchange t r c.c_holds = [] then
+          (* Complete. Install immediately even if our own flood queue is
+             still draining — the queue survives the install as [residual]
+             work, so peers still recovering are served while the new
+             ring's token starts rotating. Holding pass 4 here instead
+             would stall the already-installed members past token loss. *)
           if i_am_rep then install t r
           else forward 4 c.c_memb :: install t r
         else begin
           (* Some advertised messages have not arrived (floods still in
              flight, or lost). Hold the commit token and re-check shortly;
-             give up and re-gather if they never come. *)
+             the recheck requests retransmission of whatever is still
+             missing, and gives up into a re-gather only after repeated
+             nacks go unanswered. *)
           r.r_pending <- Some c;
           [
             Participant.Arm_timer
@@ -650,6 +908,7 @@ and handle_commit t (c : Message.commit) =
     | _ ->
         (* Stale or duplicate commit traffic. *)
         []
+  end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -674,8 +933,19 @@ and handle_data t (d : Message.data) =
         Types.ring_id_equal d.d_ring t.old_ring
         && d.seq > r.r_min_aru
         && d.seq <= r.r_max_high
-      then Hashtbl.replace r.r_exchange d.seq d;
-      []
+      then begin
+        Hashtbl.replace r.r_exchange d.seq d;
+        (* If this arrival completes a held pass-4 verification, install
+           now instead of waiting out the next recheck tick — every
+           millisecond the token is held brings the already-installed
+           members closer to declaring token loss. *)
+        match r.r_pending with
+        | Some c when missing_from_exchange t r c.c_holds = [] ->
+            r.r_pending <- None;
+            handle_commit t c
+        | Some _ | None -> []
+      end
+      else []
 
 and handle_token t (tok : Message.token) =
   match t.phase with
@@ -688,6 +958,42 @@ and handle_token t (tok : Message.token) =
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                              *)
+
+(* Send one paced flood burst from a queue (in-recovery or residual):
+   up to [recovery_burst_msgs] messages, re-arming the timer while work
+   remains. The same timer kind serves both phases; [set_armed] records
+   quiescence so the next nack can re-arm. *)
+let drain_burst t ~q ~queued ~exchange ~set_armed =
+  let burst = ref [] in
+  let sent = ref 0 in
+  while !sent < t.params.recovery_burst_msgs && not (Deque.is_empty q) do
+    match Deque.pop_front q with
+    | None -> ()
+    | Some seq -> (
+        Hashtbl.remove queued seq;
+        match Hashtbl.find_opt exchange seq with
+        | Some d ->
+            burst := Participant.Multicast (Message.Data d) :: !burst;
+            incr sent
+        | None -> ())
+  done;
+  let remaining = Deque.length q in
+  Flight.record ~node:t.me ~code:Flight.ev_burst ~a:!sent ~b:remaining ~c:0
+    ~d:0;
+  Health.note_burst ~node:t.me;
+  Health.note_flood ~node:t.me ~count:!sent;
+  let follow =
+    if remaining > 0 then
+      [
+        Participant.Arm_timer
+          (Memb_timer (Flood_burst, t.memb_gen), t.params.recovery_burst_gap_ns);
+      ]
+    else begin
+      set_armed false;
+      []
+    end
+  in
+  List.rev !burst @ follow
 
 let fire_memb_timer t kind gen =
   if gen <> t.memb_gen then []
@@ -707,10 +1013,20 @@ let fire_memb_timer t kind gen =
           (* Agreed but the representative's commit token never came. *)
           enter_gather t
         else begin
-          (* Declare silent processes failed and keep gathering. *)
+          (* Declare silent processes failed and keep gathering. A live
+             process re-joins at least once per consensus interval
+             (validate enforces join_retransmit < consensus_timeout), so
+             "no join since the previous timeout" is the failure signal —
+             a stale pre-crash entry in [g.joins] grants no immunity. *)
           let silent =
-            List.filter (fun p -> not (Hashtbl.mem g.joins p)) g.proc_set
+            List.filter
+              (fun p ->
+                p <> t.me
+                && (not (set_mem p g.fail_set))
+                && not (Hashtbl.mem g.heard p))
+              g.proc_set
           in
+          Hashtbl.reset g.heard;
           let actions =
             if silent <> [] then begin
               g.fail_set <- set_diff (set_union g.fail_set silent) [ t.me ];
@@ -734,21 +1050,87 @@ let fire_memb_timer t kind gen =
         match r.r_pending with
         | None -> []
         | Some c ->
-            r.r_pending <- None;
-            r.r_rechecks <- r.r_rechecks + 1;
-            Flight.record ~node:t.me ~code:Flight.ev_recheck ~a:r.r_rechecks
-              ~b:t.memb_gen ~c:0 ~d:0;
-            Health.note_recheck ~node:t.me;
-            if r.r_rechecks > 5 then begin
-              (* The advertised messages never arrived: this formation
-                 attempt cannot install consistently. *)
-              Flight.record ~node:t.me ~code:Flight.ev_recheck_giveup
-                ~a:r.r_rechecks ~b:t.memb_gen ~c:0 ~d:0;
-              Health.note_recheck_giveup ~node:t.me;
-              enter_gather t
+            if t.legacy_flood then begin
+              (* Pre-overhaul recheck: verify-only. A lost flood is never
+                 re-sent; five fruitless rechecks force a full re-gather
+                 and the whole exchange starts over. *)
+              r.r_pending <- None;
+              r.r_rechecks <- r.r_rechecks + 1;
+              Flight.record ~node:t.me ~code:Flight.ev_recheck ~a:r.r_rechecks
+                ~b:t.memb_gen ~c:0 ~d:0;
+              Health.note_recheck ~node:t.me;
+              if r.r_rechecks > 5 then begin
+                Flight.record ~node:t.me ~code:Flight.ev_recheck_giveup
+                  ~a:r.r_rechecks ~b:t.memb_gen ~c:0 ~d:0;
+                Health.note_recheck_giveup ~node:t.me;
+                enter_gather t
+              end
+              else handle_commit t c
             end
-            else handle_commit t c)
-    | Exchange_recheck, (Operational _ | Gather _ | Commit_wait _) -> []
+            else begin
+              let missing = missing_from_exchange t r c.c_holds in
+              if missing = [] then begin
+                (* Only our own flood queue was in the way (or the last
+                   resends just landed): re-run the pass-4 decision. *)
+                r.r_pending <- None;
+                handle_commit t c
+              end
+              else begin
+                r.r_rechecks <- r.r_rechecks + 1;
+                Flight.record ~node:t.me ~code:Flight.ev_recheck
+                  ~a:r.r_rechecks ~b:t.memb_gen ~c:0 ~d:0;
+                Health.note_recheck ~node:t.me;
+                if r.r_rechecks > 5 then begin
+                  (* Repeated nacks went unanswered: every candidate
+                     holder is gone or partitioned away. This formation
+                     attempt cannot install consistently. *)
+                  Flight.record ~node:t.me ~code:Flight.ev_recheck_giveup
+                    ~a:r.r_rechecks ~b:t.memb_gen ~c:0 ~d:0;
+                  Health.note_recheck_giveup ~node:t.me;
+                  enter_gather t
+                end
+                else begin
+                  (* Keep holding the pass-4 token and ask the designated
+                     holders to re-send what is still missing, as
+                     compacted ranges on the commit channel (pass 5). *)
+                  let ranges = Recovery.compact missing in
+                  Flight.record ~node:t.me ~code:Flight.ev_nack
+                    ~a:(List.length missing) ~b:(List.length ranges)
+                    ~c:r.r_rechecks ~d:0;
+                  Health.note_resend_req ~node:t.me;
+                  let nack : Message.commit =
+                    {
+                      c_ring = r.r_ring;
+                      c_token_id = 0;
+                      c_pass = 5;
+                      c_memb = [ my_member_info t ];
+                      c_holds = [ (t.old_ring, Recovery.encode_ranges ranges) ];
+                    }
+                  in
+                  [
+                    Participant.Multicast (Message.Commit nack);
+                    Participant.Arm_timer
+                      (Memb_timer (Exchange_recheck, t.memb_gen),
+                       t.params.token_retransmit_ns);
+                  ]
+                end
+              end
+            end)
+    | Flood_burst, Recover r ->
+        drain_burst t ~q:r.r_flood_q ~queued:r.r_queued ~exchange:r.r_exchange
+          ~set_armed:(fun armed -> r.r_burst_armed <- armed)
+    | Flood_burst, Operational _ -> (
+        (* Residual floods: finish serving the old ring's exchange after
+           installing, for peers still recovering it. *)
+        match t.residual with
+        | Some res ->
+            drain_burst t ~q:res.res_q ~queued:res.res_queued
+              ~exchange:res.res_exchange
+              ~set_armed:(fun armed -> res.res_burst_armed <- armed)
+        | None -> [])
+    | Exchange_recheck, (Operational _ | Gather _ | Commit_wait _)
+    | Flood_burst, (Gather _ | Commit_wait _) ->
+        []
     | Merge_probe, Operational node ->
         let engine = Node.engine node in
         let members = Array.to_list (Engine.ring engine) in

@@ -22,7 +22,13 @@
       picture to everyone.
     - {e Recover}: survivors of each old ring multicast ("flood") the
       old-ring messages that some survivor may be missing — every message
-      between the survivors' minimum aru and maximum known sequence. Two
+      between the survivors' minimum aru and maximum known sequence. The
+      flood is {e deduplicated} (per sequence number only its designated
+      holder — the highest-pid survivor holding it, computed identically
+      by everyone from the commit token's member infos — sends it) and
+      {e paced} (bursts of [recovery_burst_msgs] spaced
+      [recovery_burst_gap_ns] apart, the first burst staggered by ring
+      position, so a small switch buffer drains between bursts). Two
       further commit-token passes (3 and 4) confirm that every member
       finished the exchange; pass 4 installs the new configuration.
 
@@ -34,12 +40,15 @@
     {e regular configuration}. Client messages not yet sequenced carry over
     into the new configuration automatically.
 
-    {b Known limitation} (documented in DESIGN.md): recovery floods are
-    plain multicasts; packet loss {e during} the exchange itself can leave
-    survivors with different recovered suffixes. Totem closes this window
-    by running the full retransmission machinery on the recovery ring; here
-    a lost formation times out and re-gathers, which converges but does not
-    retransmit within one exchange. *)
+    {b Exchange retransmission} (DESIGN.md §5f): recovery floods are plain
+    multicasts, so packet loss during the exchange is expected. A member
+    holding the pass-4 commit token with advertised messages still missing
+    multicasts a cumulative nack — its missing sequence numbers as
+    compacted ranges, carried on the commit channel as a sentinel pass 5 —
+    and the designated holder re-floods them through its paced queue; the
+    k-th nack for a sequence number is answered by the k-th candidate
+    holder, rotating past crashed donors. Only after repeated nacks go
+    unanswered does the member give up and re-gather. *)
 
 open Aring_wire
 
@@ -50,7 +59,10 @@ type memb_timer_kind =
   | Merge_probe
   | Exchange_recheck
       (** Re-examine a held-back pass-4 commit once late recovery floods
-          have had a chance to arrive. *)
+          have had a chance to arrive; requests retransmission of whatever
+          is still missing. *)
+  | Flood_burst
+      (** Send the next paced burst from the recovery flood queue. *)
 
 type Participant.timer +=
   | Memb_timer of memb_timer_kind * int
@@ -67,6 +79,7 @@ val create :
   me:Types.pid ->
   ?initial_ring:Types.pid array ->
   ?controller:Aring_control.Controller.t ->
+  ?legacy_flood:bool ->
   unit ->
   t
 (** [create ~params ~me ()] is a participant that starts alone and finds
@@ -77,7 +90,12 @@ val create :
     With [?controller], every configuration this member installs runs the
     adaptive accelerated-window controller (see {!Node.create}); the same
     instance is reused across installs so the learned window survives
-    membership changes. *)
+    membership changes.
+
+    [?legacy_flood] (default [false]) restores the pre-overhaul recovery
+    exchange — every survivor floods its whole range at once and the
+    recheck never retransmits. Exists so the fuzzer can demonstrate that
+    the old behavior livelocks ({!Aring_fuzz.Bug.Recovery_flood}). *)
 
 val participant : t -> Participant.t
 (** The uniform runtime interface (see {!Participant}). *)

@@ -11,6 +11,8 @@ type t = {
   join_retransmit_ns : int;
   consensus_timeout_ns : int;
   merge_probe_ns : int;
+  recovery_burst_msgs : int;
+  recovery_burst_gap_ns : int;
 }
 
 let ms n = n * 1_000_000
@@ -27,6 +29,8 @@ let default =
     join_retransmit_ns = ms 50;
     consensus_timeout_ns = ms 500;
     merge_probe_ns = ms 300;
+    recovery_burst_msgs = 8;
+    recovery_burst_gap_ns = 400_000;
   }
 
 let original =
@@ -68,6 +72,16 @@ let validate p =
     Error "max_seq_gap must be at least global_window"
   else if p.token_retransmit_ns <= 0 || p.token_loss_ns <= p.token_retransmit_ns
   then Error "token_loss_ns must exceed token_retransmit_ns"
+  else if p.join_retransmit_ns <= 0 || p.consensus_timeout_ns <= p.join_retransmit_ns
+  then
+    (* The consensus timeout declares processes not heard from since the
+       previous timeout failed; a join cadence at or above it would let a
+       healthy gather starve itself of fresh joins. *)
+    Error "consensus_timeout_ns must exceed join_retransmit_ns"
+  else if p.recovery_burst_msgs <= 0 then
+    Error "recovery_burst_msgs must be positive"
+  else if p.recovery_burst_gap_ns <= 0 then
+    Error "recovery_burst_gap_ns must be positive"
   else Ok ()
 
 let pp ppf p =

@@ -46,6 +46,14 @@ type t = {
       (** Interval at which a ring's representative multicasts a presence
           probe so that healed partitions discover each other and merge
           even when idle. *)
+  recovery_burst_msgs : int;
+      (** Recovery exchange: maximum messages a designated holder
+          multicasts per flood burst. Bursts are spaced
+          [recovery_burst_gap_ns] apart so a small switch buffer drains
+          between them. *)
+  recovery_burst_gap_ns : int;
+      (** Recovery exchange: delay between a holder's flood bursts; also
+          scales the per-ring-position stagger of the first burst. *)
 }
 
 val default : t

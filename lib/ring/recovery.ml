@@ -1,0 +1,67 @@
+open Aring_wire
+
+(* ------------------------------------------------------------------ *)
+(* Range compaction                                                    *)
+
+let compact seqs =
+  match List.sort_uniq compare seqs with
+  | [] -> []
+  | first :: rest ->
+      let rec go lo hi acc = function
+        | [] -> List.rev ((lo, hi) :: acc)
+        | s :: tl ->
+            if s = hi + 1 then go lo s acc tl
+            else go s s ((lo, hi) :: acc) tl
+      in
+      go first first [] rest
+
+let expand ranges =
+  List.concat_map
+    (fun (lo, hi) -> if lo > hi then [] else List.init (hi - lo + 1) (fun i -> lo + i))
+    ranges
+
+let encode_ranges ranges =
+  List.concat_map (fun (lo, hi) -> [ lo; hi ]) ranges
+
+let rec decode_ranges = function
+  | [] -> []
+  | [ x ] -> [ (x, x) ]
+  | lo :: hi :: rest -> (lo, hi) :: decode_ranges rest
+
+(* ------------------------------------------------------------------ *)
+(* Designated-holder election                                          *)
+
+(* Sorting the filtered pid lists descending keeps the election a pure
+   function of the (unordered) member-info set: any permutation of the
+   commit token's slots yields the same candidate order. *)
+let holders ~infos ~old_ring seq =
+  let survivors =
+    List.filter
+      (fun (mi : Message.member_info) ->
+        Types.ring_id_equal mi.m_old_ring old_ring)
+      infos
+  in
+  let sure =
+    List.filter_map
+      (fun (mi : Message.member_info) ->
+        if mi.m_aru >= seq then Some mi.m_pid else None)
+      survivors
+    |> List.sort_uniq compare |> List.rev
+  in
+  let maybe =
+    List.filter_map
+      (fun (mi : Message.member_info) ->
+        if mi.m_aru < seq && mi.m_high_seq >= seq then Some mi.m_pid else None)
+      survivors
+    |> List.sort_uniq compare |> List.rev
+    |> List.filter (fun p -> not (List.mem p sure))
+  in
+  sure @ maybe
+
+let designated ~infos ~old_ring seq =
+  match holders ~infos ~old_ring seq with [] -> None | p :: _ -> Some p
+
+let designated_nth ~infos ~old_ring ~nth seq =
+  match holders ~infos ~old_ring seq with
+  | [] -> None
+  | candidates -> List.nth_opt candidates (nth mod List.length candidates)

@@ -40,18 +40,18 @@ let small_schedule seed =
 (* Schedule generation and serialization                               *)
 
 let test_generate_deterministic () =
-  let a = Schedule.generate ~seed:42L in
-  let b = Schedule.generate ~seed:42L in
+  let a = Schedule.generate ~seed:42L () in
+  let b = Schedule.generate ~seed:42L () in
   Alcotest.(check string)
     "same seed, same schedule" (Schedule.to_string a) (Schedule.to_string b);
-  let c = Schedule.generate ~seed:43L in
+  let c = Schedule.generate ~seed:43L () in
   Alcotest.(check bool)
     "different seed, different schedule" false
     (Schedule.to_string a = Schedule.to_string c)
 
 let test_generate_well_formed () =
   for seed = 0 to 49 do
-    let s = Schedule.generate ~seed:(Int64.of_int seed) in
+    let s = Schedule.generate ~seed:(Int64.of_int seed) () in
     let c = s.Schedule.config in
     Alcotest.(check bool) "node count" true (c.Schedule.n_nodes >= 2);
     Alcotest.(check int)
@@ -76,7 +76,7 @@ let test_generate_well_formed () =
 let prop_schedule_roundtrip =
   QCheck.Test.make ~count:100 ~name:"schedule JSON round-trips exactly"
     QCheck.int64 (fun seed ->
-      let s = Schedule.generate ~seed in
+      let s = Schedule.generate ~seed () in
       Schedule.of_string (Schedule.to_string s) = s)
 
 (* ------------------------------------------------------------------ *)
@@ -332,27 +332,82 @@ let test_kv_corpus_replays_green () =
     entries
 
 (* ------------------------------------------------------------------ *)
-(* Health watchdog: the recovery-flood livelock (ROADMAP known bug)    *)
+(* Recovery overhaul regressions + health watchdog                     *)
 
 (* Near-MTU payloads + a small switch buffer + a heavy loss burst: the
-   unpaced recovery flood overflows the switch ports on every formation
-   attempt, pass 4 re-checks 5x then re-gathers, and the cycle repeats
-   past the drain deadline (the seed tree fails this schedule with
-   [No_convergence] only after the full 2 s drain). This is the ROADMAP
-   recovery-flood livelock with the payload restored to near-MTU — the
-   original reproducer relied on KV values following the schedule's
-   payload knob, a trigger path since capped at [Runner.kv_max_value]. *)
+   seed tree's unpaced, un-deduplicated recovery flood overflowed the
+   switch ports on every formation attempt, pass 4 re-checked 5x then
+   re-gathered, and the cycle repeated past the drain deadline
+   ([No_convergence] after the full 2 s drain). With designated-holder
+   dedup, paced bursts and recheck-triggered resends the same schedule
+   converges; [test_recovery_livelock_schedule_converges] pins that, and
+   the schedule is also committed to the corpus (both hash oracles).
+   The legacy behaviour lives on behind [Bug.Recovery_flood] so the
+   watchdog test below keeps exercising the failure path. *)
 let livelock_schedule_json =
   {|{"seed":"2092789425003139053","n_nodes":7,"tier_ids":[2,0,2,1,2,2,0],"ten_gig":false,"base_loss_permille":0,"small_switch_buffer":true,"accelerated_window":3,"personal_window":31,"aggressive":true,"max_seq_gap":816,"payload":1350,"submit_gap_ns":679192,"safe_permille":249,"horizon_ns":90500000,"drain_ns":2000000000,"liveness":true,"faults":[{"fault":"loss_burst","at":29230061,"until":90000000,"permille":400}]}|}
 
-(* The watchdog must (a) flag the livelock well before the drain
-   deadline, (b) name the repeated gather→exchange→recheck cycle in its
-   verdict so the post-mortem starts from the mechanism instead of a
-   bare timeout, and (c) leave the flight recorder holding the run's
-   tail for the dump. *)
+let peak_formation_attempts (o : Runner.outcome) =
+  List.fold_left
+    (fun acc (n : Aring_obs.Health.node_report) ->
+      max acc n.Aring_obs.Health.nr_max_attempts)
+    0 o.Runner.health.Aring_obs.Health.r_nodes
+
+(* The former livelock schedule must now converge — well before the
+   drain deadline, with every node needing at most 3 consecutive
+   formation attempts (the watchdog flags at 8) — in both window
+   modes. *)
+let test_recovery_livelock_schedule_converges () =
+  let s = Schedule.of_string livelock_schedule_json in
+  let deadline =
+    s.Schedule.config.Schedule.horizon_ns + s.Schedule.config.Schedule.drain_ns
+  in
+  List.iter
+    (fun adaptive ->
+      let mode = if adaptive then "adaptive" else "static" in
+      let o = Fuzzer.replay ~adaptive s in
+      if not (Runner.passed o) then
+        Alcotest.failf "former livelock schedule regressed (%s): %s" mode
+          (Format.asprintf "%a" Runner.pp_outcome o);
+      Alcotest.(check bool)
+        (mode ^ ": converged well before the drain deadline")
+        true
+        (o.Runner.end_ns < deadline / 2);
+      let peak = peak_formation_attempts o in
+      if peak > 3 then
+        Alcotest.failf
+          "%s: some node needed %d consecutive formation attempts (want <= 3)"
+          mode peak)
+    [ false; true ]
+
+(* The adaptive singleton-gather stall (ROADMAP known bug, campaign
+   trial 72): a 2-node ring where node 0 crashes near the horizon. The
+   survivor's first solo gather used to stall under the adaptive
+   controller — consensus on a singleton membership never completed —
+   leaving the run to time out. Both modes must now converge; the
+   schedule is also committed to the corpus (both hash oracles). *)
+let gather_stall_schedule_json =
+  {|{"seed":"-8724047567367088020","n_nodes":2,"tier_ids":[2,0],"ten_gig":false,"base_loss_permille":15,"small_switch_buffer":false,"accelerated_window":8,"personal_window":31,"aggressive":false,"max_seq_gap":1795,"payload":492,"submit_gap_ns":427377,"safe_permille":46,"horizon_ns":114000000,"drain_ns":2000000000,"liveness":true,"faults":[{"fault":"partition","at":1784014,"until":39640280,"island":[1]},{"fault":"token_blackout","at":17917665,"until":75715064},{"fault":"loss_burst","at":48239399,"until":86904299,"permille":120},{"fault":"crash","at":55677543,"node":0}]}|}
+
+let test_gather_stall_schedule_converges () =
+  let s = Schedule.of_string gather_stall_schedule_json in
+  List.iter
+    (fun adaptive ->
+      let mode = if adaptive then "adaptive" else "static" in
+      let o = Fuzzer.replay ~adaptive s in
+      if not (Runner.passed o) then
+        Alcotest.failf "gather-stall schedule regressed (%s): %s" mode
+          (Format.asprintf "%a" Runner.pp_outcome o))
+    [ false; true ]
+
+(* With the legacy flood re-planted ([Bug.Recovery_flood]), the watchdog
+   must (a) flag the livelock well before the drain deadline, (b) name
+   the repeated gather→exchange→recheck cycle in its verdict so the
+   post-mortem starts from the mechanism instead of a bare timeout, and
+   (c) leave the flight recorder holding the run's tail for the dump. *)
 let test_watchdog_flags_recovery_flood_livelock () =
   let s = Schedule.of_string livelock_schedule_json in
-  let o = Fuzzer.replay s in
+  let o = Fuzzer.replay ~bug:Bug.Recovery_flood s in
   match o.Runner.failure with
   | Some (Runner.Health_stall { report } as f) ->
       Alcotest.(check string)
@@ -392,11 +447,12 @@ let test_watchdog_flags_recovery_flood_livelock () =
         (Format.asprintf "%a" Runner.pp_outcome o)
   | None ->
       Alcotest.fail
-        "recovery-flood livelock schedule passed — watchdog regression"
+        "recovery-flood bug injected but schedule passed — either the \
+         legacy-flood gate is dead or the watchdog regressed"
 
 let test_corpus_save_load () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "aring-corpus-test" in
-  let s = Schedule.generate ~seed:99L in
+  let s = Schedule.generate ~seed:99L () in
   let path = Corpus.save ~dir ~label:"unit" s in
   let s' = Corpus.load_file path in
   Alcotest.(check string) "save/load round-trip" (Schedule.to_string s)
@@ -419,6 +475,10 @@ let suite =
     ("finds skip-delivery under kv app", `Slow, test_finds_skip_delivery_under_kv);
     ("kv corpus replays green + catches its bug", `Quick,
      test_kv_corpus_replays_green);
+    ("former recovery-flood livelock converges", `Quick,
+     test_recovery_livelock_schedule_converges);
+    ("adaptive singleton-gather stall converges", `Quick,
+     test_gather_stall_schedule_converges);
     ("watchdog flags recovery-flood livelock", `Slow,
      test_watchdog_flags_recovery_flood_livelock);
     ("corpus save/load", `Quick, test_corpus_save_load);

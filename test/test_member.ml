@@ -684,6 +684,298 @@ let prop_random_partition_schedules =
           | None -> false)
         all)
 
+(* -------------------------------------------------------------------- *)
+(* Recovery exchange: range compaction, holder election, pacing, resends *)
+
+let prop_nack_range_compaction =
+  QCheck.Test.make ~name:"nack range compaction is canonical and lossless"
+    ~count:200
+    QCheck.(small_list (int_range 0 500))
+    (fun seqs ->
+      let ranges = Recovery.compact seqs in
+      (* Canonical: sorted, non-empty, non-overlapping, non-adjacent. *)
+      let rec canonical = function
+        | [] -> true
+        | [ (lo, hi) ] -> lo <= hi
+        | (lo, hi) :: ((lo', _) :: _ as rest) ->
+            lo <= hi && hi + 1 < lo' && canonical rest
+      in
+      let sorted_dedup = List.sort_uniq compare seqs in
+      (* Lossless through the compact/expand pair... *)
+      canonical ranges
+      && Recovery.expand ranges = sorted_dedup
+      (* ...and through the wire flattening used by pass-5 nacks. *)
+      && Recovery.decode_ranges (Recovery.encode_ranges ranges) = ranges
+      && Recovery.expand
+           (Recovery.decode_ranges (Recovery.encode_ranges ranges))
+         = sorted_dedup)
+
+(* Random member-info slates for the election properties: a handful of
+   survivors of one old ring (plus a decoy from a foreign ring that must
+   never be elected), with random aru/high_seq advertisements. *)
+let member_info_slate =
+  let open QCheck.Gen in
+  let ring = { Types.rep = 0; ring_seq = 7 } in
+  let foreign = { Types.rep = 9; ring_seq = 3 } in
+  let info pid =
+    let* aru = int_range 0 40 in
+    let* extra = int_range 0 40 in
+    pure
+      {
+        Message.m_pid = pid;
+        m_old_ring = ring;
+        m_aru = aru;
+        m_high_seq = aru + extra;
+        m_high_delivered = aru;
+      }
+  in
+  let* n = int_range 1 6 in
+  let* infos = flatten_l (List.init n (fun i -> info i)) in
+  let decoy =
+    {
+      Message.m_pid = 99;
+      m_old_ring = foreign;
+      m_aru = 1000;
+      m_high_seq = 1000;
+      m_high_delivered = 1000;
+    }
+  in
+  pure (ring, decoy :: infos)
+
+let shuffle_by seed l =
+  let st = Random.State.make [| seed |] in
+  l
+  |> List.map (fun x -> (Random.State.bits st, x))
+  |> List.sort compare |> List.map snd
+
+let prop_designated_holder_election =
+  QCheck.Test.make
+    ~name:"designated-holder election: one deterministic holder per seqno"
+    ~count:200
+    QCheck.(
+      pair (make ~print:(fun _ -> "<slate>") member_info_slate) (int_range 0 1000))
+    (fun ((ring, infos), shuffle_seed) ->
+      let seqs = List.init 90 (fun s -> s) in
+      List.for_all
+        (fun seq ->
+          let holders = Recovery.holders ~infos ~old_ring:ring seq in
+          (* Candidates are duplicate-free survivors of the old ring that
+             can actually advertise the seqno; the foreign decoy never
+             appears even with the highest aru in the slate. *)
+          List.length holders = List.length (List.sort_uniq compare holders)
+          && List.for_all
+               (fun pid ->
+                 List.exists
+                   (fun (m : Message.member_info) ->
+                     m.m_pid = pid
+                     && Types.ring_id_equal m.m_old_ring ring
+                     && m.m_high_seq >= seq)
+                   infos)
+               holders
+          (* The designated holder is the head of the candidate list and
+             invariant under permutation of the member-info slate — every
+             survivor elects the same flooder from its local copy. *)
+          && Recovery.designated ~infos ~old_ring:ring seq
+             = (match holders with [] -> None | h :: _ -> Some h)
+          && Recovery.designated
+               ~infos:(shuffle_by shuffle_seed infos)
+               ~old_ring:ring seq
+             = Recovery.designated ~infos ~old_ring:ring seq
+          (* designated_nth walks the candidate list, wrapping modulo its
+             length so repeated nacks rotate through every holder. *)
+          && List.for_all
+               (fun nth ->
+                 Recovery.designated_nth ~infos ~old_ring:ring ~nth seq
+                 =
+                 match holders with
+                 | [] -> None
+                 | _ -> List.nth_opt holders (nth mod List.length holders))
+               [ 0; 1; 2; 5; 9 ])
+        seqs)
+
+(* A burst of floods is dropped wholesale during the exchange: the
+   recheck's cumulative nack must bring the messages back via holder
+   resends, without abandoning the formation (no extra gather, so the
+   survivors stay at exactly two installations: bootstrap + one
+   reformation). *)
+let test_lost_flood_recovered_without_regather () =
+  (* The default 512-record ring holds only a run's tail; a 2 s run's
+     steady-state token traffic would overwrite the recovery events we
+     assert on, so give the recorder room for the whole run. *)
+  Aring_obs.Flight.set_capacity 65536;
+  let c = make_cluster ~n:4 () in
+  for k = 1 to 40 do
+    Netsim.call_at c.sim ~at:(k * 200_000) (fun () ->
+        submit c (k mod 4) Types.Agreed (Printf.sprintf "f%d" k))
+  done;
+  (* Starve node 3 of every data multicast from 5 ms on, then crash
+     node 1 at 8 ms: the messages sequenced in [5, 8) ms never reach
+     node 3, and with the ring token dead there is no retransmission
+     path — at formation (~58 ms, token loss) node 3 genuinely misses
+     exchange messages its peers advertise. Keeping the starvation up
+     through the exchange also swallows the designated holders' floods
+     and their first resends, so recovery must go the full recheck →
+     cumulative-nack → holder-resend route. The window closes at 85 ms,
+     inside the 5-recheck budget (10 ms apart), so the formation
+     completes without ever re-gathering. *)
+  let drop_to_3 ~src:_ ~dst = function
+    | Message.Data _ -> dst = 3
+    | _ -> false
+  in
+  Netsim.call_at c.sim ~at:(ms 5) (fun () -> Netsim.set_drop c.sim drop_to_3);
+  Netsim.call_at c.sim ~at:(ms 8) (fun () -> Netsim.crash c.sim 1);
+  Netsim.call_at c.sim ~at:(ms 85) (fun () ->
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  Netsim.run_until c.sim (ms 2000);
+  let survivors = [ 0; 2; 3 ] in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i));
+      check Alcotest.int
+        (Printf.sprintf "survivor %d reformed exactly once" i)
+        2
+        (Member.installs c.members.(i)))
+    survivors;
+  check_per_ring_order c survivors;
+  (* The exchange was actually wounded and healed through the nack path:
+     at least one cumulative nack and one holder resend are on record. *)
+  let records = Aring_obs.Flight.records () in
+  let count code =
+    List.length
+      (List.filter (fun r -> r.Aring_obs.Flight.r_code = code) records)
+  in
+  check Alcotest.bool "a cumulative nack was sent" true
+    (count Aring_obs.Flight.ev_nack > 0);
+  check Alcotest.bool "a holder answered with a resend" true
+    (count Aring_obs.Flight.ev_resend > 0);
+  Aring_obs.Flight.set_capacity 512
+
+(* A second member dies while the survivors are mid-exchange for the
+   first death: the membership shrinks again, holders are re-elected
+   from the remaining advertisements, and the survivors still converge
+   on identical streams. *)
+let test_donor_crash_mid_exchange () =
+  let c = make_cluster ~n:5 () in
+  for k = 1 to 30 do
+    Netsim.call_at c.sim ~at:(k * 200_000) (fun () ->
+        submit c (k mod 5) Types.Agreed (Printf.sprintf "d%d" k))
+  done;
+  Netsim.call_at c.sim ~at:(ms 8) (fun () -> Netsim.crash c.sim 1);
+  (* ~62 ms: the reformation for the first crash is in its recovery
+     exchange (detection at ~58 ms). *)
+  Netsim.call_at c.sim ~at:(ms 62) (fun () -> Netsim.crash c.sim 2);
+  Netsim.run_until c.sim (ms 2500);
+  let survivors = [ 0; 3; 4 ] in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i));
+      match last_regular_view c i with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "survivor %d final view" i)
+            survivors v.members
+      | None -> Alcotest.fail "no view")
+    survivors;
+  check_per_ring_order c survivors;
+  (* Survivor-submitted messages all arrive despite two donors dying. *)
+  let s0 = List.map (fun (f, s, _, p) -> (f, s, p)) (messages c 0) in
+  for k = 1 to 30 do
+    if k mod 5 <> 1 && k mod 5 <> 2 then
+      check Alcotest.bool
+        (Printf.sprintf "d%d delivered" k)
+        true
+        (List.exists (fun (_, _, p) -> p = Printf.sprintf "d%d" k) s0)
+  done
+
+(* Every paced flood burst must respect the configured burst budget —
+   the whole point of pacing is that a small switch buffer never sees
+   more than [recovery_burst_msgs] back-to-back exchange multicasts. *)
+let test_paced_bursts_respect_budget () =
+  Aring_obs.Flight.set_capacity 65536;
+  let c = make_cluster ~n:4 () in
+  (* Dense traffic right up to the crash, with node 3 starved of the
+     last 3 ms of multicasts (and no token to retransmit them), leaves
+     the exchange a real backlog to flood — enough to need several
+     paced bursts. *)
+  for k = 1 to 80 do
+    Netsim.call_at c.sim ~at:(k * 100_000) (fun () ->
+        submit c (k mod 4) Types.Agreed (Printf.sprintf "b%d" k))
+  done;
+  let drop_to_3 ~src:_ ~dst = function
+    | Message.Data _ -> dst = 3
+    | _ -> false
+  in
+  Netsim.call_at c.sim ~at:(ms 5) (fun () -> Netsim.set_drop c.sim drop_to_3);
+  Netsim.call_at c.sim ~at:(ms 8) (fun () ->
+      Netsim.crash c.sim 1;
+      Netsim.set_drop c.sim (fun ~src:_ ~dst:_ _ -> false));
+  Netsim.run_until c.sim (ms 2000);
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "survivor %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i)))
+    [ 0; 2; 3 ];
+  let bursts =
+    List.filter
+      (fun r -> r.Aring_obs.Flight.r_code = Aring_obs.Flight.ev_burst)
+      (Aring_obs.Flight.records ())
+  in
+  check Alcotest.bool "exchange used paced bursts" true (bursts <> []);
+  List.iter
+    (fun (r : Aring_obs.Flight.record_view) ->
+      if r.r_a > test_params.Params.recovery_burst_msgs then
+        Alcotest.failf "node %d burst %d messages (budget %d)" r.r_node r.r_a
+          test_params.Params.recovery_burst_msgs)
+    bursts;
+  Aring_obs.Flight.set_capacity 512
+
+(* Recovery at ring scale: 64 bootstrapped nodes lose one member and
+   must re-form within the health watchdog's formation-attempt budget —
+   no node may burn through anywhere near [k_formation] gathers, and no
+   stall may be flagged. *)
+let test_64_node_reformation_within_budget () =
+  let n = 64 in
+  let h = Aring_obs.Health.create ~n () in
+  let c = make_cluster ~n () in
+  for k = 1 to 32 do
+    Netsim.call_at c.sim ~at:(k * 200_000) (fun () ->
+        submit c (k mod n) Types.Agreed (Printf.sprintf "w%d" k))
+  done;
+  Netsim.call_at c.sim ~at:(ms 10) (fun () ->
+      Aring_obs.Health.note_crash ~node:5;
+      Netsim.crash c.sim 5);
+  Aring_obs.Health.with_health h (fun () -> Netsim.run_until c.sim (ms 4000));
+  let survivors = List.filter (fun i -> i <> 5) (List.init n Fun.id) in
+  List.iter
+    (fun i ->
+      check Alcotest.string
+        (Printf.sprintf "node %d operational" i)
+        "operational"
+        (Member.state_name c.members.(i)))
+    survivors;
+  (match last_regular_view c 0 with
+  | Some v ->
+      check (Alcotest.list Alcotest.int) "63-node ring" survivors v.members
+  | None -> Alcotest.fail "no view");
+  let report = Aring_obs.Health.report h ~now:(ms 4000) in
+  check Alcotest.bool "no stall flagged" true
+    (report.Aring_obs.Health.r_stalls = []);
+  List.iter
+    (fun (nr : Aring_obs.Health.node_report) ->
+      if nr.nr_max_attempts > 3 then
+        Alcotest.failf "node %d needed %d formation attempts (budget 3, watchdog %d)"
+          nr.nr_node nr.nr_max_attempts
+          Aring_obs.Health.default_config.Aring_obs.Health.k_formation)
+    report.Aring_obs.Health.r_nodes
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -703,8 +995,16 @@ let suite =
     ("installs counter", `Quick, test_installs_counter);
     ("join during commit is absorbed", `Quick, test_join_during_commit_is_absorbed);
     ("stale membership timer is ignored", `Quick, test_stale_memb_timer_is_ignored);
+    ("lost flood recovered without re-gather", `Quick,
+      test_lost_flood_recovered_without_regather);
+    ("donor crash mid-exchange", `Quick, test_donor_crash_mid_exchange);
+    ("paced bursts respect budget", `Quick, test_paced_bursts_respect_budget);
+    ("64-node reformation within budget", `Slow,
+      test_64_node_reformation_within_budget);
     qtest prop_crash_schedule_preserves_order;
     qtest prop_safe_messages_delivered_at_all_survivors;
     qtest prop_evs_agreement_under_loss;
     qtest prop_random_partition_schedules;
+    qtest prop_nack_range_compaction;
+    qtest prop_designated_holder_election;
   ]

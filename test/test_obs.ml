@@ -565,17 +565,19 @@ let test_health_formation_cycle () =
       let h = Health.create ~n:2 () in
       Health.with_health h (fun () ->
           (* Node 0 cycles gather -> commit -> recover without ever
-             reaching operational; node 1 is healthy. *)
+             reaching operational; node 1 is healthy. The cycling must
+             outlast [stall_ns] with no formation completing anywhere
+             before the verdict fires. *)
           Health.note_phase ~node:1 ~phase:Health.phase_operational;
           for i = 1 to 8 do
-            t := i * 10_000_000;
+            t := i * 200_000_000;
             Health.note_phase ~node:0 ~phase:Health.phase_gather;
             Health.note_recheck ~node:0;
             Health.note_phase ~node:0 ~phase:Health.phase_commit;
             Health.note_phase ~node:0 ~phase:Health.phase_recover;
             Health.note_delivery ()
           done;
-          match Health.check h ~now:!t with
+          (match Health.check h ~now:!t with
           | [ Health.Formation_cycle { fc_node; fc_attempts; fc_rechecks; _ } ]
             ->
               check Alcotest.int "stalled node" 0 fc_node;
@@ -583,14 +585,20 @@ let test_health_formation_cycle () =
               check Alcotest.int "rechecks counted" 8 fc_rechecks
           | other ->
               Alcotest.failf "expected one formation cycle, got %d stalls"
-                (List.length other)))
+                (List.length other));
+          (* A formation completing anywhere re-opens the grace window:
+             attempt-burning while views keep installing is churn making
+             progress, not a livelock. *)
+          Health.note_phase ~node:1 ~phase:Health.phase_operational;
+          check Alcotest.int "install elsewhere clears the verdict" 0
+            (List.length (Health.check h ~now:!t))))
 
 let test_health_operational_resets () =
   with_virtual_clock (fun t ->
       let h = Health.create ~n:1 () in
       Health.with_health h (fun () ->
           for i = 1 to 7 do
-            t := i * 10_000_000;
+            t := i * 200_000_000;
             Health.note_phase ~node:0 ~phase:Health.phase_gather;
             Health.note_phase ~node:0 ~phase:Health.phase_recover
           done;
@@ -602,7 +610,7 @@ let test_health_operational_resets () =
             (List.length (Health.check h ~now:!t));
           (* ...so the next cycle needs K fresh attempts. *)
           for i = 8 to 14 do
-            t := i * 10_000_000;
+            t := i * 200_000_000;
             Health.note_phase ~node:0 ~phase:Health.phase_gather
           done;
           check Alcotest.int "8 fresh attempts stall again" 1
@@ -637,7 +645,7 @@ let test_health_report_renders () =
       let h = Health.create ~n:1 () in
       Health.with_health h (fun () ->
           for i = 1 to 8 do
-            t := i * 10_000_000;
+            t := i * 200_000_000;
             Health.note_phase ~node:0 ~phase:Health.phase_gather;
             Health.note_recheck ~node:0;
             Health.note_phase ~node:0 ~phase:Health.phase_recover
