@@ -23,6 +23,7 @@ let mode_adaptive = Array.exists (fun a -> a = "adaptive") Sys.argv
 let mode_kv = Array.exists (fun a -> a = "kv") Sys.argv
 let mode_obs = Array.exists (fun a -> a = "obs") Sys.argv
 let mode_recovery = Array.exists (fun a -> a = "recovery") Sys.argv
+let mode_load = Array.exists (fun a -> a = "load") Sys.argv
 
 let ms n = n * 1_000_000
 
@@ -1745,7 +1746,233 @@ let bench_recovery () =
     Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
   if not pass then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Production workload benchmark (`-- load [quick]`)                    *)
+(* Open-loop sessions at scale: 2000 concurrent daemon sessions offer   *)
+(* a Zipf-skewed KV mix at a fixed aggregate rate, decoupled from       *)
+(* completions. A steady run (with slow receivers riding along) gates   *)
+(* p99/p99.9 write latency and the applied/offered ratio; a reconnect-  *)
+(* storm run gates applied-rate degradation and post-storm recovery.    *)
+(* Emits BENCH_load.json, gated by bench/load_budget.json. On a budget  *)
+(* failure the flight recorder's tail is dumped for the CI artifact.    *)
+
+module Load = Aring_load.Load
+
+let bench_load () =
+  Printf.printf "=== Production workload benchmark%s ===\n%!"
+    (if quick then " [QUICK MODE]" else "");
+  let steady =
+    Load.run
+      {
+        Load.default_spec with
+        label = "load-steady";
+        measure_ns = ms (if quick then 150 else 300);
+        slow = Some { Load.slow_per_node = 2; drain_per_sec = 2_000.0 };
+      }
+  in
+  let storm_at = if quick then 180 else 200 in
+  let storm =
+    Load.run
+      {
+        Load.default_spec with
+        label = "load-storm";
+        measure_ns = ms (if quick then 200 else 300);
+        churn =
+          Some
+            {
+              Load.mean_lifetime_ns = 0;
+              reconnect_delay_ns = ms 5;
+              storm =
+                Some
+                  {
+                    Load.storm_at_ns = ms storm_at;
+                    storm_sessions = 400;
+                    storm_window_ns = ms 20;
+                  };
+            };
+      }
+  in
+  let pp_run r = Printf.printf "%s\n%!" (Format.asprintf "%a" Load.pp_result r) in
+  pp_run steady;
+  pp_run storm;
+  let correctness_ok (r : Load.result) =
+    r.Load.oracle_violations = 0 && r.Load.converged
+  in
+  let p99 s = Stats.percentile s 99.0 in
+  let applied_ratio (r : Load.result) =
+    if r.Load.writes_offered = 0 then 0.0
+    else float_of_int r.Load.writes_applied /. float_of_int r.Load.writes_offered
+  in
+  (* Committed budget gate. *)
+  let budget_path = "bench/load_budget.json" in
+  let budget =
+    try
+      let ic = open_in budget_path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (Json.of_string s)
+    with Sys_error _ | Json.Parse_error _ -> None
+  in
+  let bound name =
+    Option.bind budget (fun b -> json_float (Json.member name b))
+  in
+  let check_max v = function None -> true | Some m -> v <= m in
+  let check_min v = function None -> true | Some m -> v >= m in
+  let min_sessions = bound "min_concurrent_sessions" in
+  let max_p99 = bound "max_steady_write_p99_us" in
+  let max_p999 = bound "max_steady_write_p999_us" in
+  let min_ratio = bound "min_applied_offered_ratio" in
+  let max_degradation = bound "max_storm_degradation" in
+  let max_recovery = bound "max_storm_recovery_ms" in
+  let sessions_ok =
+    check_min (float_of_int steady.Load.sessions_peak) min_sessions
+    && check_min (float_of_int storm.Load.sessions_peak) min_sessions
+    (* The ISSUE floor is unconditional: the harness must sustain at
+       least 2000 concurrent sessions even with no budget file. *)
+    && steady.Load.sessions_peak >= 2000
+  in
+  let p99_ok = check_max (p99 steady.Load.write_latency_us) max_p99 in
+  let p999_ok = check_max (Stats.p999 steady.Load.write_latency_us) max_p999 in
+  let ratio_ok = check_min (applied_ratio steady) min_ratio in
+  let degradation_ok = check_max storm.Load.storm_degradation max_degradation in
+  let recovery_ok =
+    storm.Load.storm_recovered_ms >= 0.0
+    && check_max storm.Load.storm_recovered_ms max_recovery
+    && storm.Load.storm_all_reconnected
+  in
+  let consistent = correctness_ok steady && correctness_ok storm in
+  let budget_pass =
+    sessions_ok && p99_ok && p999_ok && ratio_ok && degradation_ok
+    && recovery_ok && consistent
+  in
+  let run_json label (r : Load.result) =
+    ( label,
+      Json.Obj
+        [
+          ("sessions_started", Json.Int r.Load.sessions_started);
+          ("sessions_peak", Json.Int r.Load.sessions_peak);
+          ("reconnects", Json.Int r.Load.reconnects);
+          ("ops_offered", Json.Int r.Load.ops_offered);
+          ("ops_skipped", Json.Int r.Load.ops_skipped);
+          ("writes_offered", Json.Int r.Load.writes_offered);
+          ("writes_applied", Json.Int r.Load.writes_applied);
+          ("offered_write_rate", Json.Float r.Load.offered_write_rate);
+          ("applied_write_rate", Json.Float r.Load.applied_write_rate);
+          ("applied_offered_ratio", Json.Float (applied_ratio r));
+          ("write_p50_us", Json.Float (Stats.median r.Load.write_latency_us));
+          ("write_p99_us", Json.Float (p99 r.Load.write_latency_us));
+          ("write_p999_us", Json.Float (Stats.p999 r.Load.write_latency_us));
+          ("sync_read_p99_us", Json.Float (p99 r.Load.sync_read_latency_us));
+          ("queue_depth_peak", Json.Int r.Load.queue_depth_peak);
+          ("queue_depth_end", Json.Int r.Load.queue_depth_end);
+          ("slow_inbox_peak", Json.Int r.Load.slow_inbox_peak);
+          ("storm_steady_rate", Json.Float r.Load.storm_steady_rate);
+          ("storm_rate", Json.Float r.Load.storm_rate);
+          ("storm_degradation", Json.Float r.Load.storm_degradation);
+          ("storm_recovered_ms", Json.Float r.Load.storm_recovered_ms);
+          ("storm_all_reconnected", Json.Bool r.Load.storm_all_reconnected);
+          ("oracle_violations", Json.Int r.Load.oracle_violations);
+          ("converged", Json.Bool r.Load.converged);
+        ] )
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "aring.bench.load/1");
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ( "workload",
+          Json.Obj
+            [
+              ("nodes", Json.Int Load.default_spec.Load.n_nodes);
+              ( "sessions",
+                Json.Int
+                  (Load.default_spec.Load.n_nodes
+                  * Load.default_spec.Load.sessions_per_node) );
+              ("groups", Json.Int Load.default_spec.Load.n_groups);
+              ("ops_per_sec_offered", Json.Float Load.default_spec.Load.ops_per_sec);
+              ("zipf_theta", Json.Float Load.default_spec.Load.zipf_theta);
+              ("key_space", Json.Int Load.default_spec.Load.key_space);
+              ("storm_sessions", Json.Int 400);
+            ] );
+        run_json "steady" steady;
+        run_json "storm" storm;
+        ( "budget",
+          Json.Obj
+            [
+              ( "min_concurrent_sessions",
+                match min_sessions with Some m -> Json.Float m | None -> Json.Null );
+              ( "max_steady_write_p99_us",
+                match max_p99 with Some m -> Json.Float m | None -> Json.Null );
+              ( "max_steady_write_p999_us",
+                match max_p999 with Some m -> Json.Float m | None -> Json.Null );
+              ( "min_applied_offered_ratio",
+                match min_ratio with Some m -> Json.Float m | None -> Json.Null );
+              ( "max_storm_degradation",
+                match max_degradation with
+                | Some m -> Json.Float m
+                | None -> Json.Null );
+              ( "max_storm_recovery_ms",
+                match max_recovery with Some m -> Json.Float m | None -> Json.Null );
+              ("pass", Json.Bool budget_pass);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_load.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_load.json\n%!";
+  if not consistent then
+    Printf.printf
+      "BUDGET FAIL: consistency oracle violated or replicas failed to \
+       converge\n\
+       %!";
+  if not sessions_ok then
+    Printf.printf
+      "BUDGET FAIL: peak concurrent sessions (steady %d, storm %d) below \
+       the required floor\n\
+       %!"
+      steady.Load.sessions_peak storm.Load.sessions_peak;
+  if not p99_ok then
+    Printf.printf "BUDGET FAIL: steady write p99 %.0f us above budget %.0f\n%!"
+      (p99 steady.Load.write_latency_us)
+      (Option.get max_p99);
+  if not p999_ok then
+    Printf.printf
+      "BUDGET FAIL: steady write p99.9 %.0f us above budget %.0f\n%!"
+      (Stats.p999 steady.Load.write_latency_us)
+      (Option.get max_p999);
+  if not ratio_ok then
+    Printf.printf
+      "BUDGET FAIL: applied/offered ratio %.3f below budget %.3f\n%!"
+      (applied_ratio steady) (Option.get min_ratio);
+  if not degradation_ok then
+    Printf.printf
+      "BUDGET FAIL: storm degradation %.0f%% above budget %.0f%%\n%!"
+      (100.0 *. storm.Load.storm_degradation)
+      (100.0 *. Option.get max_degradation);
+  if not recovery_ok then
+    Printf.printf
+      "BUDGET FAIL: storm recovery %.1f ms (all reconnected: %b) misses \
+       budget %.1f ms\n\
+       %!"
+      storm.Load.storm_recovered_ms storm.Load.storm_all_reconnected
+      (match max_recovery with Some m -> m | None -> nan);
+  if budget = None then
+    Printf.printf "note: no readable %s; budget gate skipped\n%!" budget_path;
+  if not budget_pass then begin
+    (* Post-mortem for the CI artifact, mirroring the fuzz steps. *)
+    Aring_obs.Flight.dump_jsonl_file "BENCH_load_flight.jsonl";
+    Printf.printf "flight dump written to BENCH_load_flight.jsonl\n%!";
+    exit 1
+  end
+
 let () =
+  if mode_load then begin
+    bench_load ();
+    exit 0
+  end;
   if mode_recovery then begin
     bench_recovery ();
     exit 0

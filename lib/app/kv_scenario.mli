@@ -72,6 +72,11 @@ type result = {
           summed over nodes. *)
 }
 
+val snappy_params : unit -> Aring_ring.Params.t
+(** Accelerated defaults with fast membership timeouts, sized so that
+    partition merges complete well inside a scenario's drain budget.
+    Shared by the KV and workload-harness scenarios. *)
+
 val default_spec : spec
 (** 4 nodes, 1-gigabit network, daemon tier, accelerated params, 64-key
     space with 8 hot keys taking 80% of traffic, 128-byte values,

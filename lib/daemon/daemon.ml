@@ -1,6 +1,7 @@
 open Aring_wire
 open Aring_ring
 module Span = Aring_obs.Span
+module Deque = Aring_util.Deque
 
 type callbacks = {
   on_message :
@@ -14,6 +15,10 @@ type session = {
   s_callbacks : callbacks;
   mutable s_joined : string list;  (* local record, for re-announcement *)
   mutable s_open : bool;
+  (* Slow-receiver mode: [Some q] parks delivered messages in [q]
+     instead of invoking [on_message]; the client drains with {!pump} at
+     its own pace, off the daemon's delivery path. *)
+  mutable s_inbox : (string * string list * Types.service * bytes) Deque.t option;
 }
 
 type stats = {
@@ -96,10 +101,48 @@ let connect t ~name callbacks =
       s_callbacks = callbacks;
       s_joined = [];
       s_open = true;
+      s_inbox = None;
     }
   in
   Hashtbl.replace t.sessions name s;
   s
+
+let set_slow_receiver _t s slow =
+  if slow then begin
+    match s.s_inbox with
+    | Some _ -> ()
+    | None -> s.s_inbox <- Some (Deque.create ())
+  end
+  else begin
+    (* Reverting to direct delivery hands over anything still parked,
+       in arrival order, so no message is lost or reordered. *)
+    (match s.s_inbox with
+    | Some q ->
+        Deque.iter
+          (fun (sender, groups, service, payload) ->
+            s.s_callbacks.on_message ~sender ~groups service payload)
+          q
+    | None -> ());
+    s.s_inbox <- None
+  end
+
+let inbox_depth _t s =
+  match s.s_inbox with None -> 0 | Some q -> Deque.length q
+
+let pump _t s ~max =
+  match s.s_inbox with
+  | None -> 0
+  | Some q ->
+      let n = ref 0 in
+      let continue = ref true in
+      while !continue && !n < max do
+        match Deque.pop_front q with
+        | None -> continue := false
+        | Some (sender, groups, service, payload) ->
+            incr n;
+            s.s_callbacks.on_message ~sender ~groups service payload
+      done;
+      !n
 
 let submit_plain t service env =
   Member.submit t.member service (Envelope.encode env)
@@ -169,6 +212,8 @@ let disconnect t s =
       s.s_joined;
     s.s_joined <- [];
     s.s_open <- false;
+    (* Undrained slow-receiver messages die with the connection. *)
+    (match s.s_inbox with Some q -> Deque.clear q | None -> ());
     Hashtbl.remove t.sessions s.s_name
   end
 
@@ -215,7 +260,12 @@ let rec apply_envelope t (d : Message.data) env =
       List.map
         (fun s ->
           t.stats.client_deliveries <- t.stats.client_deliveries + 1;
-          s.s_callbacks.on_message ~sender ~groups d.service payload;
+          (* A slow receiver parks the message; the daemon's routing work
+             (and the Deliver action's CPU charge) happens either way, so
+             one stalled client never blocks the others. *)
+          (match s.s_inbox with
+          | Some q -> Deque.push_back q (sender, groups, d.service, payload)
+          | None -> s.s_callbacks.on_message ~sender ~groups d.service payload);
           Participant.Deliver d)
         recipients
   | Envelope.Join { member; group } ->

@@ -79,6 +79,30 @@ val disconnect : t -> session -> unit
 val session_member_name : t -> session -> string
 (** The canonical ["#name#daemon"] identity of the session. *)
 
+(** {2 Slow receivers}
+
+    A production daemon cannot let one stalled client stall the ordered
+    delivery stream for everyone (head-of-line isolation). Marking a
+    session a slow receiver decouples its drain rate from the daemon:
+    delivered messages park in a per-session inbox in delivery order,
+    and the client pulls them with {!pump} at whatever pace it manages.
+    The daemon's routing work — and the per-delivery CPU charge the
+    runtime accounts — is unchanged, so healthy sessions on the same
+    daemon observe identical delivery timing. *)
+
+val set_slow_receiver : t -> session -> bool -> unit
+(** [set_slow_receiver t s true] installs the inbox (idempotent);
+    [false] delivers anything still parked via [on_message], in order,
+    and reverts to direct delivery. *)
+
+val pump : t -> session -> max:int -> int
+(** [pump t s ~max] delivers up to [max] parked messages through the
+    session's [on_message], front (oldest) first; returns how many were
+    delivered. 0 for sessions not in slow-receiver mode. *)
+
+val inbox_depth : t -> session -> int
+(** Messages currently parked; 0 for direct-delivery sessions. *)
+
 val join : t -> session -> string -> unit
 (** Ordered group join; takes effect when its envelope is delivered. *)
 

@@ -69,6 +69,14 @@ type t = {
   cpu_busy : int array;
   cpu_scheduled : bool array;
   alive : bool array;
+  (* Per-node link rates, both defaulting to [net.bandwidth_bps]:
+     [up_bps] paces the node's NIC egress serialization, [down_bps]
+     paces the switch output port feeding the node. *)
+  up_bps : int array;
+  down_bps : int array;
+  (* Additional one-way latency per (src, dst) pair, on top of
+     [net.latency_ns] — the WAN/geo hook. Defaults to zero. *)
+  mutable extra_latency : src:int -> dst:int -> int;
   mutable drop : src:int -> dst:int -> Message.t -> bool;
   mutable deliver_cb : at:int -> now:int -> Message.data -> unit;
   mutable view_cb : at:int -> now:int -> Participant.view -> unit;
@@ -171,10 +179,16 @@ let wake_cpu t dst =
     sched_cpu t (max t.now t.cpu_busy.(dst)) dst
   end
 
+(* Serialization delay of [size] bytes at a per-link rate. Identical
+   arithmetic to [Profile.tx_ns], so configurations that leave every link
+   at [net.bandwidth_bps] schedule byte-identical event streams. *)
+let link_tx_ns bps size = size * 8 * 1_000_000_000 / bps
+
 (* Replicate an already-serialized packet into [dst]'s output-port queue,
-   dropping on overflow. [at_switch]/[tx] come from the one NIC
-   serialization shared by every destination (IP-multicast). *)
-let port_enqueue t ~at_switch ~tx ~size ~src ~dst msg =
+   dropping on overflow. [at_switch] comes from the one NIC serialization
+   shared by every destination (IP-multicast); the port drain is paced by
+   the receiver's downlink rate. *)
+let port_enqueue t ~at_switch ~size ~src ~dst msg =
   if not t.alive.(dst) then ()
   else if t.drop ~src ~dst msg then begin
     t.stats.partition_drops <- t.stats.partition_drops + 1;
@@ -191,18 +205,21 @@ let port_enqueue t ~at_switch ~tx ~size ~src ~dst msg =
   end
   else begin
     t.port_bytes.(dst) <- t.port_bytes.(dst) + size;
+    let tx = link_tx_ns t.down_bps.(dst) size in
     let port_start = max at_switch t.port_free.(dst) in
     let port_done = port_start + tx in
     t.port_free.(dst) <- port_done;
     sched_drain t port_done dst size;
-    sched_arrival t (port_done + t.net.latency_ns) dst msg
+    sched_arrival t
+      (port_done + t.net.latency_ns + t.extra_latency ~src ~dst)
+      dst msg
   end
 
 (* Serialize [msg] out of [src]'s NIC no earlier than [at]; returns the
    instant the packet reaches the switch, having advanced the NIC clock. *)
 let nic_serialize t ~at src size =
   t.stats.packets_sent <- t.stats.packets_sent + 1;
-  let tx = Profile.tx_ns t.net size in
+  let tx = link_tx_ns t.up_bps.(src) size in
   let nic_start = max at t.nic_free.(src) in
   let at_switch = nic_start + tx in
   t.nic_free.(src) <- at_switch;
@@ -210,19 +227,17 @@ let nic_serialize t ~at src size =
 
 let transmit_unicast t ~at src msg dst =
   let size = packet_size t src msg in
-  let tx = Profile.tx_ns t.net size in
   let at_switch = nic_serialize t ~at src size in
-  port_enqueue t ~at_switch ~tx ~size ~src ~dst msg
+  port_enqueue t ~at_switch ~size ~src ~dst msg
 
 (* Fan out to every live participant but the source, in pid order — the
    same destination order the seed built as an explicit list. *)
 let transmit_multicast t ~at src msg =
   let size = packet_size t src msg in
-  let tx = Profile.tx_ns t.net size in
   let at_switch = nic_serialize t ~at src size in
   let n = Array.length t.parts in
   for dst = 0 to n - 1 do
-    if dst <> src then port_enqueue t ~at_switch ~tx ~size ~src ~dst msg
+    if dst <> src then port_enqueue t ~at_switch ~size ~src ~dst msg
   done
 
 (* Interpret a participant's actions, advancing a CPU cursor so that each
@@ -370,6 +385,9 @@ let create ~net ~tiers ~participants ?(seed = 1L) () =
       cpu_busy = Array.make n 0;
       cpu_scheduled = Array.make n false;
       alive = Array.make n true;
+      up_bps = Array.make n net.Profile.bandwidth_bps;
+      down_bps = Array.make n net.Profile.bandwidth_bps;
+      extra_latency = (fun ~src:_ ~dst:_ -> 0);
       drop = (fun ~src:_ ~dst:_ _ -> false);
       deliver_cb = (fun ~at:_ ~now:_ _ -> ());
       view_cb = (fun ~at:_ ~now:_ _ -> ());
@@ -412,6 +430,41 @@ let set_drop_until t ~until f =
   let prev = t.drop in
   t.drop <- (fun ~src ~dst msg -> f ~src ~dst msg || prev ~src ~dst msg);
   sched_call t until (fun () -> t.drop <- prev)
+
+let set_link_rates t ~node ?up_bps ?down_bps () =
+  if node < 0 || node >= Array.length t.parts then
+    invalid_arg "Netsim.set_link_rates: node out of range";
+  let set arr = function
+    | None -> ()
+    | Some bps ->
+        if bps <= 0 then
+          invalid_arg "Netsim.set_link_rates: rate must be positive";
+        arr.(node) <- bps
+  in
+  set t.up_bps up_bps;
+  set t.down_bps down_bps
+
+let set_extra_latency t f = t.extra_latency <- f
+
+let set_latency_classes t ~classes ~matrix =
+  let n = Array.length t.parts in
+  if Array.length classes <> n then
+    invalid_arg "Netsim.set_latency_classes: classes must cover every node";
+  let k = Array.length matrix in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Netsim.set_latency_classes: matrix must be square")
+    matrix;
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= k then
+        invalid_arg "Netsim.set_latency_classes: class out of range")
+    classes;
+  (* Copy so later caller mutation cannot desynchronize a running sim. *)
+  let classes = Array.copy classes in
+  let matrix = Array.map Array.copy matrix in
+  t.extra_latency <- (fun ~src ~dst -> matrix.(classes.(src)).(classes.(dst)))
 
 let crash t node =
   t.alive.(node) <- false;

@@ -46,3 +46,49 @@ let exponential t ~mean =
   (* Guard against log 0. *)
   let u = if u <= 0.0 then 1e-12 else u in
   -.mean *. log u
+
+(* ------------------------------------------------------------------ *)
+(* Zipf sampling via a Walker/Vose alias table: O(n) construction, O(1)
+   per draw, exactly two PRNG draws per sample regardless of outcome so
+   the consumed stream is a pure function of (seed, draw count). *)
+
+type zipf = {
+  z_n : int;
+  z_theta : float;
+  z_prob : float array;  (* per-column acceptance probability *)
+  z_alias : int array;  (* fallback rank per column *)
+}
+
+let zipf_n z = z.z_n
+let zipf_theta z = z.z_theta
+
+let zipf_table ~n ~theta =
+  if n <= 0 then invalid_arg "Prng.zipf_table: n must be positive";
+  if theta < 0.0 then invalid_arg "Prng.zipf_table: theta must be >= 0";
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  (* Scale so the mean column weight is exactly 1: columns above the mean
+     donate their excess to columns below it. *)
+  let p = Array.map (fun x -> x /. total *. float_of_int n) w in
+  let prob = Array.make n 1.0 in
+  let alias = Array.init n (fun i -> i) in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i x -> if x < 1.0 then Stack.push i small else Stack.push i large)
+    p;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- p.(s);
+    alias.(s) <- l;
+    p.(l) <- p.(l) -. (1.0 -. p.(s));
+    if p.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  (* Leftovers hold numerical dust only; their mass is exactly 1. *)
+  Stack.iter (fun i -> prob.(i) <- 1.0) small;
+  Stack.iter (fun i -> prob.(i) <- 1.0) large;
+  { z_n = n; z_theta = theta; z_prob = prob; z_alias = alias }
+
+let zipf t z =
+  let j = int t z.z_n in
+  let u = float t 1.0 in
+  if u < z.z_prob.(j) then j else z.z_alias.(j)

@@ -33,3 +33,27 @@ val bernoulli : t -> float -> bool
 val exponential : t -> mean:float -> float
 (** [exponential t ~mean] samples an exponential distribution; used for
     Poisson inter-arrival workloads. *)
+
+(** {1 Zipf sampling}
+
+    Skewed key-popularity draws for workload generation: rank [i] (from
+    0) is drawn with probability proportional to [1/(i+1)^theta]. The
+    table is a Walker/Vose alias structure — O(n) to build, O(1) per
+    draw, and every draw consumes exactly two PRNG outputs, so the
+    stream position after [k] draws depends only on the seed and [k]. *)
+
+type zipf
+
+val zipf_table : n:int -> theta:float -> zipf
+(** [zipf_table ~n ~theta] builds the alias table for ranks
+    [0 .. n-1]. [theta = 0.0] degenerates to the uniform distribution;
+    typical workload skew is 0.9–1.1 (YCSB uses 0.99). Requires
+    [n > 0] and [theta >= 0]. *)
+
+val zipf : t -> zipf -> int
+(** [zipf t z] draws a rank in [0 .. n-1]; lower ranks are more
+    popular. Deterministic for a given seed and draw sequence. *)
+
+val zipf_n : zipf -> int
+
+val zipf_theta : zipf -> float

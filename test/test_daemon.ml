@@ -807,6 +807,213 @@ let test_group_state_reconverges_after_merge () =
         (List.exists (fun (_, _, p) -> p = "post-merge") clients.(i).inbox))
     [ 0; 1; 3 ]
 
+(* -------------------------------------------------------------------- *)
+(* Slow receivers                                                        *)
+
+let payloads_oldest_first (cl : client) =
+  List.rev_map (fun (_, _, p) -> p) cl.inbox
+
+let test_slow_receiver_isolation () =
+  (* A slow receiver that never drains must not delay delivery to a
+     healthy session on the same daemon; its messages park in the inbox
+     in FIFO order and pump out in bounded batches. *)
+  let c = make_dcluster ~n:3 () in
+  let fast = fresh_client () and slow = fresh_client () and src = fresh_client () in
+  let fast_s = Daemon.connect c.daemons.(0) ~name:"fast" (callbacks_of fast) in
+  let slow_s = Daemon.connect c.daemons.(0) ~name:"slow" (callbacks_of slow) in
+  let src_s = Daemon.connect c.daemons.(1) ~name:"src" (callbacks_of src) in
+  Daemon.join c.daemons.(0) fast_s "g";
+  Daemon.join c.daemons.(0) slow_s "g";
+  Netsim.run_until c.sim (ms 10);
+  Daemon.set_slow_receiver c.daemons.(0) slow_s true;
+  for i = 0 to 19 do
+    Netsim.call_at c.sim
+      ~at:(ms 12 + (i * 200_000))
+      (fun () ->
+        Daemon.multicast c.daemons.(1) src_s ~groups:[ "g" ]
+          (Bytes.of_string (Printf.sprintf "m%02d" i)))
+  done;
+  Netsim.run_until c.sim (ms 40);
+  check Alcotest.int "healthy session got everything" 20
+    (List.length fast.inbox);
+  check Alcotest.int "slow callback never fired" 0 (List.length slow.inbox);
+  check Alcotest.int "messages parked" 20
+    (Daemon.inbox_depth c.daemons.(0) slow_s);
+  check Alcotest.int "pump batch 1" 7 (Daemon.pump c.daemons.(0) slow_s ~max:7);
+  check Alcotest.int "pump batch 2" 7 (Daemon.pump c.daemons.(0) slow_s ~max:7);
+  check Alcotest.int "pump remainder" 6
+    (Daemon.pump c.daemons.(0) slow_s ~max:100);
+  check Alcotest.int "pump empty" 0 (Daemon.pump c.daemons.(0) slow_s ~max:4);
+  check Alcotest.int "inbox drained" 0
+    (Daemon.inbox_depth c.daemons.(0) slow_s);
+  check (Alcotest.list Alcotest.string) "same stream, same order"
+    (payloads_oldest_first fast)
+    (payloads_oldest_first slow)
+
+let test_slow_receiver_unmark_and_disconnect () =
+  let c = make_dcluster ~n:3 () in
+  let slow = fresh_client () and src = fresh_client () in
+  let slow_s = Daemon.connect c.daemons.(0) ~name:"slow" (callbacks_of slow) in
+  let src_s = Daemon.connect c.daemons.(1) ~name:"src" (callbacks_of src) in
+  Daemon.join c.daemons.(0) slow_s "g";
+  Netsim.run_until c.sim (ms 10);
+  Daemon.set_slow_receiver c.daemons.(0) slow_s true;
+  for i = 0 to 4 do
+    Netsim.call_at c.sim
+      ~at:(ms 12 + (i * 200_000))
+      (fun () ->
+        Daemon.multicast c.daemons.(1) src_s ~groups:[ "g" ]
+          (Bytes.of_string (Printf.sprintf "m%d" i)))
+  done;
+  Netsim.run_until c.sim (ms 30);
+  check Alcotest.int "backlog parked" 5 (Daemon.inbox_depth c.daemons.(0) slow_s);
+  (* Unmarking hands the backlog over in order and reverts to direct
+     delivery. *)
+  Daemon.set_slow_receiver c.daemons.(0) slow_s false;
+  check (Alcotest.list Alcotest.string) "backlog delivered in order"
+    [ "m0"; "m1"; "m2"; "m3"; "m4" ]
+    (payloads_oldest_first slow);
+  check Alcotest.int "inbox gone" 0 (Daemon.inbox_depth c.daemons.(0) slow_s);
+  Netsim.call_at c.sim ~at:(ms 32) (fun () ->
+      Daemon.multicast c.daemons.(1) src_s ~groups:[ "g" ]
+        (Bytes.of_string "direct"));
+  Netsim.run_until c.sim (ms 50);
+  check Alcotest.bool "direct delivery resumed" true
+    (List.exists (fun (_, _, p) -> p = "direct") slow.inbox);
+  (* A disconnected slow receiver drops its parked backlog. *)
+  Daemon.set_slow_receiver c.daemons.(0) slow_s true;
+  Netsim.call_at c.sim ~at:(ms 52) (fun () ->
+      Daemon.multicast c.daemons.(1) src_s ~groups:[ "g" ]
+        (Bytes.of_string "doomed"));
+  Netsim.run_until c.sim (ms 70);
+  check Alcotest.int "parked again" 1 (Daemon.inbox_depth c.daemons.(0) slow_s);
+  Daemon.disconnect c.daemons.(0) slow_s;
+  check Alcotest.int "dropped with the connection" 0
+    (Daemon.inbox_depth c.daemons.(0) slow_s)
+
+(* -------------------------------------------------------------------- *)
+(* Reconnect storm mid-view                                              *)
+
+type storm_sess = {
+  st_name : string;
+  st_daemon : int;
+  mutable st_handle : Daemon.session option;
+  mutable st_counter : int;
+  st_client : client;
+}
+
+let test_reconnect_storm_mid_view () =
+  (* 24 chatty sessions all disconnect at once and reconnect 3 ms later,
+     while a partition cuts the observer's daemon away and heals — the
+     Leave/Join flood is ordered across a view change and a merge. The
+     invariants: per-sender FIFO (counters strictly increase in delivery
+     order, gaps allowed across views), exactly-once delivery, and
+     reconverged group state that routes to every reconnected session. *)
+  let c = make_dcluster ~n:3 () in
+  let obs = fresh_client () in
+  let obs_s = Daemon.connect c.daemons.(2) ~name:"obs" (callbacks_of obs) in
+  Daemon.join c.daemons.(2) obs_s "storm";
+  let sessions =
+    Array.init 24 (fun i ->
+        {
+          st_name = Printf.sprintf "s%02d" i;
+          st_daemon = i mod 2;
+          st_handle = None;
+          st_counter = 0;
+          st_client = fresh_client ();
+        })
+  in
+  let connect ss =
+    let h =
+      Daemon.connect c.daemons.(ss.st_daemon) ~name:ss.st_name
+        (callbacks_of ss.st_client)
+    in
+    Daemon.join c.daemons.(ss.st_daemon) h "storm";
+    ss.st_handle <- Some h
+  in
+  Array.iter connect sessions;
+  Array.iter
+    (fun ss ->
+      let rec tick () =
+        let now = Netsim.now c.sim in
+        if now < ms 60 then begin
+          (match ss.st_handle with
+          | Some h ->
+              ss.st_counter <- ss.st_counter + 1;
+              Daemon.multicast c.daemons.(ss.st_daemon) h ~groups:[ "storm" ]
+                (Bytes.of_string
+                   (Printf.sprintf "%s:%d" ss.st_name ss.st_counter))
+          | None -> ());
+          Netsim.call_at c.sim ~at:(now + ms 2) tick
+        end
+      in
+      Netsim.call_at c.sim ~at:(ms 5) tick)
+    sessions;
+  (* Cut the observer's daemon away across the storm window. *)
+  Netsim.call_at c.sim ~at:(ms 28) (fun () ->
+      Netsim.set_drop_until c.sim ~until:(ms 55) (fun ~src ~dst _ ->
+          src = 2 <> (dst = 2)));
+  Netsim.call_at c.sim ~at:(ms 30) (fun () ->
+      Array.iter
+        (fun ss ->
+          match ss.st_handle with
+          | Some h ->
+              Daemon.disconnect c.daemons.(ss.st_daemon) h;
+              ss.st_handle <- None
+          | None -> ())
+        sessions);
+  Netsim.call_at c.sim ~at:(ms 33) (fun () -> Array.iter connect sessions);
+  Netsim.call_at c.sim ~at:(ms 150) (fun () ->
+      Daemon.multicast c.daemons.(2) obs_s ~groups:[ "storm" ]
+        (Bytes.of_string "obs:probe"));
+  Netsim.run_until c.sim (ms 400);
+  (* Per-sender FIFO and exactly-once, at the observer and at every
+     storm session. *)
+  let check_stream who (cl : client) =
+    let seen = Hashtbl.create 256 in
+    let last = Hashtbl.create 64 in
+    List.iter
+      (fun (_, _, payload) ->
+        match String.split_on_char ':' payload with
+        | [ name; num ] when num <> "probe" ->
+            let k = int_of_string num in
+            if Hashtbl.mem seen (name, k) then
+              Alcotest.failf "%s saw %s:%d twice" who name k;
+            Hashtbl.replace seen (name, k) ();
+            (match Hashtbl.find_opt last name with
+            | Some prev when prev >= k ->
+                Alcotest.failf "%s: sender %s went %d -> %d" who name prev k
+            | _ -> ());
+            Hashtbl.replace last name k
+        | _ -> ())
+      (List.rev cl.inbox)
+  in
+  check_stream "obs" obs;
+  Array.iter (fun ss -> check_stream ss.st_name ss.st_client) sessions;
+  (* The post-storm probe reached every reconnected session exactly
+     once. *)
+  let probes (cl : client) =
+    List.length (List.filter (fun (_, _, p) -> p = "obs:probe") cl.inbox)
+  in
+  check Alcotest.int "observer sees its own probe" 1 (probes obs);
+  Array.iter
+    (fun ss ->
+      check Alcotest.int
+        (Printf.sprintf "%s got the probe once" ss.st_name)
+        1
+        (probes ss.st_client))
+    sessions;
+  (* Group state reconverged identically on every daemon: 24 storm
+     sessions plus the observer. *)
+  let reference = Daemon.group_members c.daemons.(0) "storm" in
+  check Alcotest.int "full membership" 25 (List.length reference);
+  for i = 1 to 2 do
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "daemon %d group view" i)
+      reference
+      (Daemon.group_members c.daemons.(i) "storm")
+  done
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -838,4 +1045,9 @@ let suite =
     qtest prop_packing_respects_threshold;
     ("group state reconverges after merge", `Quick,
       test_group_state_reconverges_after_merge);
+    ("slow receiver head-of-line isolation", `Quick,
+      test_slow_receiver_isolation);
+    ("slow receiver unmark + disconnect", `Quick,
+      test_slow_receiver_unmark_and_disconnect);
+    ("reconnect storm mid-view", `Quick, test_reconnect_storm_mid_view);
   ]

@@ -1,0 +1,219 @@
+(* Workload-harness tests: the open-loop property itself (offered rate
+   holds to schedule with and without completion backpressure), arrival
+   pacing tolerance, fixed-seed determinism, and churn/storm behavior
+   at a size small enough for the unit suite. The bench (`-- load`)
+   exercises the full 2000-session scale; these tests pin semantics. *)
+
+module Load = Aring_load.Load
+module Stats = Aring_util.Stats
+module Kv_scenario = Aring_app.Kv_scenario
+
+let check = Alcotest.check
+let ms n = n * 1_000_000
+
+(* Small but real: 4 daemons, 120 sessions, short windows. *)
+let small_spec =
+  {
+    Load.default_spec with
+    label = "load-test";
+    sessions_per_node = 30;
+    n_groups = 8;
+    ops_per_sec = 3_000.0;
+    key_space = 64;
+    warmup_ns = ms 40;
+    measure_ns = ms 150;
+    drain_ns = ms 800;
+    seed = 11L;
+  }
+
+let expected_ops (spec : Load.spec) =
+  spec.Load.ops_per_sec *. (float_of_int spec.Load.measure_ns /. 1e9)
+
+let check_clean (r : Load.result) =
+  check Alcotest.int "no oracle violations" 0 r.Load.oracle_violations;
+  check Alcotest.bool "converged" true r.Load.converged
+
+(* Poisson arrivals hold the offered rate to within sampling noise. *)
+let test_offered_rate_poisson () =
+  let r = Load.run small_spec in
+  check_clean r;
+  check Alcotest.int "all sessions up" 120 r.Load.sessions_peak;
+  let expect = expected_ops small_spec in
+  let ratio = float_of_int r.Load.ops_offered /. expect in
+  if ratio < 0.9 || ratio > 1.1 then
+    Alcotest.failf "offered %d ops vs expected %.0f (ratio %.3f)"
+      r.Load.ops_offered expect ratio
+
+(* Periodic pacing has no sampling noise, only a per-session window
+   quantization: each session contributes floor-or-ceil of
+   window/interval arrivals depending on its connect phase. The bound
+   is therefore ±1 op per session, plus a small scheduling slack. *)
+let test_offered_rate_periodic () =
+  let r = Load.run { small_spec with arrival = Load.Periodic } in
+  check_clean r;
+  let expect = expected_ops small_spec in
+  let sessions = 4 * small_spec.Load.sessions_per_node in
+  let slack = float_of_int sessions +. (0.02 *. expect) in
+  let err = Float.abs (float_of_int r.Load.ops_offered -. expect) in
+  if err > slack then
+    Alcotest.failf "periodic offered %d ops vs expected %.0f (err %.0f > %.0f)"
+      r.Load.ops_offered expect err slack
+
+(* The defining open-loop property: arrivals never wait for
+   completions. Split the cluster 2v2 for the whole measurement window
+   — no side has a majority, so every write is rejected and nothing is
+   applied — and the offered count must still hold to schedule while
+   the in-flight queue grows without bound. A closed-loop generator
+   would stall at its first unacknowledged write. *)
+let test_backpressure_independence () =
+  let horizon = small_spec.Load.warmup_ns + small_spec.Load.measure_ns in
+  let r =
+    Load.run
+      {
+        small_spec with
+        label = "load-partitioned";
+        partition =
+          Some
+            {
+              Kv_scenario.part_at_ns = ms 10;
+              heal_at_ns = horizon + ms 50;
+              island = [ 2; 3 ];
+            };
+      }
+  in
+  (* Offered load is on schedule despite a cluster that applies nothing. *)
+  let expect = expected_ops small_spec in
+  let ratio = float_of_int r.Load.ops_offered /. expect in
+  if ratio < 0.9 || ratio > 1.1 then
+    Alcotest.failf "offered %d ops vs expected %.0f under stall (ratio %.3f)"
+      r.Load.ops_offered expect ratio;
+  (* Nothing applied in the window: no primary component anywhere. *)
+  if r.Load.writes_applied * 10 > r.Load.writes_offered then
+    Alcotest.failf "expected ~0 applied writes, got %d of %d offered"
+      r.Load.writes_applied r.Load.writes_offered;
+  (* The open-loop queue kept growing instead of throttling arrivals. *)
+  if r.Load.queue_depth_peak < 50 then
+    Alcotest.failf "open-loop queue did not grow under stall (peak %d)"
+      r.Load.queue_depth_peak;
+  if r.Load.queue_depth_peak < 5 * small_spec.Load.sessions_per_node / 2 then
+    Alcotest.failf "queue peak %d too small for a stalled open loop"
+      r.Load.queue_depth_peak;
+  (* After the heal the cluster still merges and converges; the
+     rejected writes stay unapplied (view-synchronous semantics), which
+     is why the queue residue is reported rather than asserted empty. *)
+  check_clean r
+
+(* Same spec, same seed: byte-equal behavior. *)
+let test_fixed_seed_determinism () =
+  let spec =
+    {
+      small_spec with
+      label = "load-det";
+      churn =
+        Some
+          {
+            Load.mean_lifetime_ns = ms 80;
+            reconnect_delay_ns = ms 3;
+            storm = None;
+          };
+      slow = Some { Load.slow_per_node = 1; drain_per_sec = 500.0 };
+    }
+  in
+  let a = Load.run spec and b = Load.run spec in
+  check Alcotest.int "ops_offered" a.Load.ops_offered b.Load.ops_offered;
+  check Alcotest.int "ops_skipped" a.Load.ops_skipped b.Load.ops_skipped;
+  check Alcotest.int "writes_applied" a.Load.writes_applied
+    b.Load.writes_applied;
+  check Alcotest.int "reconnects" a.Load.reconnects b.Load.reconnects;
+  check Alcotest.int "latency samples"
+    (Stats.count a.Load.write_latency_us)
+    (Stats.count b.Load.write_latency_us);
+  check Alcotest.int "queue peak" a.Load.queue_depth_peak
+    b.Load.queue_depth_peak;
+  check Alcotest.int "slow inbox peak" a.Load.slow_inbox_peak
+    b.Load.slow_inbox_peak;
+  check Alcotest.int "end_ns" a.Load.end_ns b.Load.end_ns
+
+(* A reconnect storm drops exactly the requested sessions and brings
+   them all back inside the window; applied throughput survives. *)
+let test_reconnect_storm () =
+  let r =
+    Load.run
+      {
+        small_spec with
+        label = "load-storm-test";
+        measure_ns = ms 200;
+        churn =
+          Some
+            {
+              Load.mean_lifetime_ns = 0;
+              reconnect_delay_ns = ms 5;
+              storm =
+                Some
+                  {
+                    Load.storm_at_ns = ms 120;
+                    storm_sessions = 40;
+                    storm_window_ns = ms 15;
+                  };
+            };
+      }
+  in
+  check_clean r;
+  check Alcotest.int "storm reconnects" 40 r.Load.reconnects;
+  check Alcotest.bool "all back" true r.Load.storm_all_reconnected;
+  if r.Load.storm_recovered_ms < 0.0 then
+    Alcotest.failf "storm never recovered (%.1f ms)" r.Load.storm_recovered_ms;
+  if r.Load.storm_degradation >= 1.0 then
+    Alcotest.failf "storm killed throughput entirely (degradation %.2f)"
+      r.Load.storm_degradation;
+  (* Disconnected sessions skip arrivals instead of deferring them. *)
+  if r.Load.ops_skipped = 0 then
+    Alcotest.fail "expected skipped arrivals during the storm downtime"
+
+(* Background churn keeps turning sessions over without losing
+   correctness; some arrivals land in downtime windows. *)
+let test_background_churn () =
+  let r =
+    Load.run
+      {
+        small_spec with
+        label = "load-churn-test";
+        churn =
+          Some
+            {
+              Load.mean_lifetime_ns = ms 60;
+              reconnect_delay_ns = ms 4;
+              storm = None;
+            };
+      }
+  in
+  check_clean r;
+  if r.Load.reconnects = 0 then
+    Alcotest.fail "expected churn reconnects with a 60 ms mean lifetime";
+  if r.Load.writes_applied = 0 then
+    Alcotest.fail "churn starved the workload entirely"
+
+let test_invalid_specs () =
+  Alcotest.check_raises "zero sessions"
+    (Invalid_argument "Load.run: sessions_per_node < 1") (fun () ->
+      ignore (Load.run { small_spec with sessions_per_node = 0 }));
+  Alcotest.check_raises "empty value mix"
+    (Invalid_argument "Load.run: empty value_mix") (fun () ->
+      ignore (Load.run { small_spec with value_mix = [] }))
+
+let suite =
+  [
+    Alcotest.test_case "offered rate holds (poisson)" `Quick
+      test_offered_rate_poisson;
+    Alcotest.test_case "offered rate holds (periodic)" `Quick
+      test_offered_rate_periodic;
+    Alcotest.test_case "arrivals independent of backpressure" `Quick
+      test_backpressure_independence;
+    Alcotest.test_case "fixed seed is deterministic" `Quick
+      test_fixed_seed_determinism;
+    Alcotest.test_case "reconnect storm drains and recovers" `Quick
+      test_reconnect_storm;
+    Alcotest.test_case "background churn keeps converging" `Quick
+      test_background_churn;
+    Alcotest.test_case "invalid specs rejected" `Quick test_invalid_specs;
+  ]

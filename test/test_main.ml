@@ -18,4 +18,5 @@ let () =
       ("udp", Test_udp.suite);
       ("fuzz", Test_fuzz.suite);
       ("app", Test_app.suite);
+      ("load", Test_load.suite);
     ]

@@ -409,6 +409,93 @@ let test_prng_exponential_positive () =
       (Prng.exponential p ~mean:5.0 >= 0.0)
   done
 
+(* -------------------------------------------------------------------- *)
+(* Zipf sampling                                                         *)
+
+let zipf_counts ~seed ~n ~theta ~draws =
+  let p = Prng.create ~seed in
+  let z = Prng.zipf_table ~n ~theta in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Prng.zipf p z in
+    counts.(r) <- counts.(r) + 1
+  done;
+  counts
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf draws stay in [0, n)" ~count:200
+    QCheck.(triple int64 (int_range 1 200) (float_bound_inclusive 2.0))
+    (fun (seed, n, theta) ->
+      let p = Prng.create ~seed in
+      let z = Prng.zipf_table ~n ~theta in
+      List.for_all
+        (fun x -> x >= 0 && x < n)
+        (List.init 100 (fun _ -> Prng.zipf p z)))
+
+let prop_zipf_rank_ordering =
+  (* With real skew, empirical frequency must rank with popularity.
+     Probe ranks 0, 7 and 63: adjacent probes differ by a true frequency
+     factor of 8^theta >= 5.3, so demanding a factor 2 in the sample is
+     a wide statistical margin at 20k draws. *)
+  QCheck.Test.make ~name:"zipf frequency ranking matches theta ordering"
+    ~count:10
+    QCheck.(pair int64 (float_range 0.8 1.2))
+    (fun (seed, theta) ->
+      let n = 64 in
+      let counts = zipf_counts ~seed ~n ~theta ~draws:20_000 in
+      counts.(0) > 2 * counts.(7) && counts.(7) > 2 * counts.(n - 1))
+
+let prop_zipf_theta_zero_uniform =
+  (* theta = 0 must degenerate to the uniform distribution: every rank
+     within 20% of expectation, same tolerance as the Prng.int test. *)
+  QCheck.Test.make ~name:"zipf theta=0 degenerates to uniform" ~count:10
+    QCheck.int64
+    (fun seed ->
+      let n = 16 in
+      let per_bucket = 1000 in
+      let counts = zipf_counts ~seed ~n ~theta:0.0 ~draws:(n * per_bucket) in
+      Array.for_all (fun c -> abs (c - per_bucket) < per_bucket / 5) counts)
+
+let prop_zipf_seed_deterministic =
+  QCheck.Test.make ~name:"zipf draw stream is seed-deterministic" ~count:50
+    QCheck.(triple int64 (int_range 1 100) (float_bound_inclusive 1.5))
+    (fun (seed, n, theta) ->
+      let draw_stream () =
+        let p = Prng.create ~seed in
+        let z = Prng.zipf_table ~n ~theta in
+        List.init 200 (fun _ -> Prng.zipf p z)
+      in
+      draw_stream () = draw_stream ())
+
+let test_zipf_mass_conservation () =
+  (* The alias table must hold the exact target distribution: per-rank
+     mass (own probability plus donations via aliases) equals the
+     normalized 1/(i+1)^theta weight. *)
+  let n = 40 and theta = 0.99 in
+  let p = Prng.create ~seed:3L in
+  let z = Prng.zipf_table ~n ~theta in
+  ignore (Prng.zipf p z);
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  (* Recover the empirical-free mass directly from a big sample. *)
+  let draws = 200_000 in
+  let counts = zipf_counts ~seed:3L ~n ~theta ~draws in
+  Array.iteri
+    (fun i c ->
+      let expect = w.(i) /. total in
+      let got = float_of_int c /. float_of_int draws in
+      if Float.abs (got -. expect) > 0.02 then
+        Alcotest.failf "rank %d: expected mass %.4f, got %.4f" i expect got)
+    counts
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Prng.zipf_table: n must be positive") (fun () ->
+      ignore (Prng.zipf_table ~n:0 ~theta:1.0));
+  Alcotest.check_raises "negative theta rejected"
+    (Invalid_argument "Prng.zipf_table: theta must be >= 0") (fun () ->
+      ignore (Prng.zipf_table ~n:4 ~theta:(-0.5)))
+
 let test_deque_push_front_wrap_growth () =
   (* Alternating front/back pushes keep the head wrapped behind the tail
      while the ring grows several times; the logical order must survive. *)
@@ -458,4 +545,10 @@ let suite =
     qtest prop_prng_int_uniform_small_bound;
     ("prng bernoulli extremes", `Quick, test_prng_bernoulli_extremes);
     ("prng exponential positive", `Quick, test_prng_exponential_positive);
+    qtest prop_zipf_in_range;
+    qtest prop_zipf_rank_ordering;
+    qtest prop_zipf_theta_zero_uniform;
+    qtest prop_zipf_seed_deterministic;
+    ("zipf mass conservation", `Quick, test_zipf_mass_conservation);
+    ("zipf invalid args", `Quick, test_zipf_invalid_args);
   ]
