@@ -23,8 +23,13 @@ let dump_flight ~path outcome =
   Printf.printf "flight recorder: %d records -> %s (+ %s)\n"
     (Aring_obs.Flight.stored ()) path report_path
 
-let run trials seed max_nodes bug_name adaptive app_name shrink max_shrink_runs
-    time_budget replay_path trace_file corpus_dir flight_dump quiet =
+let run trials seed max_nodes rings bug_name adaptive app_name shrink
+    max_shrink_runs time_budget replay_path trace_file corpus_dir flight_dump
+    quiet =
+  if rings < 1 then begin
+    prerr_endline "--rings must be >= 1";
+    exit 2
+  end;
   let bug =
     match Bug.of_string bug_name with
     | Ok b -> b
@@ -84,6 +89,7 @@ let run trials seed max_nodes bug_name adaptive app_name shrink max_shrink_runs
           Fuzzer.trials;
           seed = Int64.of_int seed;
           max_nodes;
+          rings;
           bug;
           adaptive;
           app;
@@ -144,6 +150,18 @@ let max_nodes =
           "Cluster-size cap for generated schedules. The default (8) \
            preserves the historical seed-to-schedule mapping; larger caps \
            (e.g. 32) stress membership recovery at scale.")
+
+let rings =
+  Arg.(
+    value & opt int 1
+    & info [ "rings" ]
+        ~doc:
+          "Ordering rings per generated schedule. With more than 1, every \
+           trial runs the multi-ring sharded KV deployment: ring-scoped \
+           partitions and token blackouts, a cross-shard mcas workload, \
+           and per-ring convergence plus cross-shard atomicity oracles. \
+           The default (1) preserves the historical seed-to-schedule \
+           mapping exactly.")
 
 let bug_name =
   Arg.(
@@ -240,8 +258,8 @@ let cmd =
   Cmd.v
     (Cmd.info "accelring_fuzz" ~doc)
     Term.(
-      const run $ trials $ seed $ max_nodes $ bug_name $ adaptive $ app_name
-      $ shrink
+      const run $ trials $ seed $ max_nodes $ rings $ bug_name $ adaptive
+      $ app_name $ shrink
       $ max_shrink_runs $ time_budget $ replay_path $ trace_file $ corpus_dir
       $ flight_dump $ quiet)
 

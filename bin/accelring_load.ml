@@ -13,10 +13,14 @@ let net_of_string = function
   | "10g" -> Ok Profile.ten_gigabit
   | s -> Error (`Msg (Printf.sprintf "unknown network %S (use 1g|10g)" s))
 
-let run nodes net sessions groups rate periodic seconds keys theta
+let run nodes rings mcas net sessions groups rate periodic seconds keys theta
     reads sync_reads cas dels churn_ms storm_spec slow_spec wan_ns
     seed verbose show_metrics =
   if verbose then Aring_util.Log.setup ~level:Logs.Info ();
+  if rings < 1 then begin
+    prerr_endline "--rings must be >= 1";
+    exit 2
+  end;
   let storm =
     Option.map
       (fun (at_ms, count) ->
@@ -56,8 +60,13 @@ let run nodes net sessions groups rate periodic seconds keys theta
   let spec =
     {
       Load.default_spec with
-      label = Printf.sprintf "load/%dn/%ds" nodes (nodes * sessions);
+      label =
+        (if rings > 1 then
+           Printf.sprintf "load/%dr/%dn/%ds" rings nodes (nodes * sessions)
+         else Printf.sprintf "load/%dn/%ds" nodes (nodes * sessions));
       n_nodes = nodes;
+      rings;
+      mcas_permille = (if rings > 1 then mcas else 0);
       net;
       sessions_per_node = sessions;
       n_groups = groups;
@@ -76,24 +85,66 @@ let run nodes net sessions groups rate periodic seconds keys theta
       seed = Int64.of_int seed;
     }
   in
-  let result = Load.run spec in
-  Format.printf "%a@." Load.pp_result result;
-  if show_metrics then
-    Format.printf "%a@." Aring_obs.Metrics.pp result.Load.metrics;
-  if result.Load.oracle_violations > 0 then begin
-    Format.printf "CONSISTENCY VIOLATIONS:@.%a@." Aring_app.Oracle.pp
-      result.Load.oracle;
-    exit 1
-  end;
-  if not result.Load.converged then begin
-    print_endline "replicas did not converge within the drain budget";
-    exit 1
+  if rings > 1 then begin
+    (* Sharded multi-ring deployment: the churn / storm / slow-receiver /
+       geo dimensions stay single-ring, so reject them before Mload does
+       with a friendlier message. *)
+    if churn <> None || slow <> None || geo <> None then begin
+      prerr_endline
+        "--rings > 1 is incompatible with --churn/--storm/--slow/--wan-ns";
+      exit 2
+    end;
+    let module Mload = Aring_multiring.Mload in
+    let result = Mload.run spec in
+    Format.printf "%a@." Mload.pp_result result;
+    if show_metrics then
+      Format.printf "%a@." Aring_obs.Metrics.pp result.Mload.metrics;
+    if result.Mload.oracle_violations > 0 then begin
+      print_endline "CONSISTENCY VIOLATIONS (see per-ring oracles)";
+      exit 1
+    end;
+    if not result.Mload.converged then begin
+      print_endline "replicas did not converge within the drain budget";
+      exit 1
+    end
+  end
+  else begin
+    let result = Load.run spec in
+    Format.printf "%a@." Load.pp_result result;
+    if show_metrics then
+      Format.printf "%a@." Aring_obs.Metrics.pp result.Load.metrics;
+    if result.Load.oracle_violations > 0 then begin
+      Format.printf "CONSISTENCY VIOLATIONS:@.%a@." Aring_app.Oracle.pp
+        result.Load.oracle;
+      exit 1
+    end;
+    if not result.Load.converged then begin
+      print_endline "replicas did not converge within the drain budget";
+      exit 1
+    end
   end
 
 open Cmdliner
 
 let nodes =
   Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+let rings_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "rings" ]
+        ~doc:
+          "Independent ordering rings the KV key space shards over \
+           (1 = classic single-ring). Every node participates in every \
+           ring; latency is measured at the merged learner stream.")
+
+let mcas_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "mcas" ]
+        ~doc:
+          "Cross-shard multi-key cas share of the write mix, permille \
+           (multi-ring runs only).")
 
 let net =
   Arg.(
@@ -204,7 +255,8 @@ let cmd =
   Cmd.v
     (Cmd.info "accelring_load" ~doc)
     Term.(
-      const run $ nodes $ net $ sessions $ groups $ rate $ periodic $ seconds
+      const run $ nodes $ rings_arg $ mcas_arg $ net $ sessions $ groups $ rate
+      $ periodic $ seconds
       $ keys $ theta $ reads $ sync_reads $ cas $ dels $ churn_ms $ storm_spec
       $ slow_spec $ wan_ns $ seed $ verbose $ show_metrics)
 

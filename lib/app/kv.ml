@@ -15,6 +15,16 @@ type observation =
     }
   | Aborted
   | Reset
+  | Voted of {
+      id : string;
+      vote : bool;
+      rings : int list;
+      parts : Op.mcas_part list;
+    }
+  | Decided of { id : string; commit : bool }
+  | Skipped of { credits : int }
+
+type mcas_status = Mcas_voted of bool | Mcas_decided of bool
 
 type stats = {
   mutable ops_applied : int;
@@ -29,6 +39,12 @@ type stats = {
   mutable cold_resets : int;
   mutable buffered_peak : int;
   mutable decode_errors : int;
+  mutable mcas_votes : int;
+  mutable mcas_commits : int;
+  mutable mcas_aborts : int;
+  mutable mcas_dups : int;
+  mutable mcas_wounds : int;
+  mutable skips : int;
 }
 
 type bug = Bug_none | Bug_skip_apply of { every : int }
@@ -42,7 +58,15 @@ type incoming = {
   mutable xf_entries : (string * string) list;
   mutable xf_applied : int;
   mutable xf_buffer : Op.t list;  (* newest first *)
+  mutable xf_meta : (string * int) list;  (* donor's mcas table *)
+  mutable xf_park : Op.t list;  (* donor's parked head + queue, in order *)
 }
+
+(* An undecided cross-shard cas holding the apply pipeline: later writes
+   queue behind it (strict FIFO — no bypass, so every replica of this
+   ring applies the same sequence) until the per-node coordinator calls
+   {!resolve_mcas}. *)
+type mcas_active = { mc_id : string; mc_op : Op.t }
 
 type t = {
   daemon : Daemon.t;
@@ -50,6 +74,7 @@ type t = {
   session : Daemon.session;
   member_name : string;
   cluster_size : int;
+  ring_id : int;  (* which ring of a multi-ring deployment this replica orders on *)
   max_chunk_bytes : int;
   bug : bug;
   mutable bug_writes : int;
@@ -63,16 +88,25 @@ type t = {
   mutable elected : bool;
   mutable xfer_in : incoming option;
   pending : (int, string option -> token:int -> unit) Hashtbl.t;
+  mcas_meta : (string, mcas_status) Hashtbl.t;
+  mutable mcas_head : mcas_active option;
+  mcas_q : Op.t Queue.t;
   mutable next_nonce : int;
   mutable observers : (observation -> unit) list;  (* registration order *)
   stats : stats;
 }
 
 let node t = t.me
+let ring t = t.ring_id
 let applied t = t.applied_n
 let synced t = t.synced_f
 let in_transfer t = t.xfer_in <> None
 let settled t = t.elected && t.xfer_in = None
+let mcas_parked t = t.mcas_head <> None
+
+let parked_op t =
+  match t.mcas_head with None -> None | Some h -> Some h.mc_op
+let mcas_status t id = Hashtbl.find_opt t.mcas_meta id
 let store_size t = Hashtbl.length t.store
 let pending_sync_reads t = Hashtbl.length t.pending
 let stats t = t.stats
@@ -97,12 +131,52 @@ let fnv_string h s =
     s;
   !h
 
+(* Status codes carried by Op.Mcas_table and folded into the digest. *)
+let status_code = function
+  | Mcas_voted false -> 0
+  | Mcas_voted true -> 1
+  | Mcas_decided false -> 2
+  | Mcas_decided true -> 3
+
+let status_of_code = function
+  | 0 -> Mcas_voted false
+  | 1 -> Mcas_voted true
+  | 2 -> Mcas_decided false
+  | _ -> Mcas_decided true
+
 let digest t =
-  Hashtbl.fold
-    (fun k v acc ->
-      Int64.add acc (fnv_string (fnv_string (fnv_string fnv_offset k) "\x00") v))
-    t.store
-    (Int64.of_int (Hashtbl.length t.store))
+  let base =
+    Hashtbl.fold
+      (fun k v acc ->
+        Int64.add acc
+          (fnv_string (fnv_string (fnv_string fnv_offset k) "\x00") v))
+      t.store
+      (Int64.of_int (Hashtbl.length t.store))
+  in
+  (* Parked-mcas and vote-table state must distinguish replicas whose
+     stores match byte for byte: a park never advances [applied], yet a
+     replica holding one diverges from a clean peer the moment the mcas
+     resolves. Both folds are no-ops in single-ring deployments. *)
+  let base =
+    Hashtbl.fold
+      (fun id st acc ->
+        Int64.add acc
+          (fnv_string (fnv_string fnv_offset id)
+             (String.make 1 (Char.chr (status_code st + 1)))))
+      t.mcas_meta base
+  in
+  match t.mcas_head with
+  | None -> base
+  | Some { mc_op; _ } ->
+      let h =
+        fnv_string fnv_offset (Bytes.unsafe_to_string (Op.encode mc_op))
+      in
+      let h =
+        Queue.fold
+          (fun h op -> fnv_string h (Bytes.unsafe_to_string (Op.encode op)))
+          h t.mcas_q
+      in
+      Int64.add base h
 
 let trace_xfer t ~phase ~donor ~applied ~entries =
   if Trace.enabled () then
@@ -135,7 +209,9 @@ let apply_write t op =
         if not skip then Hashtbl.replace t.store key value
       end
       else t.stats.cas_failures <- t.stats.cas_failures + 1
-  | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ -> assert false);
+  | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ | Op.Mcas _ | Op.Mdecide _
+  | Op.Skip _ | Op.Mcas_table _ ->
+      assert false);
   t.stats.ops_applied <- t.stats.ops_applied + 1;
   let value = Hashtbl.find_opt t.store key in
   observe t (Applied { index = t.applied_n; op; value });
@@ -165,12 +241,135 @@ let buffer_op t xf op =
   let depth = List.length xf.xf_buffer in
   if depth > t.stats.buffered_peak then t.stats.buffered_peak <- depth
 
+(* --- cross-shard multi-key cas (Mcas) -------------------------------- *)
+
+let my_part t parts =
+  List.find_opt (fun p -> p.Op.mp_ring = t.ring_id) parts
+
+(* Vote = the part's checks evaluated against the store at the copy's
+   delivery position — the same position, hence the same store, at every
+   replica of this ring, so every replica records the same vote. A
+   [wound] vote (wait-die victim, see [deliver_write]) is forced false.
+   The replica parks only on a true vote: a false vote already fixes the
+   global outcome (abort), so blocking the ring behind it would buy
+   nothing. *)
+let start_mcas ?(wound = false) t op =
+  match op with
+  | Op.Mcas { id; parts } -> (
+      match Hashtbl.find_opt t.mcas_meta id with
+      | Some _ -> t.stats.mcas_dups <- t.stats.mcas_dups + 1
+      | None -> (
+          match my_part t parts with
+          | None -> ()  (* copy reached a ring holding no share of it *)
+          | Some p ->
+              let vote =
+                (not wound)
+                && List.for_all
+                     (fun (k, x) -> Hashtbl.find_opt t.store k = x)
+                     p.Op.mp_checks
+              in
+              Hashtbl.replace t.mcas_meta id (Mcas_voted vote);
+              t.stats.mcas_votes <- t.stats.mcas_votes + 1;
+              if wound then t.stats.mcas_wounds <- t.stats.mcas_wounds + 1;
+              if vote then t.mcas_head <- Some { mc_id = id; mc_op = op };
+              Aring_obs.Flight.record ~node:t.me
+                ~code:Aring_obs.Flight.ev_mcas ~a:t.ring_id
+                ~b:(if vote then 1 else 0)
+                ~c:(if wound then 2 else 0)
+                ~d:(List.length parts);
+              observe t
+                (Voted
+                   {
+                     id;
+                     vote;
+                     rings = List.map (fun q -> q.Op.mp_ring) parts;
+                     parts;
+                   }))
+      )
+  | _ -> assert false
+
+(* Deliver a write at a synced, untransferring replica: strict FIFO
+   through any parked Mcas — while one is undecided, every later write
+   queues behind it, so the apply sequence is identical at every replica
+   regardless of when the sequenced decision arrives. One exception
+   (wait-die): a {e fresh} Mcas delivered while an {e older} one (by id
+   order) is parked votes an immediate forced abort instead of queueing.
+   Parks only ever wait for younger parks, so cross-ring park cycles —
+   two rings parking two cross-shard ops in opposite orders, each
+   blocking the vote the other needs — cannot form. The victim's park
+   state at the comparison is itself ring-sequenced (parks resolve at
+   Mdecide delivery, never from node-local timing), so every replica of
+   the ring wounds the same ops. *)
+let rec deliver_write t op =
+  match t.mcas_head with
+  | None -> (
+      match op with
+      | Op.Mcas _ -> start_mcas t op
+      | _ -> apply_write t op)
+  | Some head -> (
+      match op with
+      | Op.Mcas { id; _ }
+        when (not (Hashtbl.mem t.mcas_meta id)) && id > head.mc_id ->
+          start_mcas ~wound:true t op
+      | _ -> Queue.push op t.mcas_q)
+
+and drain_mcas_q t =
+  while t.mcas_head = None && not (Queue.is_empty t.mcas_q) do
+    deliver_write t (Queue.pop t.mcas_q)
+  done
+
+(* Delivery of an {!Op.Mdecide}: the park resolves at this op's position
+   in the ring's total order, so park/queue evolution is a pure function
+   of the delivered sequence — identical at every replica no matter when
+   each node's coordinator learned the votes. *)
+let deliver_decide t ~id ~commit =
+  match t.mcas_head with
+  | Some { mc_id; mc_op } when mc_id = id ->
+      Hashtbl.replace t.mcas_meta id (Mcas_decided commit);
+      t.mcas_head <- None;
+      (if commit then begin
+         t.stats.mcas_commits <- t.stats.mcas_commits + 1;
+         match mc_op with
+         | Op.Mcas { parts; _ } -> (
+             match my_part t parts with
+             | Some p ->
+                 List.iter
+                   (fun (key, value) -> apply_write t (Op.Put { key; value }))
+                   p.Op.mp_writes
+             | None -> ())
+         | _ -> ()
+       end
+       else t.stats.mcas_aborts <- t.stats.mcas_aborts + 1);
+      Aring_obs.Flight.record ~node:t.me ~code:Aring_obs.Flight.ev_mcas
+        ~a:t.ring_id ~b:(if commit then 3 else 2) ~c:1 ~d:0;
+      observe t (Decided { id; commit });
+      drain_mcas_q t
+  | _ -> (
+      (* Not parked here: the copy voted false (no park), was never
+         delivered (minority view), or the park was superseded by a
+         snapshot install. Record the decision for dedup — the writes,
+         if any, reach this replica through the donor's snapshot, never
+         out of delivery order. *)
+      match Hashtbl.find_opt t.mcas_meta id with
+      | Some (Mcas_decided _) -> t.stats.mcas_dups <- t.stats.mcas_dups + 1
+      | _ ->
+          Hashtbl.replace t.mcas_meta id (Mcas_decided commit);
+          (if commit then t.stats.mcas_commits <- t.stats.mcas_commits + 1
+           else t.stats.mcas_aborts <- t.stats.mcas_aborts + 1);
+          observe t (Decided { id; commit }))
+
+let clear_park t =
+  t.mcas_head <- None;
+  Queue.clear t.mcas_q
+
 (* --- state transfer -------------------------------------------------- *)
 
 let cold_reset t =
   Hashtbl.reset t.store;
   t.applied_n <- 0;
   t.synced_f <- true;
+  Hashtbl.reset t.mcas_meta;
+  clear_park t;
   t.stats.cold_resets <- t.stats.cold_resets + 1;
   observe t Reset;
   trace_xfer t ~phase:"reset" ~donor:t.me ~applied:0 ~entries:0
@@ -198,6 +397,62 @@ let stream_snapshot t ~view =
   t.stats.snapshots_sent <- t.stats.snapshots_sent + 1;
   trace_xfer t ~phase:"snapshot" ~donor:t.me ~applied
     ~entries:(Hashtbl.length t.store);
+  (* Mcas vote/decision table and parked-op state travel ahead of the
+     chunks (only when non-empty, so single-ring streams are unchanged):
+     the snapshot store excludes an undecided park's effects, and the
+     receiver must reconstruct the park rather than lose the op. Streamed
+     as multiple size-bounded messages — one table can exceed a switch
+     buffer (a parked queue holds every write delivered since the park),
+     and an oversized multicast that the network can never carry would
+     stall the ring's delivery for every other member. Receivers append
+     table messages in stream order, so the split is invisible. *)
+  let meta =
+    Hashtbl.fold (fun id st acc -> (id, status_code st) :: acc) t.mcas_meta []
+    |> List.sort compare
+  in
+  let parked =
+    match t.mcas_head with
+    | None -> []
+    | Some { mc_op; _ } ->
+        Op.encode mc_op
+        :: List.rev
+             (Queue.fold (fun acc op -> Op.encode op :: acc) [] t.mcas_q)
+  in
+  let table_batches =
+    let budget = t.max_chunk_bytes in
+    let meta_cost (id, _) = String.length id + 12 in
+    let park_cost b = Bytes.length b + 8 in
+    let flush batches entries parked =
+      if entries = [] && parked = [] then batches
+      else (List.rev entries, List.rev parked) :: batches
+    in
+    let batches, entries, parked_acc, _ =
+      List.fold_left
+        (fun (batches, es, ps, bytes) e ->
+          let c = meta_cost e in
+          if (es <> [] || ps <> []) && bytes + c > budget then
+            (flush batches es ps, [ e ], [], c)
+          else (batches, e :: es, ps, bytes + c))
+        ([], [], [], 0) meta
+    in
+    let batches, entries, parked_acc, _ =
+      List.fold_left
+        (fun (batches, es, ps, bytes) b ->
+          let c = park_cost b in
+          if (es <> [] || ps <> []) && bytes + c > budget then
+            (flush batches es ps, [], [ b ], c)
+          else (batches, es, b :: ps, bytes + c))
+        (batches, entries, parked_acc,
+         List.fold_left (fun a e -> a + meta_cost e) 0 entries)
+        parked
+    in
+    List.rev (flush batches entries parked_acc)
+  in
+  List.iter
+    (fun (entries, parked) ->
+      multicast_op t
+        (Op.Mcas_table { view; donor = t.me; entries; parked }))
+    table_batches;
   List.iteri
     (fun index entries ->
       multicast_op t
@@ -243,6 +498,8 @@ let elect t ~view =
               xf_entries = [];
               xf_applied = 0;
               xf_buffer = [];
+              xf_meta = [];
+              xf_park = [];
             }
       end
 
@@ -253,18 +510,40 @@ let install t xf =
   t.synced_f <- true;
   t.xfer_in <- None;
   t.stats.installs <- t.stats.installs + 1;
+  (* Adopt the donor's mcas state wholesale: the snapshot rebases this
+     replica onto the donor's log prefix, so the donor's vote table and
+     park (not any stale local ones) are the matching cross-shard
+     state. *)
+  Hashtbl.reset t.mcas_meta;
+  List.iter
+    (fun (id, code) -> Hashtbl.replace t.mcas_meta id (status_of_code code))
+    xf.xf_meta;
+  clear_park t;
+  (match xf.xf_park with
+  | [] -> ()
+  | head :: queued ->
+      (match head with
+      | Op.Mcas { id; _ } -> t.mcas_head <- Some { mc_id = id; mc_op = head }
+      | _ -> ());
+      List.iter (fun op -> Queue.push op t.mcas_q) queued);
   observe t
     (Installed
        { donor = xf.xf_donor; applied = xf.xf_applied; entries = xf.xf_entries });
   trace_xfer t ~phase:"install" ~donor:xf.xf_donor ~applied:xf.xf_applied
     ~entries:(List.length xf.xf_entries);
-  (* Replay ops delivered (and accepted) during the transfer, in order. *)
+  (* Replay ops delivered (and accepted) during the transfer, in order —
+     through the parking-aware path so they queue behind a restored
+     park. *)
   List.iter
     (fun op ->
       match op with
-      | Op.Put _ | Op.Del _ | Op.Cas _ -> apply_write t op
+      | Op.Put _ | Op.Del _ | Op.Cas _ | Op.Mcas _ -> deliver_write t op
+      | Op.Mdecide { id; commit } -> deliver_decide t ~id ~commit
       | Op.Sync_read { nonce; key; _ } -> serve_sync t ~nonce ~key
-      | Op.Hello _ | Op.Chunk _ -> assert false)
+      | Op.Skip { credits } ->
+          t.stats.skips <- t.stats.skips + 1;
+          observe t (Skipped { credits })
+      | Op.Hello _ | Op.Chunk _ | Op.Mcas_table _ -> assert false)
     (List.rev xf.xf_buffer)
 
 let abort_transfer t =
@@ -301,17 +580,38 @@ let handle_chunk t (c : Op.t) =
       if xf.xf_received >= xf.xf_total then install t xf
   | _ -> ()
 
+let handle_table t (m : Op.t) =
+  match (m, t.xfer_in, t.view) with
+  | Op.Mcas_table { view; donor; entries; parked }, Some xf, Some v
+    when view = v && donor = xf.xf_donor ->
+      (* Append: the donor streams the table as size-bounded batches, in
+         order, ahead of the store chunks. *)
+      xf.xf_meta <- xf.xf_meta @ entries;
+      xf.xf_park <- xf.xf_park @ List.map Op.decode parked
+  | _ -> ()
+
 let handle_op t op =
   match op with
   | Op.Hello _ -> handle_hello t op
   | Op.Chunk _ -> handle_chunk t op
+  | Op.Mcas_table _ -> handle_table t op
+  | Op.Skip { credits } -> (
+      (* Merge liveness hint: no store effect, no log position, not
+         gated on primary — but buffered during a transfer so the
+         observation stream keeps every replica's per-ring item/skip
+         sequence identical. *)
+      match t.xfer_in with
+      | Some xf -> buffer_op t xf op
+      | None ->
+          t.stats.skips <- t.stats.skips + 1;
+          observe t (Skipped { credits }))
   | Op.Sync_read { reader; nonce; key } ->
       if reader = t.member_name then begin
         match t.xfer_in with
         | Some xf -> buffer_op t xf op
         | None -> serve_sync t ~nonce ~key
       end
-  | Op.Put _ | Op.Del _ | Op.Cas _ ->
+  | Op.Put _ | Op.Del _ | Op.Cas _ | Op.Mcas _ | Op.Mdecide _ ->
       (* Primary-component gate: every member of the delivering
          configuration makes the same decision, so an op executes either
          at all of them or at none. (The daemon routes group traffic to a
@@ -327,7 +627,10 @@ let handle_op t op =
             (* Unsynced with no transfer running (between an abort and the
                next election): the pending install supersedes this state,
                so skip the apply rather than corrupt the counters. *)
-            if t.synced_f then apply_write t op
+            if t.synced_f then (
+              match op with
+              | Op.Mdecide { id; commit } -> deliver_decide t ~id ~commit
+              | _ -> deliver_write t op)
       end
 
 let on_message t ~sender:_ ~groups:_ _service payload =
@@ -367,6 +670,10 @@ let del t ~key = multicast_op t (Op.Del { key })
 
 let cas t ~key ~expect ~value = multicast_op t (Op.Cas { key; expect; value })
 
+let submit_mcas t ~id ~parts = multicast_op t (Op.Mcas { id; parts })
+let submit_decide t ~id ~commit = multicast_op t (Op.Mdecide { id; commit })
+let skip t ~credits = multicast_op t (Op.Skip { credits })
+
 let read t ~key =
   t.stats.reads <- t.stats.reads + 1;
   let value = Hashtbl.find_opt t.store key in
@@ -385,7 +692,7 @@ let sync_read t ~key ~on_result =
     (Op.Sync_read { reader = t.member_name; nonce; key })
 
 let create ?(bug = Bug_none) ?(max_chunk_bytes = 4096) ?(session_name = "kv")
-    ~cluster_size ~daemon () =
+    ?(ring = 0) ~cluster_size ~daemon () =
   if cluster_size < 1 then invalid_arg "Kv.create: cluster_size < 1";
   let tref = ref None in
   let callbacks =
@@ -406,6 +713,7 @@ let create ?(bug = Bug_none) ?(max_chunk_bytes = 4096) ?(session_name = "kv")
       session;
       member_name = Daemon.session_member_name daemon session;
       cluster_size;
+      ring_id = ring;
       max_chunk_bytes;
       bug;
       bug_writes = 0;
@@ -419,6 +727,9 @@ let create ?(bug = Bug_none) ?(max_chunk_bytes = 4096) ?(session_name = "kv")
       elected = false;
       xfer_in = None;
       pending = Hashtbl.create 8;
+      mcas_meta = Hashtbl.create 8;
+      mcas_head = None;
+      mcas_q = Queue.create ();
       next_nonce = 0;
       observers = [];
       stats =
@@ -435,6 +746,12 @@ let create ?(bug = Bug_none) ?(max_chunk_bytes = 4096) ?(session_name = "kv")
           cold_resets = 0;
           buffered_peak = 0;
           decode_errors = 0;
+          mcas_votes = 0;
+          mcas_wounds = 0;
+          mcas_commits = 0;
+          mcas_aborts = 0;
+          mcas_dups = 0;
+          skips = 0;
         };
     }
   in
@@ -452,8 +769,9 @@ let preload t entries =
      starts from the same contents. *)
   observe t (Installed { donor = t.me; applied = 0; entries })
 
-let record_metrics t reg =
-  let c name v = Metrics.add (Metrics.counter reg name) v in
+let record_metrics ?(prefix = "") t reg =
+  let c name v = Metrics.add (Metrics.counter reg (prefix ^ name)) v in
+  let g name v = Metrics.set (Metrics.gauge reg (prefix ^ name)) v in
   c "app.ops_applied" t.stats.ops_applied;
   c "app.cas_failures" t.stats.cas_failures;
   c "app.rejected_writes" t.stats.rejected_writes;
@@ -465,9 +783,11 @@ let record_metrics t reg =
   c "app.xfer_aborts" t.stats.xfer_aborts;
   c "app.cold_resets" t.stats.cold_resets;
   c "app.decode_errors" t.stats.decode_errors;
-  Metrics.set (Metrics.gauge reg "app.store_size")
-    (float_of_int (Hashtbl.length t.store));
-  Metrics.set (Metrics.gauge reg "app.applied") (float_of_int t.applied_n);
-  Metrics.set
-    (Metrics.gauge reg "app.buffered_peak")
-    (float_of_int t.stats.buffered_peak)
+  c "app.mcas_votes" t.stats.mcas_votes;
+  c "app.mcas_commits" t.stats.mcas_commits;
+  c "app.mcas_aborts" t.stats.mcas_aborts;
+  c "app.mcas_dups" t.stats.mcas_dups;
+  c "app.skips" t.stats.skips;
+  g "app.store_size" (float_of_int (Hashtbl.length t.store));
+  g "app.applied" (float_of_int t.applied_n);
+  g "app.buffered_peak" (float_of_int t.stats.buffered_peak)

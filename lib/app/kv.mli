@@ -58,6 +58,32 @@ type observation =
     }  (** A snapshot replaced this replica's store. *)
   | Aborted  (** An in-flight incoming transfer was discarded. *)
   | Reset  (** Cold restart: no synced member existed at an election. *)
+  | Voted of {
+      id : string;
+      vote : bool;
+      rings : int list;
+      parts : Op.mcas_part list;
+    }
+      (** An {!Op.Mcas} copy was delivered and this replica evaluated
+          its ring's checks. On a true vote the op parks (later writes
+          queue behind it) until an {!Op.Mdecide} is delivered; a false
+          vote — failed checks, or a wait-die wound — already fixes the
+          global outcome, so nothing parks. [rings] lists every involved
+          ring; [parts] is the full op, so any observer can resubmit
+          copies a crashed submitter never sent (cooperative
+          termination). *)
+  | Decided of { id : string; commit : bool }
+      (** An {!Op.Mdecide} resolved this mcas at its delivery position;
+          on a parked commit the writes were applied (each reported as an
+          ordinary [Applied] with a [Put] op) and queued writes then
+          drained. *)
+  | Skipped of { credits : int }
+      (** An {!Op.Skip} merge-liveness hint at this position of the
+          ring's observation stream. *)
+
+(** Per-mcas-id state retained for dedup of retried copies and for
+    coordinator resolution (see [Aring_multiring.Cluster]). *)
+type mcas_status = Mcas_voted of bool | Mcas_decided of bool
 
 type stats = {
   mutable ops_applied : int;
@@ -72,6 +98,14 @@ type stats = {
   mutable cold_resets : int;
   mutable buffered_peak : int;  (** Max ops buffered during one transfer. *)
   mutable decode_errors : int;
+  mutable mcas_votes : int;
+  mutable mcas_commits : int;
+  mutable mcas_aborts : int;
+  mutable mcas_dups : int;  (** Retried Mcas/Mdecide copies deduplicated. *)
+  mutable mcas_wounds : int;
+      (** Mcas copies force-aborted by wait-die: delivered while an
+          older mcas held this ring's park. *)
+  mutable skips : int;
 }
 
 (** Fault injection for the fuzzer's seeded-bug self-test. *)
@@ -89,6 +123,7 @@ val create :
   ?bug:bug ->
   ?max_chunk_bytes:int ->
   ?session_name:string ->
+  ?ring:int ->
   cluster_size:int ->
   daemon:Aring_daemon.Daemon.t ->
   unit ->
@@ -98,7 +133,9 @@ val create :
     replica on one daemon is not supported). [cluster_size] is the full
     ring size, used for the primary-component majority test.
     [max_chunk_bytes] bounds the encoded size of one snapshot chunk
-    (default 4096). *)
+    (default 4096). [ring] (default 0) names which ring of a multi-ring
+    deployment this replica orders on — it selects the replica's
+    {!Op.mcas_part} of a cross-shard cas. *)
 
 val node : t -> Types.pid
 (** The hosting daemon's pid — the replica's identity in observations,
@@ -121,6 +158,57 @@ val sync_read : t -> key:string -> on_result:(string option -> token:int -> unit
 (** Safe-ordered read: multicasts a marker with Safe delivery and serves
     the read when the marker comes back, i.e. after every write stably
     ordered before it. [on_result] fires at most once. *)
+
+(** {1 Cross-shard multi-key cas}
+
+    An {!Op.Mcas} carries per-ring parts; an identical copy is submitted
+    on every involved ring ({!submit_mcas} sends this ring's copy). At
+    delivery, each replica evaluates its own part's checks — the same
+    deterministic vote at every replica of the ring. A true vote
+    {e parks} the op: every later write queues behind it, so the apply
+    sequence stays identical ring-wide. A false vote fixes the global
+    outcome (abort), so nothing parks. Wait-die breaks cross-ring park
+    cycles: a fresh Mcas delivered while an {e older} one (by id order)
+    is parked votes a forced abort instead of queueing, so parks only
+    ever wait for younger parks and two rings can never park two
+    cross-shard ops in opposite orders, each blocking the vote the other
+    needs.
+
+    A per-node coordinator (one per physical node, reading the node's
+    own replicas — votes never cross the network) computes
+    [commit = AND of all involved rings' votes] and multicasts the
+    outcome on every involved ring ({!submit_decide}); the park resolves
+    when the {!Op.Mdecide} is {e delivered}, i.e. at one deterministic
+    position of the ring's op stream — commit applies the part's writes,
+    abort applies nothing. Undecided parks survive view changes: the
+    hello digest covers park and vote state, and a donor streams both
+    ahead of its snapshot ({!Op.Mcas_table}), so receivers reconstruct
+    the park instead of dropping it. *)
+
+val submit_mcas : t -> id:string -> parts:Op.mcas_part list -> unit
+(** Multicast this ring's copy of the cas. [id] must be globally unique;
+    retried copies dedup on it. *)
+
+val skip : t -> credits:int -> unit
+(** Multicast an {!Op.Skip} merge-liveness hint on this ring. *)
+
+val submit_decide : t -> id:string -> commit:bool -> unit
+(** Multicast the coordinator's outcome for mcas [id] on this ring
+    ({!Op.Mdecide}). At delivery, a matching park resolves; anywhere
+    else (already resolved, voted false, superseded by a snapshot
+    install, or never delivered) only the decision is recorded for
+    dedup — writes are never applied out of delivery order. *)
+
+val mcas_status : t -> string -> mcas_status option
+val mcas_parked : t -> bool
+
+val parked_op : t -> Op.t option
+(** The undecided parked {!Op.Mcas} head, if any — snapshot installs
+    restore it, so a replica that never saw the copy delivered still
+    holds the full op and any observer can drive termination from it. *)
+
+val ring : t -> int
+(** The ring id this replica orders on (0 in single-ring deployments). *)
 
 (** {1 Introspection} *)
 
@@ -155,5 +243,6 @@ val preload : t -> (string * string) list -> unit
     applied 0 so oracle shadows stay consistent. Raises
     [Invalid_argument] once the replica has run. *)
 
-val record_metrics : t -> Aring_obs.Metrics.t -> unit
-(** Export replica counters and gauges under ["app.*"] names. *)
+val record_metrics : ?prefix:string -> t -> Aring_obs.Metrics.t -> unit
+(** Export replica counters and gauges under ["app.*"] names, optionally
+    prefixed (e.g. ["ring1."] for per-ring registries). *)

@@ -1,5 +1,14 @@
 open Aring_wire
 
+(* One ring's share of a cross-shard multi-key cas: the checks and writes
+   whose keys hash to that ring. Every involved ring orders an identical
+   copy of the whole op; each replica votes on its own part. *)
+type mcas_part = {
+  mp_ring : int;
+  mp_checks : (string * string option) list;
+  mp_writes : (string * string) list;
+}
+
 type t =
   | Put of { key : string; value : string }
   | Del of { key : string }
@@ -20,14 +29,35 @@ type t =
       applied : int;
       entries : (string * string) list;
     }
+  | Mcas of { id : string; parts : mcas_part list }
+  | Mdecide of { id : string; commit : bool }
+      (** Sequenced outcome of an {!Mcas}: a coordinator that has
+          gathered every involved ring's vote multicasts the decision
+          through each involved ring, so a park resolves at one
+          deterministic position of the ring's op stream (replicas never
+          unpark from node-local timing). Dedups on [id]. *)
+  | Skip of { credits : int }
+      (** Merge liveness hint from an idle ring: grants the learner merge
+          [credits] turn-passes at this point of the ring's stream. *)
+  | Mcas_table of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      entries : (string * int) list;  (* mcas id -> status code *)
+      parked : bytes list;  (* encoded ops: parked head, then its queue *)
+    }
+      (** Donor's mcas vote/decision table plus its parked-op state,
+          streamed ahead of the snapshot chunks so receivers dedup
+          retried Mcas copies and reconstruct an undecided park. *)
 
 let is_write = function
-  | Put _ | Del _ | Cas _ -> true
-  | Sync_read _ | Hello _ | Chunk _ -> false
+  | Put _ | Del _ | Cas _ | Mcas _ | Mdecide _ -> true
+  | Sync_read _ | Hello _ | Chunk _ | Skip _ | Mcas_table _ -> false
 
 let write_key = function
   | Put { key; _ } | Del { key } | Cas { key; _ } -> Some key
-  | Sync_read _ | Hello _ | Chunk _ -> None
+  | Sync_read _ | Hello _ | Chunk _ | Mcas _ | Mdecide _ | Skip _
+  | Mcas_table _ ->
+      None
 
 (* Tags. The encoding reuses the wire codec primitives but lives entirely
    inside daemon App payloads — no frame-level format change. *)
@@ -37,6 +67,10 @@ let tag_cas = 3
 let tag_sync_read = 4
 let tag_hello = 5
 let tag_chunk = 6
+let tag_mcas = 7
+let tag_skip = 8
+let tag_mcas_table = 9
+let tag_mdecide = 10
 
 let write_str e s = Codec.write_bytes e (Bytes.unsafe_of_string s)
 let read_str d = Bytes.unsafe_to_string (Codec.read_bytes d)
@@ -92,7 +126,45 @@ let encode op =
         (fun (k, v) ->
           write_str e k;
           write_str e v)
-        entries);
+        entries
+  | Mcas { id; parts } ->
+      Codec.write_u8 e tag_mcas;
+      write_str e id;
+      Codec.write_list e
+        (fun p ->
+          Codec.write_i32 e p.mp_ring;
+          Codec.write_list e
+            (fun (k, x) ->
+              write_str e k;
+              match x with
+              | None -> Codec.write_bool e false
+              | Some v ->
+                  Codec.write_bool e true;
+                  write_str e v)
+            p.mp_checks;
+          Codec.write_list e
+            (fun (k, v) ->
+              write_str e k;
+              write_str e v)
+            p.mp_writes)
+        parts
+  | Mdecide { id; commit } ->
+      Codec.write_u8 e tag_mdecide;
+      write_str e id;
+      Codec.write_bool e commit
+  | Skip { credits } ->
+      Codec.write_u8 e tag_skip;
+      Codec.write_i32 e credits
+  | Mcas_table { view; donor; entries; parked } ->
+      Codec.write_u8 e tag_mcas_table;
+      write_ring e view;
+      Codec.write_i32 e donor;
+      Codec.write_list e
+        (fun (id, st) ->
+          write_str e id;
+          Codec.write_u8 e st)
+        entries;
+      Codec.write_list e (fun b -> Codec.write_bytes e b) parked);
   Codec.to_bytes e
 
 let decode bytes =
@@ -138,6 +210,47 @@ let decode bytes =
       in
       Chunk { view; donor; index; total; applied; entries }
     end
+    else if tag = tag_mcas then begin
+      let id = read_str d in
+      let parts =
+        Codec.read_list d (fun () ->
+            let mp_ring = Codec.read_i32 d in
+            let mp_checks =
+              Codec.read_list d (fun () ->
+                  let k = read_str d in
+                  let x =
+                    if Codec.read_bool d then Some (read_str d) else None
+                  in
+                  (k, x))
+            in
+            let mp_writes =
+              Codec.read_list d (fun () ->
+                  let k = read_str d in
+                  let v = read_str d in
+                  (k, v))
+            in
+            { mp_ring; mp_checks; mp_writes })
+      in
+      Mcas { id; parts }
+    end
+    else if tag = tag_mdecide then begin
+      let id = read_str d in
+      let commit = Codec.read_bool d in
+      Mdecide { id; commit }
+    end
+    else if tag = tag_skip then Skip { credits = Codec.read_i32 d }
+    else if tag = tag_mcas_table then begin
+      let view = read_ring d in
+      let donor = Codec.read_i32 d in
+      let entries =
+        Codec.read_list d (fun () ->
+            let id = read_str d in
+            let st = Codec.read_u8 d in
+            (id, st))
+      in
+      let parked = Codec.read_list d (fun () -> Codec.read_bytes d) in
+      Mcas_table { view; donor; entries; parked }
+    end
     else raise (Codec.Decode_error (Printf.sprintf "Op: unknown tag %d" tag))
   in
   Codec.expect_end d;
@@ -161,3 +274,13 @@ let pp ppf = function
       Format.fprintf ppf "chunk(%a donor=%d %d/%d applied=%d n=%d)"
         Types.pp_ring_id view donor (index + 1) total applied
         (List.length entries)
+  | Mcas { id; parts } ->
+      Format.fprintf ppf "mcas(%s rings=[%s])" id
+        (String.concat ","
+           (List.map (fun p -> string_of_int p.mp_ring) parts))
+  | Mdecide { id; commit } ->
+      Format.fprintf ppf "mdecide(%s %s)" id (if commit then "commit" else "abort")
+  | Skip { credits } -> Format.fprintf ppf "skip(%d)" credits
+  | Mcas_table { donor; entries; parked; _ } ->
+      Format.fprintf ppf "mcas_table(donor=%d n=%d parked=%d)" donor
+        (List.length entries) (List.length parked)

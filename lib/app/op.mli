@@ -17,6 +17,16 @@
 
 open Aring_wire
 
+(** One ring's share of a cross-shard multi-key cas ({!Mcas}): the checks
+    and writes whose keys hash to ring [mp_ring]. Every involved ring
+    orders an identical copy of the whole op; each ring's replicas vote
+    on (and, on commit, apply) only their own part. *)
+type mcas_part = {
+  mp_ring : int;
+  mp_checks : (string * string option) list;
+  mp_writes : (string * string) list;
+}
+
 type t =
   | Put of { key : string; value : string }
   | Del of { key : string }
@@ -50,9 +60,40 @@ type t =
       (** One slice of the donor's snapshot (entries sorted by key across
           the whole stream; [applied] is the donor's op count at the
           snapshot point). *)
+  | Mcas of { id : string; parts : mcas_part list }
+      (** Cross-shard multi-key cas: an identical copy is multicast on
+          every involved ring; each ring's replicas deterministically
+          vote on their part's checks at the copy's delivery position,
+          and a per-node coordinator resolves commit/abort once every
+          involved ring has voted (see {!Kv} and [Aring_multiring]).
+          [id] must be globally unique; retried copies dedup on it. *)
+  | Mdecide of { id : string; commit : bool }
+      (** Sequenced outcome of an {!Mcas}: multicast by a coordinator on
+          every involved ring once all votes are known, so each replica
+          resolves the park at one deterministic position of its ring's
+          op stream. Dedups on [id]. *)
+  | Skip of { credits : int }
+      (** Merge liveness hint from an otherwise-idle ring: grants a
+          learner's round-robin merge [credits] turn-passes at this
+          position of the ring's stream (Ring-Paxos-style skip). Not a
+          write — consumes no op-log position. *)
+  | Mcas_table of {
+      view : Types.ring_id;
+      donor : Types.pid;
+      entries : (string * int) list;
+      parked : bytes list;
+    }
+      (** The donor's mcas vote/decision table ([id -> status code]) and
+          parked-op state ([parked] = encoded ops: the undecided [Mcas]
+          head, then every op queued behind it), streamed ahead of the
+          snapshot chunks (only when non-empty) so a receiver dedups
+          retried [Mcas] copies and reconstructs the donor's park instead
+          of silently dropping an undecided cross-shard cas. *)
 
 val is_write : t -> bool
-(** True for [Put]/[Del]/[Cas] — the ops that advance the replica log. *)
+(** True for [Put]/[Del]/[Cas]/[Mcas]/[Mdecide] — ops that take the
+    replica-log delivery path (primary-gated, buffered during
+    transfers). *)
 
 val write_key : t -> string option
 (** The key a write targets; [None] for non-writes. *)

@@ -77,7 +77,9 @@ let observe t ~node (obs : Kv.observation) =
       | Op.Cas { key; expect; value } ->
           if Hashtbl.find_opt sh.sh_store key = expect then
             Hashtbl.replace sh.sh_store key value
-      | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ -> ());
+      | Op.Sync_read _ | Op.Hello _ | Op.Chunk _ | Op.Mcas _ | Op.Mdecide _
+      | Op.Skip _ | Op.Mcas_table _ ->
+          ());
       let key = Option.value ~default:"" (Op.write_key op) in
       let expected = Hashtbl.find_opt sh.sh_store key in
       if expected <> value then begin
@@ -115,6 +117,10 @@ let observe t ~node (obs : Kv.observation) =
          minority replica last exposed. *)
       sh.sh_token <- applied
   | Kv.Aborted -> ()
+  (* Mcas life-cycle and skip observations carry no store effect: commit
+     writes arrive as ordinary [Applied] observations and flow through
+     the shadow like any other op. *)
+  | Kv.Voted _ | Kv.Decided _ | Kv.Skipped _ -> ()
   | Kv.Reset ->
       Hashtbl.reset sh.sh_store;
       sh.sh_index <- 0;

@@ -77,15 +77,15 @@ let stats t = t.stats
 let pid t = t.me
 let set_view_handler t f = t.on_view <- Some f
 
-let record_metrics t reg =
+let record_metrics ?(prefix = "") t reg =
   let module Metrics = Aring_obs.Metrics in
-  let c name v = Metrics.add (Metrics.counter reg name) v in
+  let c name v = Metrics.add (Metrics.counter reg (prefix ^ name)) v in
   c "daemon.client_deliveries" t.stats.client_deliveries;
   c "daemon.group_notifications" t.stats.group_notifications;
   c "daemon.packs_sent" t.stats.packs_sent;
   c "daemon.envelopes_packed" t.stats.envelopes_packed;
   match Member.node t.member with
-  | Some node -> Engine.record_metrics (Node.engine node) reg
+  | Some node -> Engine.record_metrics ~prefix (Node.engine node) reg
   | None -> ()
 
 let group_members t group = Groups.members t.groups group

@@ -132,7 +132,8 @@ val group_members : t -> string -> string list
 
 val stats : t -> stats
 
-val record_metrics : t -> Aring_obs.Metrics.t -> unit
+val record_metrics : ?prefix:string -> t -> Aring_obs.Metrics.t -> unit
 (** Export the daemon counters (and the underlying engine's, when
     operational) into a metrics registry under ["daemon.*"] /
-    ["engine.*"] names. *)
+    ["engine.*"] names, optionally prefixed (e.g. ["ring1."] for
+    per-ring registries). *)

@@ -4,6 +4,7 @@ type config = {
   trials : int;
   seed : int64;
   max_nodes : int;
+  rings : int;
   bug : Bug.t;
   adaptive : bool;
   app : Runner.app;
@@ -18,6 +19,7 @@ let default_config =
     trials = 200;
     seed = 1L;
     max_nodes = 8;
+    rings = 1;
     bug = Bug.Clean;
     adaptive = false;
     app = Runner.App_none;
@@ -42,7 +44,9 @@ let run_campaign cfg =
   (let i = ref 0 in
    while !failure = None && !i < cfg.trials && not (cfg.stop ()) do
      let seed = Prng.next_int64 master in
-     let schedule = Schedule.generate ~max_nodes:cfg.max_nodes ~seed () in
+     let schedule =
+       Schedule.generate ~max_nodes:cfg.max_nodes ~rings:cfg.rings ~seed ()
+     in
      let outcome =
        Runner.run ~bug:cfg.bug ~adaptive:cfg.adaptive ~app:cfg.app schedule
      in

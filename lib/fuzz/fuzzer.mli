@@ -15,6 +15,11 @@ type config = {
       (** Cluster-size cap handed to {!Schedule.generate}. The default
           (8) preserves the historical seed→schedule mapping; the CI also
           runs a 32-node pass to stress recovery at scale. *)
+  rings : int;
+      (** Ordering rings per generated schedule (default 1). With more
+          than one, every trial runs on an {!Aring_multiring.Cluster}
+          with the sharded KV + cross-shard mcas workload and
+          ring-scoped faults (see {!Runner.run}). *)
   bug : Bug.t;  (** Injected defect ({!Bug.Clean} for real fuzzing). *)
   adaptive : bool;
       (** Run every node with the AIMD accelerated-window controller
@@ -33,8 +38,8 @@ type config = {
 }
 
 val default_config : config
-(** 200 trials, seed 1, max 8 nodes, clean, static window, no app,
-    shrink on (budget 200), never stops early, silent log. *)
+(** 200 trials, seed 1, max 8 nodes, 1 ring, clean, static window, no
+    app, shrink on (budget 200), never stops early, silent log. *)
 
 type trial = { index : int; schedule : Schedule.t; outcome : Runner.outcome }
 

@@ -7,6 +7,7 @@ module Health = Aring_obs.Health
 module Daemon = Aring_daemon.Daemon
 module Kv = Aring_app.Kv
 module Oracle = Aring_app.Oracle
+module Cluster = Aring_multiring.Cluster
 open Aring_wire
 open Aring_ring
 open Aring_sim
@@ -26,6 +27,7 @@ type failure =
   | No_convergence of { missing : (int * string) list }
   | Kv_violation of { total : int; messages : string list }
   | Kv_unsettled of { nodes : (int * string) list }
+  | Mcas_divergence of { id : string; decisions : (int * int * bool) list }
   | Health_stall of { report : Health.report }
   | Run_exception of string
 
@@ -52,6 +54,7 @@ let failure_label = function
   | Kv_violation _ -> "kv_violation"
   | Kv_unsettled _ -> "kv_unsettled"
   | Health_stall _ -> "health_stall"
+  | Mcas_divergence _ -> "mcas_divergence"
   | Run_exception _ -> "exception"
 
 let ms n = n * 1_000_000
@@ -80,7 +83,7 @@ let install_faults sim (s : Schedule.t) =
   let partitions =
     List.filter_map
       (function
-        | Schedule.Partition { at_ns; until_ns; island } ->
+        | Schedule.Partition { at_ns; until_ns; island; ring = _ } ->
             let inside = Array.make n false in
             List.iter
               (fun i -> if i >= 0 && i < n then inside.(i) <- true)
@@ -100,7 +103,8 @@ let install_faults sim (s : Schedule.t) =
   let blackouts =
     List.filter_map
       (function
-        | Schedule.Token_blackout { at_ns; until_ns } -> Some (at_ns, until_ns)
+        | Schedule.Token_blackout { at_ns; until_ns; ring = _ } ->
+            Some (at_ns, until_ns)
         | _ -> None)
       s.faults
   in
@@ -234,8 +238,428 @@ let install_kv_workload sim (s : Schedule.t) (kvs : Kv.t array) =
     Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
   done
 
-let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
-    (s : Schedule.t) =
+
+(* ---------- Multi-ring runs (config.rings > 1) ---------- *)
+
+(* Fault translation for an M-ring cluster: partitions and blackouts are
+   drawn with an optional ring scope (-1 = every ring); islands stay
+   physical, so a scoped partition cuts the same physical nodes but only
+   inside one ordering ring's multicast domain. Crashes are physical:
+   {!Cluster.crash} kills the node's participant in every ring. The
+   burst PRNG seed matches the single-ring path, though the draw
+   streams diverge (different message populations) — multi-ring
+   schedules are a distinct reproducer universe in any case. *)
+let install_faults_multiring cluster (s : Schedule.t) =
+  let n = s.config.Schedule.n_nodes in
+  let rings = s.config.Schedule.rings in
+  let sim = Cluster.sim cluster in
+  let partitions =
+    List.filter_map
+      (function
+        | Schedule.Partition { at_ns; until_ns; island; ring } ->
+            let inside = Array.make n false in
+            List.iter
+              (fun i -> if i >= 0 && i < n then inside.(i) <- true)
+              island;
+            Some (at_ns, until_ns, inside, ring)
+        | _ -> None)
+      s.faults
+  in
+  let bursts =
+    List.filter_map
+      (function
+        | Schedule.Loss_burst { at_ns; until_ns; permille } ->
+            Some (at_ns, until_ns, permille)
+        | _ -> None)
+      s.faults
+  in
+  let blackouts =
+    List.filter_map
+      (function
+        | Schedule.Token_blackout { at_ns; until_ns; ring } ->
+            Some (at_ns, until_ns, ring)
+        | _ -> None)
+      s.faults
+  in
+  let burst_prng = Prng.create ~seed:(Int64.logxor s.seed 0x6275727374L) in
+  Netsim.set_drop sim (fun ~src ~dst msg ->
+      let now = Netsim.now sim in
+      let active at until = now >= at && now < until in
+      (* Domains prune cross-ring traffic before this predicate runs, so
+         src and dst always share a ring. *)
+      let in_ring ring = ring < 0 || src / n = ring in
+      List.exists
+        (fun (at, until, inside, ring) ->
+          active at until && in_ring ring
+          && inside.(src mod n) <> inside.(dst mod n))
+        partitions
+      || (match msg with
+         | Message.Token _ | Message.Commit _ ->
+             List.exists
+               (fun (at, until, ring) -> active at until && in_ring ring)
+               blackouts
+         | _ -> false)
+      ||
+      let permille =
+        List.fold_left
+          (fun acc (at, until, p) -> if active at until then max acc p else acc)
+          0 bursts
+      in
+      permille > 0 && Prng.int burst_prng 1000 < permille);
+  List.iter
+    (function
+      | Schedule.Crash { at_ns; node } ->
+          if node >= 0 && node < n then
+            Netsim.call_at sim ~at:at_ns (fun () ->
+                Cluster.crash cluster ~node;
+                for r = 0 to rings - 1 do
+                  Health.note_crash ~node:(Cluster.pid cluster ~ring:r ~node)
+                done)
+      | _ -> ())
+    s.faults
+
+(* Multi-ring KV workload: the single-ring mix (same key space, skew,
+   seed and pacing) with ops routed through the cluster's shard map,
+   plus a cross-shard mcas slice. Half the mcas ops carry a check read
+   from the local replica so both the commit and abort paths run. *)
+let install_kv_workload_multiring cluster (s : Schedule.t) =
+  let c = s.config in
+  let n = c.Schedule.n_nodes in
+  let sim = Cluster.sim cluster in
+  let wl_prng = Prng.create ~seed:(Int64.logxor s.seed 0x6B76776CL) in
+  let pad tag =
+    let len =
+      max (String.length tag) (min c.Schedule.payload kv_max_value)
+    in
+    let b = Bytes.make len '.' in
+    Bytes.blit_string tag 0 b 0 (String.length tag);
+    Bytes.to_string b
+  in
+  let key_j () =
+    if Prng.int wl_prng 1000 < 800 then Prng.int wl_prng kv_hot_keys
+    else kv_hot_keys + Prng.int wl_prng (kv_key_space - kv_hot_keys)
+  in
+  let key () = Printf.sprintf "k%02d" (key_j ()) in
+  (* A pair of distinct keys, preferably on different rings; after 8
+     failed draws settle for a same-shard (still multi-key) mcas. *)
+  let cross_pair () =
+    let j1 = key_j () in
+    let k1 = Printf.sprintf "k%02d" j1 in
+    let s1 = Cluster.shard_of_key cluster k1 in
+    let rec go tries =
+      let j = key_j () in
+      let k = Printf.sprintf "k%02d" j in
+      if j <> j1 && Cluster.shard_of_key cluster k <> s1 then k
+      else if tries = 0 then Printf.sprintf "k%02d" ((j1 + 1) mod kv_key_space)
+      else go (tries - 1)
+    in
+    (k1, go 8)
+  in
+  for node = 0 to n - 1 do
+    let counter = ref 0 in
+    let rec tick () =
+      if Netsim.now sim < c.Schedule.horizon_ns && Cluster.alive cluster ~node
+      then begin
+        incr counter;
+        let key = key () in
+        if
+          c.Schedule.safe_permille > 0
+          && Prng.int wl_prng 1000 < c.Schedule.safe_permille
+        then
+          Kv.sync_read
+            (Cluster.kv cluster
+               ~ring:(Cluster.shard_of_key cluster key)
+               ~node)
+            ~key
+            ~on_result:(fun _ ~token:_ -> ())
+        else begin
+          let r = Prng.int wl_prng 1000 in
+          if r < 250 then ignore (Cluster.read cluster ~node ~key)
+          else if r < 320 then Cluster.del cluster ~node ~key
+          else if r < 420 then
+            let expect, _ = Cluster.read cluster ~node ~key in
+            Cluster.cas cluster ~node ~key ~expect
+              ~value:(pad (Printf.sprintf "c:%d:%d" node !counter))
+          else if r < 480 then begin
+            let k1, k2 = cross_pair () in
+            let checks =
+              if Prng.bool wl_prng then
+                [ (k1, fst (Cluster.read cluster ~node ~key:k1)) ]
+              else []
+            in
+            Cluster.mcas cluster ~node
+              ~id:(Printf.sprintf "fm:%d:%d" node !counter)
+              ~checks
+              ~writes:
+                [
+                  (k1, pad (Printf.sprintf "x:%d:%d:a" node !counter));
+                  (k2, pad (Printf.sprintf "x:%d:%d:b" node !counter));
+                ]
+          end
+          else
+            Cluster.put cluster ~node ~key
+              ~value:(pad (Printf.sprintf "v:%d:%d" node !counter))
+        end;
+        Netsim.call_at sim
+          ~at:(Netsim.now sim + c.Schedule.submit_gap_ns)
+          tick
+      end
+    in
+    Netsim.call_at sim ~at:(ms 1 + (node * 97_000)) tick
+  done
+
+(* The multi-ring twin of [run_single]. Always KV-hosted ([App_none]
+   merely skips the workload); probes are never sent — EVS raw payloads
+   do not survive post-horizon membership churn, so convergence is
+   judged on replica equality, merge quiescence and cross-shard
+   decision agreement. [Bug.Recovery_flood] is not plumbed through the
+   cluster builder and behaves as [Clean] here. *)
+let run_multiring ~bug ~adaptive ~app ?extra_sink (s : Schedule.t) =
+  let c = s.config in
+  let n = c.Schedule.n_nodes in
+  let rings = c.Schedule.rings in
+  let params = Schedule.params c in
+  let tiers =
+    Array.of_list (List.map Schedule.tier c.Schedule.tier_ids)
+  in
+  let controller ~pid:_ =
+    if adaptive then
+      Some
+        (Aring_control.Controller.create
+           ~config:
+             (Aring_control.Controller.default_config
+                ~aw_max:params.Params.personal_window ())
+           ~init:params.Params.accelerated_window ())
+    else None
+  in
+  let kv_bug ~ring ~node =
+    match bug with
+    | Bug.Kv_skip_apply { node = bn; every } when bn = node && ring = 0 ->
+        Some (Kv.Bug_skip_apply { every })
+    | _ -> None
+  in
+  Flight.reset ();
+  let health_config =
+    let base = Health.default_config in
+    let p = float_of_int c.Schedule.base_loss_permille /. 1000. in
+    let attempt_fail = 1. -. ((1. -. p) ** float_of_int (2 * n)) in
+    if attempt_fail <= 0. || attempt_fail >= 1. then base
+    else
+      let k = int_of_float (ceil (log 1e-4 /. log attempt_fail)) in
+      { base with Health.k_formation = max base.Health.k_formation k }
+  in
+  let health = Health.create ~config:health_config ~n:(rings * n) () in
+  Health.attach health;
+  let cluster =
+    Cluster.create ~params ~net:(Schedule.net c) ~tiers ~seed:s.seed
+      ~controller
+      ~wrap:(fun ~pid p -> Bug.wrap bug ~node:pid p)
+      ~kv_bug ~rings ~nodes:n ()
+  in
+  let sim = Cluster.sim cluster in
+  let checker = Checker.create () in
+  let hash = ref fnv_offset in
+  let hash_sink =
+    Trace.fn_sink (fun ev ->
+        hash := fnv_string (fnv_string !hash (Trace_json.to_line ev)) "\n")
+  in
+  let deliveries = ref 0 in
+  let views = ref 0 in
+  Netsim.on_deliver sim (fun ~at:_ ~now:_ _ -> incr deliveries);
+  Netsim.on_view sim (fun ~at:_ ~now:_ _ -> incr views);
+  install_faults_multiring cluster s;
+  (match app with
+  | App_none -> ()
+  | App_kv -> install_kv_workload_multiring cluster s);
+  let alive_phys () =
+    List.filter (fun i -> Cluster.alive cluster ~node:i) (List.init n Fun.id)
+  in
+  (* Liveness stage 1, per ring: every ring's survivors operational in
+     one common non-transitional view holding exactly that ring's
+     survivor pids. A run only counts as merged when ALL rings have
+     re-formed — an idle or slow ring must not be vacuously skipped. *)
+  let merged () =
+    match alive_phys () with
+    | [] -> true
+    | survivors ->
+        let ring_ok r =
+          let pids =
+            List.sort compare
+              (List.map (fun i -> Cluster.pid cluster ~ring:r ~node:i) survivors)
+          in
+          List.for_all
+            (fun i ->
+              Member.state_name (Cluster.member cluster ~ring:r ~node:i)
+              = "operational")
+            survivors
+          &&
+          let ring_views =
+            List.map
+              (fun i -> Member.current_view (Cluster.member cluster ~ring:r ~node:i))
+              survivors
+          in
+          List.for_all
+            (function
+              | Some v ->
+                  (not v.Participant.transitional)
+                  && List.sort compare v.Participant.members = pids
+              | None -> false)
+            ring_views
+          && (match ring_views with
+             | Some v0 :: rest ->
+                 List.for_all
+                   (function
+                     | Some v ->
+                         Types.ring_id_equal v.Participant.view_id
+                           v0.Participant.view_id
+                     | None -> false)
+                   rest
+             | _ -> true)
+        in
+        List.for_all ring_ok (List.init rings Fun.id)
+  in
+  let kv_states () =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun i ->
+            let kv = Cluster.kv cluster ~ring:r ~node:i in
+            ( Cluster.pid cluster ~ring:r ~node:i,
+              Printf.sprintf
+                "ring=%d node=%d applied=%d digest=%Lx synced=%b settled=%b \
+                 parked=%b merge_blocked=%d state=%s view=%s"
+                r i (Kv.applied kv) (Kv.digest kv) (Kv.synced kv)
+                (Kv.settled kv) (Kv.mcas_parked kv)
+                (Cluster.merge_blocked cluster ~node:i ~ring:r)
+                (Member.state_name (Cluster.member cluster ~ring:r ~node:i))
+                (match Member.current_view (Cluster.member cluster ~ring:r ~node:i) with
+                 | None -> "-"
+                 | Some v ->
+                     Format.asprintf "%a[%s]" Aring_wire.Types.pp_ring_id v.Participant.view_id
+                       (String.concat "," (List.map string_of_int v.Participant.members))) ))
+          (alive_phys ()))
+      (List.init rings Fun.id)
+  in
+  let kv_violation_failure () =
+    let messages =
+      List.concat_map
+        (fun r -> Oracle.messages (Cluster.oracle cluster ~ring:r))
+        (List.init rings Fun.id)
+    in
+    let keep = List.filteri (fun i _ -> i < 8) messages in
+    Kv_violation { total = Cluster.oracle_violations cluster; messages = keep }
+  in
+  (* Cross-shard atomicity: every decision observation for one mcas id —
+     any node, any ring, any time — must carry the same commit bit. *)
+  let mcas_divergence () =
+    List.find_map
+      (fun (id, _, _) ->
+        match Cluster.decisions_for cluster id with
+        | [] -> None
+        | (_, _, c0) :: rest ->
+            if List.exists (fun (_, _, c) -> c <> c0) rest then
+              let decisions =
+                List.filteri
+                  (fun i _ -> i < 12)
+                  (Cluster.decisions_for cluster id)
+              in
+              Some (Mcas_divergence { id; decisions })
+            else None)
+      (Cluster.mcas_ids cluster)
+  in
+  let converged () =
+    merged () && Cluster.kv_converged cluster && Cluster.merge_settled cluster
+  in
+  let deadline = c.Schedule.horizon_ns + c.Schedule.drain_ns in
+  let chunk = ms 25 in
+  let failure = ref None in
+  let finished = ref false in
+  let sink =
+    Trace.tee
+      ([ Checker.as_sink checker; hash_sink ]
+      @ Option.to_list extra_sink)
+  in
+  (try
+     Trace.with_sink sink (fun () ->
+         let t = ref 0 in
+         while not !finished do
+           t := min deadline (!t + chunk);
+           Netsim.run_until sim !t;
+           if Checker.violation_count checker > 0 then begin
+             failure := Some (Invariant (Checker.verdict checker));
+             finished := true
+           end
+           else if Cluster.oracle_violations cluster > 0 then begin
+             failure := Some (kv_violation_failure ());
+             finished := true
+           end
+           else
+             match mcas_divergence () with
+             | Some f ->
+                 failure := Some f;
+                 finished := true
+             | None ->
+                 if c.Schedule.liveness && converged () then finished := true
+                 else if
+                   c.Schedule.liveness && Health.check health ~now:!t <> []
+                 then begin
+                   failure :=
+                     Some
+                       (Health_stall
+                          { report = Health.report health ~now:!t });
+                   finished := true
+                 end
+                 else if !t >= deadline then begin
+                   if c.Schedule.liveness then
+                     if not (merged ()) then
+                       failure :=
+                         Some
+                           (No_merge
+                              {
+                                states =
+                                  List.concat_map
+                                    (fun r ->
+                                      List.map
+                                        (fun i ->
+                                          ( Cluster.pid cluster ~ring:r
+                                              ~node:i,
+                                            Member.state_name
+                                              (Cluster.member cluster
+                                                 ~ring:r ~node:i) ))
+                                        (alive_phys ()))
+                                    (List.init rings Fun.id);
+                              })
+                     else if
+                       not
+                         (Cluster.kv_converged cluster
+                         && Cluster.merge_settled cluster)
+                     then
+                       failure := Some (Kv_unsettled { nodes = kv_states () });
+                   finished := true
+                 end
+         done)
+   with e -> failure := Some (Run_exception (Printexc.to_string e)));
+  let health_report = Health.report health ~now:(Netsim.now sim) in
+  Health.detach ();
+  (match !failure with
+  | None ->
+      if c.Schedule.liveness then Cluster.check_convergence cluster;
+      if Cluster.oracle_violations cluster > 0 then
+        failure := Some (kv_violation_failure ())
+      else failure := mcas_divergence ()
+  | Some _ -> ());
+  {
+    schedule = s;
+    failure = !failure;
+    verdict = Checker.verdict checker;
+    deliveries = !deliveries;
+    views = !views;
+    trace_hash = !hash;
+    end_ns = Netsim.now sim;
+    health = health_report;
+  }
+
+let run_single ~bug ~adaptive ~app ?extra_sink (s : Schedule.t) =
   let c = s.config in
   let n = c.Schedule.n_nodes in
   let params = Schedule.params c in
@@ -553,6 +977,12 @@ let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
     health = health_report;
   }
 
+let run ?(bug = Bug.Clean) ?(adaptive = false) ?(app = App_none) ?extra_sink
+    (s : Schedule.t) =
+  if s.config.Schedule.rings > 1 then
+    run_multiring ~bug ~adaptive ~app ?extra_sink s
+  else run_single ~bug ~adaptive ~app ?extra_sink s
+
 let pp_failure ppf = function
   | Invariant v ->
       Format.fprintf ppf "invariant violations (%d):" v.Checker.violation_total;
@@ -583,6 +1013,14 @@ let pp_failure ppf = function
         nodes
   | Health_stall { report } ->
       Format.fprintf ppf "health watchdog stall:@,%a" Health.pp_report report
+  | Mcas_divergence { id; decisions } ->
+      Format.fprintf ppf "cross-shard mcas %s decided differently:" id;
+      List.iteri
+        (fun i (node, ring, commit) ->
+          if i < 12 then
+            Format.fprintf ppf "@,  node %d ring %d: %s" node ring
+              (if commit then "commit" else "abort"))
+        decisions
   | Run_exception e -> Format.fprintf ppf "exception: %s" e
 
 let pp_outcome ppf o =

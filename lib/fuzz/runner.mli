@@ -50,6 +50,10 @@ type failure =
   | Kv_unsettled of { nodes : (int * string) list }
       (** Probes converged but the KV replicas never reached a common
           settled (applied, digest) state within the drain budget. *)
+  | Mcas_divergence of { id : string; decisions : (int * int * bool) list }
+      (** Multi-ring only: one cross-shard mcas was decided commit on
+          some (node, ring) observation and abort on another —
+          cross-shard atomicity broken. *)
   | Health_stall of { report : Aring_obs.Health.report }
       (** The health watchdog (fourth judge, liveness schedules only)
           flagged a formation livelock or delivery stall before the
@@ -93,7 +97,15 @@ val run :
     (default {!App_none}) selects the hosted application. Runs stay
     deterministic per schedule for any fixed mode combination; the trace
     hash differs between modes (the controller changes send timing, the
-    kv app adds its own traffic and trace events). *)
+    kv app adds its own traffic and trace events).
+
+    A schedule with [config.rings > 1] runs on an
+    {!Aring_multiring.Cluster} instead: every physical node joins all
+    rings, the workload becomes the sharded put/del/cas/read mix plus
+    cross-shard mcas, and convergence is judged per ring on replica
+    equality, merge quiescence and cross-shard decision agreement
+    (probes are never sent; [Bug.Recovery_flood] is not plumbed through
+    the cluster builder and behaves as [Clean]). *)
 
 val passed : outcome -> bool
 
@@ -103,6 +115,7 @@ val app_of_string : string -> (app, string) result
 
 val failure_label : failure -> string
 (** ["invariant"], ["no_merge"], ["no_convergence"], ["kv_violation"],
-    ["kv_unsettled"], ["health_stall"] or ["exception"]. *)
+    ["kv_unsettled"], ["mcas_divergence"], ["health_stall"] or
+    ["exception"]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

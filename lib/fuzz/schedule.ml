@@ -2,14 +2,18 @@ module Prng = Aring_util.Prng
 module Json = Aring_obs.Json
 open Aring_sim
 
+(* [ring] on a fault scopes it to one ordering ring of a multi-ring run
+   (-1 = all rings, the only value single-ring schedules ever carry).
+   Crashes are always physical: a crashed node dies in every ring. *)
 type fault =
   | Crash of { at_ns : int; node : int }
-  | Partition of { at_ns : int; until_ns : int; island : int list }
+  | Partition of { at_ns : int; until_ns : int; island : int list; ring : int }
   | Loss_burst of { at_ns : int; until_ns : int; permille : int }
-  | Token_blackout of { at_ns : int; until_ns : int }
+  | Token_blackout of { at_ns : int; until_ns : int; ring : int }
 
 type config = {
   n_nodes : int;
+  rings : int;
   tier_ids : int list;
   ten_gig : bool;
   base_loss_permille : int;
@@ -34,7 +38,7 @@ let fault_window = function
   | Crash { at_ns; _ } -> (at_ns, at_ns)
   | Partition { at_ns; until_ns; _ }
   | Loss_burst { at_ns; until_ns; _ }
-  | Token_blackout { at_ns; until_ns } ->
+  | Token_blackout { at_ns; until_ns; _ } ->
       (at_ns, until_ns)
 
 let ms n = n * 1_000_000
@@ -95,20 +99,30 @@ let gen_window prng ~horizon ~max_len =
   let len = 1 + Prng.int prng (min max_len (horizon - at_ns)) in
   (at_ns, at_ns + len)
 
-let gen_fault prng ~n ~horizon =
+(* Ring scope is drawn *after* each fault's own draws and only when the
+   run is multi-ring, so single-ring schedules consume the exact
+   historical PRNG stream and every pinned corpus schedule regenerates
+   bit-identically. *)
+let gen_ring prng ~rings =
+  if rings <= 1 then -1
+  else if Prng.int prng 3 = 0 then -1
+  else Prng.int prng rings
+
+let gen_fault prng ~n ~rings ~horizon =
   match Prng.int prng 4 with
   | 0 -> Crash { at_ns = Prng.int prng horizon; node = Prng.int prng n }
   | 1 ->
       let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 120) in
-      Partition { at_ns; until_ns; island = gen_island prng n }
+      let island = gen_island prng n in
+      Partition { at_ns; until_ns; island; ring = gen_ring prng ~rings }
   | 2 ->
       let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 80) in
       Loss_burst { at_ns; until_ns; permille = 20 + Prng.int prng 280 }
   | _ ->
       let at_ns, until_ns = gen_window prng ~horizon ~max_len:(ms 60) in
-      Token_blackout { at_ns; until_ns }
+      Token_blackout { at_ns; until_ns; ring = gen_ring prng ~rings }
 
-let generate ?(max_nodes = 8) ~seed () =
+let generate ?(max_nodes = 8) ?(rings = 1) ~seed () =
   let prng = Prng.create ~seed in
   (* The default bound reproduces the historical draw stream exactly:
      [max_nodes = 8] makes this [2 + Prng.int prng 7], so every pinned
@@ -144,7 +158,8 @@ let generate ?(max_nodes = 8) ~seed () =
   let horizon_ns = ms (80 + Prng.int prng 171) in
   let n_faults = Prng.int prng 7 in
   let faults =
-    List.init n_faults (fun _ -> gen_fault prng ~n:n_nodes ~horizon:horizon_ns)
+    List.init n_faults (fun _ ->
+        gen_fault prng ~n:n_nodes ~rings ~horizon:horizon_ns)
   in
   let faults =
     List.sort (fun a b -> compare (fault_window a) (fault_window b)) faults
@@ -154,6 +169,7 @@ let generate ?(max_nodes = 8) ~seed () =
     config =
       {
         n_nodes;
+        rings;
         tier_ids;
         ten_gig;
         base_loss_permille;
@@ -187,14 +203,15 @@ let generate ?(max_nodes = 8) ~seed () =
 let fault_to_json = function
   | Crash { at_ns; node } ->
       Json.Obj [ ("fault", Json.String "crash"); ("at", Json.Int at_ns); ("node", Json.Int node) ]
-  | Partition { at_ns; until_ns; island } ->
+  | Partition { at_ns; until_ns; island; ring } ->
       Json.Obj
-        [
-          ("fault", Json.String "partition");
-          ("at", Json.Int at_ns);
-          ("until", Json.Int until_ns);
-          ("island", Json.List (List.map (fun i -> Json.Int i) island));
-        ]
+        ([
+           ("fault", Json.String "partition");
+           ("at", Json.Int at_ns);
+           ("until", Json.Int until_ns);
+           ("island", Json.List (List.map (fun i -> Json.Int i) island));
+         ]
+        @ if ring >= 0 then [ ("ring", Json.Int ring) ] else [])
   | Loss_burst { at_ns; until_ns; permille } ->
       Json.Obj
         [
@@ -203,13 +220,14 @@ let fault_to_json = function
           ("until", Json.Int until_ns);
           ("permille", Json.Int permille);
         ]
-  | Token_blackout { at_ns; until_ns } ->
+  | Token_blackout { at_ns; until_ns; ring } ->
       Json.Obj
-        [
-          ("fault", Json.String "token_blackout");
-          ("at", Json.Int at_ns);
-          ("until", Json.Int until_ns);
-        ]
+        ([
+           ("fault", Json.String "token_blackout");
+           ("at", Json.Int at_ns);
+           ("until", Json.Int until_ns);
+         ]
+        @ if ring >= 0 then [ ("ring", Json.Int ring) ] else [])
 
 let malformed what = raise (Json.Parse_error ("schedule: missing " ^ what))
 
@@ -228,6 +246,11 @@ let get_str j key =
   | Some v -> v
   | None -> malformed key
 
+let get_int_default j key ~default =
+  match Option.bind (Json.member key j) Json.to_int with
+  | Some v -> v
+  | None -> default
+
 let get_int_list j key =
   match Option.bind (Json.member key j) Json.to_list with
   | Some l ->
@@ -245,6 +268,7 @@ let fault_of_json j =
           at_ns = get_int j "at";
           until_ns = get_int j "until";
           island = get_int_list j "island";
+          ring = get_int_default j "ring" ~default:(-1);
         }
   | "loss_burst" ->
       Loss_burst
@@ -254,15 +278,23 @@ let fault_of_json j =
           permille = get_int j "permille";
         }
   | "token_blackout" ->
-      Token_blackout { at_ns = get_int j "at"; until_ns = get_int j "until" }
+      Token_blackout
+        {
+          at_ns = get_int j "at";
+          until_ns = get_int j "until";
+          ring = get_int_default j "ring" ~default:(-1);
+        }
   | k -> raise (Json.Parse_error ("schedule: unknown fault kind " ^ k))
 
 let to_json t =
   let c = t.config in
   Json.Obj
-    [
+    ([
       ("seed", Json.String (Int64.to_string t.seed));
       ("n_nodes", Json.Int c.n_nodes);
+    ]
+    @ (if c.rings <> 1 then [ ("rings", Json.Int c.rings) ] else [])
+    @ [
       ("tier_ids", Json.List (List.map (fun i -> Json.Int i) c.tier_ids));
       ("ten_gig", Json.Bool c.ten_gig);
       ("base_loss_permille", Json.Int c.base_loss_permille);
@@ -278,7 +310,7 @@ let to_json t =
       ("drain_ns", Json.Int c.drain_ns);
       ("liveness", Json.Bool c.liveness);
       ("faults", Json.List (List.map fault_to_json t.faults));
-    ]
+    ])
 
 let of_json j =
   let faults =
@@ -291,6 +323,7 @@ let of_json j =
     config =
       {
         n_nodes = get_int j "n_nodes";
+        rings = get_int_default j "rings" ~default:1;
         tier_ids = get_int_list j "tier_ids";
         ten_gig = get_bool j "ten_gig";
         base_loss_permille = get_int j "base_loss_permille";
@@ -312,26 +345,29 @@ let of_json j =
 let to_string t = Json.to_string (to_json t)
 let of_string s = of_json (Json.of_string s)
 
+let pp_ring ppf ring =
+  if ring >= 0 then Format.fprintf ppf " ring=%d" ring
+
 let pp_fault ppf = function
   | Crash { at_ns; node } ->
       Format.fprintf ppf "crash(node=%d at=%dus)" node (at_ns / 1000)
-  | Partition { at_ns; until_ns; island } ->
-      Format.fprintf ppf "partition({%s} %d-%dus)"
+  | Partition { at_ns; until_ns; island; ring } ->
+      Format.fprintf ppf "partition({%s} %d-%dus%a)"
         (String.concat "," (List.map string_of_int island))
-        (at_ns / 1000) (until_ns / 1000)
+        (at_ns / 1000) (until_ns / 1000) pp_ring ring
   | Loss_burst { at_ns; until_ns; permille } ->
       Format.fprintf ppf "loss(%d%%o %d-%dus)" permille (at_ns / 1000)
         (until_ns / 1000)
-  | Token_blackout { at_ns; until_ns } ->
-      Format.fprintf ppf "token_blackout(%d-%dus)" (at_ns / 1000)
-        (until_ns / 1000)
+  | Token_blackout { at_ns; until_ns; ring } ->
+      Format.fprintf ppf "token_blackout(%d-%dus%a)" (at_ns / 1000)
+        (until_ns / 1000) pp_ring ring
 
 let pp ppf t =
   let c = t.config in
   Format.fprintf ppf
-    "schedule(seed=%Ld n=%d net=%s loss=%d%%o aw=%d pw=%d gap=%d %s payload=%d \
-     horizon=%dms faults=[%a])"
-    t.seed c.n_nodes
+    "schedule(seed=%Ld n=%d rings=%d net=%s loss=%d%%o aw=%d pw=%d gap=%d %s \
+     payload=%d horizon=%dms faults=[%a])"
+    t.seed c.n_nodes c.rings
     (if c.ten_gig then "10g" else "1g")
     c.base_loss_permille c.accelerated_window c.personal_window c.max_seq_gap
     (if c.aggressive then "aggr" else "cons")

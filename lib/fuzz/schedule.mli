@@ -18,19 +18,23 @@
     is whole again when the drain phase starts (crashes are permanent). *)
 type fault =
   | Crash of { at_ns : int; node : int }
-  | Partition of { at_ns : int; until_ns : int; island : int list }
-      (** Nodes in [island] are cut from the rest in both directions;
-          each side keeps talking internally. *)
+      (** Crashes are physical: the node dies in every ring. *)
+  | Partition of { at_ns : int; until_ns : int; island : int list; ring : int }
+      (** Physical nodes in [island] are cut from the rest in both
+          directions; each side keeps talking internally. [ring] scopes
+          the cut to one ordering ring of a multi-ring run ([-1] = all
+          rings, the only value single-ring schedules carry). *)
   | Loss_burst of { at_ns : int; until_ns : int; permille : int }
       (** Extra random per-receiver loss during the window, on top of the
           configured base loss. *)
-  | Token_blackout of { at_ns : int; until_ns : int }
-      (** All regular and commit tokens are dropped at the switch:
-          forces token-retransmission, token-loss declaration, and
-          membership re-formation. *)
+  | Token_blackout of { at_ns : int; until_ns : int; ring : int }
+      (** All regular and commit tokens are dropped at the switch
+          ([ring] scoped like partitions): forces token-retransmission,
+          token-loss declaration, and membership re-formation. *)
 
 type config = {
   n_nodes : int;
+  rings : int;  (** Ordering rings; 1 = the classic single-ring run. *)
   tier_ids : int list;  (** Per node: 0 = library, 1 = daemon, 2 = spread. *)
   ten_gig : bool;
   base_loss_permille : int;
@@ -49,11 +53,15 @@ type config = {
 
 type t = { seed : int64; config : config; faults : fault list }
 
-val generate : ?max_nodes:int -> seed:int64 -> unit -> t
+val generate : ?max_nodes:int -> ?rings:int -> seed:int64 -> unit -> t
 (** Derive a complete random schedule from [seed]. Equal seeds yield
     equal schedules. [max_nodes] (default 8, the historical bound — the
     default preserves the seed→schedule mapping exactly) caps the drawn
-    cluster size; raise it to fuzz larger rings. *)
+    cluster size; raise it to fuzz larger rings. [rings] (default 1)
+    makes the run multi-ring; fault ring scopes are drawn after each
+    fault's own draws and only when [rings > 1], so single-ring
+    schedules consume the exact historical PRNG stream and pinned
+    corpus schedules regenerate bit-identically. *)
 
 val params : config -> Aring_ring.Params.t
 (** Protocol parameters encoded by the schedule: windows, priority method

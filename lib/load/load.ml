@@ -47,6 +47,8 @@ type spec = {
   sync_read_permille : int;
   cas_permille : int;
   del_permille : int;
+  mcas_permille : int;
+  rings : int;
   churn : churn option;
   slow : slow_spec option;
   geo : geo option;
@@ -108,6 +110,8 @@ let default_spec =
     sync_read_permille = 50;
     cas_permille = 100;
     del_permille = 70;
+    mcas_permille = 0;
+    rings = 1;
     churn = None;
     slow = None;
     geo = None;
@@ -138,6 +142,10 @@ let no_callbacks =
 
 let validate spec =
   if spec.n_nodes < 2 then invalid_arg "Load.run: n_nodes < 2";
+  if spec.rings <> 1 then
+    invalid_arg "Load.run: multi-ring specs run via Aring_multiring.Mload.run";
+  if spec.mcas_permille <> 0 then
+    invalid_arg "Load.run: mcas needs a multi-ring run (Mload)";
   if spec.sessions_per_node < 1 then
     invalid_arg "Load.run: sessions_per_node < 1";
   if spec.n_groups < 1 then invalid_arg "Load.run: n_groups < 1";

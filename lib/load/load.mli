@@ -92,6 +92,11 @@ type spec = {
   sync_read_permille : int;
   cas_permille : int;
   del_permille : int;
+  mcas_permille : int;
+      (** Of writes: cross-shard multi-key cas (multi-ring runs only). *)
+  rings : int;
+      (** Number of ordering rings. 1 = classic single-ring {!run};
+          multi-ring specs execute via [Aring_multiring.Mload.run]. *)
   churn : churn option;
   slow : slow_spec option;
   geo : geo option;

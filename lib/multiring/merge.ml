@@ -1,0 +1,114 @@
+(* Deterministic round-robin learner merge over M ring streams.
+
+   Each ring feeds the merge a FIFO sequence of [Item]s (its agreed
+   deliveries) and [Skip]s (liveness hints from idle periods). The merge
+   holds a cursor and visits rings strictly round-robin; at each visit
+   the front of the cursor ring's sequence decides what happens:
+
+   - [Item x]: emit [(ring, x)] and advance the cursor;
+   - [Skip k] (one unit per visit): cede this turn, leave [k - 1] units
+     at the front, advance the cursor;
+   - empty queue with no front credit: the merge blocks (returns [None])
+     until that ring supplies an item or a skip.
+
+   Consuming skip credits strictly in queue position — never folding
+   them past items pushed later — is what makes the merged order a pure
+   function of the per-ring input sequences: no matter how pushes and
+   pops interleave in real time, the same per-ring sequences produce the
+   same output. An idle ring keeps the merge live by emitting skips; a
+   ring that is idle *and* silent correctly stalls it (the learner has
+   no way to know that ring won't deliver something that sorts next). *)
+
+type 'a input = Item of 'a | Skip of int
+
+type 'a cell = C_item of 'a | C_skip of int
+
+type 'a t = {
+  rings : int;
+  queues : 'a cell Queue.t array;
+  (* Units remaining of a partially-consumed skip at the front of each
+     ring's sequence — kept outside the queue so consuming one unit per
+     visit is O(1). *)
+  front_credit : int array;
+  items : int array;  (* count of C_item cells per ring, for blocked-check *)
+  credits : int array;  (* unconsumed skip units per ring, incl. front *)
+  mutable cursor : int;
+  mutable emitted : int;
+  mutable credits_spent : int;
+}
+
+let create ~rings =
+  if rings < 1 then invalid_arg "Merge.create: rings < 1";
+  {
+    rings;
+    queues = Array.init rings (fun _ -> Queue.create ());
+    front_credit = Array.make rings 0;
+    items = Array.make rings 0;
+    credits = Array.make rings 0;
+    cursor = 0;
+    emitted = 0;
+    credits_spent = 0;
+  }
+
+let rings t = t.rings
+let emitted t = t.emitted
+let credits_spent t = t.credits_spent
+let pending t ~ring = t.items.(ring)
+let unspent_credits t ~ring = t.credits.(ring)
+
+let push t ~ring input =
+  if ring < 0 || ring >= t.rings then invalid_arg "Merge.push: ring";
+  match input with
+  | Item x ->
+      Queue.push (C_item x) t.queues.(ring);
+      t.items.(ring) <- t.items.(ring) + 1
+  | Skip k ->
+      if k > 0 then begin
+        Queue.push (C_skip k) t.queues.(ring);
+        t.credits.(ring) <- t.credits.(ring) + k
+      end
+
+(* True iff some ring holds an item — i.e. burning credits can reach an
+   emission. Without this check an all-idle merge would eat its credits
+   emitting nothing. *)
+let has_item t =
+  let rec go r = r < t.rings && (t.items.(r) > 0 || go (r + 1)) in
+  go 0
+
+let pop t =
+  if not (has_item t) then None
+  else
+    let rec visit () =
+      let r = t.cursor in
+      if t.front_credit.(r) > 0 then begin
+        t.front_credit.(r) <- t.front_credit.(r) - 1;
+        t.credits.(r) <- t.credits.(r) - 1;
+        t.credits_spent <- t.credits_spent + 1;
+        t.cursor <- (r + 1) mod t.rings;
+        visit ()
+      end
+      else
+        match Queue.peek_opt t.queues.(r) with
+        | Some (C_skip k) ->
+            ignore (Queue.pop t.queues.(r));
+            (* Consume one unit now; the rest waits at the front. *)
+            t.front_credit.(r) <- k - 1;
+            t.credits.(r) <- t.credits.(r) - 1;
+            t.credits_spent <- t.credits_spent + 1;
+            t.cursor <- (r + 1) mod t.rings;
+            visit ()
+        | Some (C_item x) ->
+            ignore (Queue.pop t.queues.(r));
+            t.items.(r) <- t.items.(r) - 1;
+            t.cursor <- (r + 1) mod t.rings;
+            t.emitted <- t.emitted + 1;
+            Some (r, x)
+        | None -> None  (* blocked on ring r *)
+    in
+    visit ()
+
+let pop_all t =
+  let rec go acc =
+    match pop t with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []

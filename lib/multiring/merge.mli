@@ -1,0 +1,60 @@
+(** Deterministic round-robin learner merge over M ring streams
+    (Multi-Ring Paxos, with Ring-Paxos-style skips).
+
+    A learner subscribed to several rings feeds each ring's agreed
+    deliveries ([Item]) and idle-period liveness hints ([Skip]) into one
+    {!t}; {!pop} emits the merged total order. The merge visits rings
+    strictly round-robin: the cursor ring's front element either emits
+    (an item), cedes the turn (one unit of a skip), or blocks the merge
+    (nothing there — the ring must speak before anything can sort after
+    its silence).
+
+    The merged order is a {e pure function of the per-ring input
+    sequences}: skip units are consumed in queue position, never folded
+    past items pushed later, so any real-time interleaving of pushes and
+    pops yields the same output (the property [test/test_multiring.ml]
+    checks by qcheck). With one ring the merge is the identity stream —
+    skips are transparent. *)
+
+type 'a input =
+  | Item of 'a  (** One agreed delivery of the ring. *)
+  | Skip of int
+      (** Cede the next [k] of this ring's merge turns ([k <= 0] is
+          dropped). *)
+
+type 'a t
+
+val create : rings:int -> 'a t
+(** @raise Invalid_argument if [rings < 1]. *)
+
+val push : 'a t -> ring:int -> 'a input -> unit
+(** Append to ring [ring]'s input sequence (FIFO). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Next element of the merged order, or [None] if the merge is blocked:
+    either no ring holds an item, or the cursor reaches a ring that is
+    empty with no skip credit before any item can emit. Blocked is not
+    final — push more and pop again. *)
+
+val pop_all : 'a t -> (int * 'a) list
+(** Drain until blocked. *)
+
+val rings : 'a t -> int
+
+val emitted : 'a t -> int
+(** Total items emitted so far — equal at any two learners that fed the
+    same per-ring sequences and drained. *)
+
+val credits_spent : 'a t -> int
+(** Skip units consumed so far. *)
+
+val pending : 'a t -> ring:int -> int
+(** Items pushed for [ring] not yet emitted. *)
+
+val unspent_credits : 'a t -> ring:int -> int
+(** Skip units pushed for [ring] not yet consumed — queued blocks plus
+    the remainder of a partially-consumed front block. Skip generators
+    use it to stop granting while a ring's silence is already covered:
+    every queued unit is a merge turn the ring's {e next item} must wait
+    out, so unbounded grants during a long idle period would stall the
+    ring's stream for thousands of rotations after it wakes. *)

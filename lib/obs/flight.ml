@@ -54,6 +54,9 @@ let ev_dedup = 13
 let ev_burst = 14
 let ev_nack = 15
 let ev_resend = 16
+let ev_mcas = 17
+let ev_skip = 18
+let ev_merge = 19
 
 let code_name = function
   | 1 -> "token_recv"
@@ -72,6 +75,9 @@ let code_name = function
   | 14 -> "recovery_burst"
   | 15 -> "recovery_nack"
   | 16 -> "recovery_resend"
+  | 17 -> "mcas"
+  | 18 -> "skip"
+  | 19 -> "merge"
   | _ -> "unknown"
 
 (* ------------------------------------------------------------------ *)

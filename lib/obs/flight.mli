@@ -50,6 +50,19 @@ val ev_resend : int
 (** This node answered a nack as the (re-)elected holder: [a] =
     messages queued for resend, [b] = nack'd seqnos examined. *)
 
+val ev_mcas : int
+(** Cross-shard cas life cycle at a replica: [a] = ring id, on park
+    [b] = this ring's vote and [d] = involved-ring count; on resolve
+    [b] = 2 (abort) / 3 (commit) with [c] = 1. *)
+
+val ev_skip : int
+(** A skip-generator fired on an idle ring: [a] = ring id, [b] =
+    credits granted. *)
+
+val ev_merge : int
+(** Learner merge progress at a node: [a] = ring id popped, [b] =
+    merged-stream length, [c] = credits consumed since the last pop. *)
+
 val code_name : int -> string
 
 (** {2 Recording} *)

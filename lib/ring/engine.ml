@@ -570,8 +570,8 @@ let drain_pending t =
 let start_timers t =
   [ Set_timer (Token_loss, t.loss_gen, t.params.token_loss_ns) ]
 
-let record_metrics t reg =
-  let c name v = Metrics.add (Metrics.counter reg name) v in
+let record_metrics ?(prefix = "") t reg =
+  let c name v = Metrics.add (Metrics.counter reg (prefix ^ name)) v in
   c "engine.rounds" t.stats.rounds;
   c "engine.new_sent" t.stats.new_sent;
   c "engine.retrans_sent" t.stats.retrans_sent;

@@ -151,10 +151,11 @@ val buffered_count : t -> int
 
 val stats : t -> stats
 
-val record_metrics : t -> Aring_obs.Metrics.t -> unit
+val record_metrics : ?prefix:string -> t -> Aring_obs.Metrics.t -> unit
 (** Export the engine counters into a metrics registry under
     ["engine.*"] names, adding to any values already there (so per-node
-    exports accumulate into cluster totals). *)
+    exports accumulate into cluster totals). [prefix] is prepended to
+    every name (e.g. ["ring1."] for per-ring registries). *)
 
 val buffered_message : t -> Types.seqno -> Message.data option
 (** [buffered_message t seq] is the retained message with sequence [seq],

@@ -77,6 +77,10 @@ type t = {
   (* Additional one-way latency per (src, dst) pair, on top of
      [net.latency_ns] — the WAN/geo hook. Defaults to zero. *)
   mutable extra_latency : src:int -> dst:int -> int;
+  (* Multicast domains: a node's multicasts fan out only to nodes in the
+     same domain (multi-ring isolation). [None] = one flat domain — the
+     filter is never consulted, so defaults stay byte-identical. *)
+  mutable domains : int array option;
   mutable drop : src:int -> dst:int -> Message.t -> bool;
   mutable deliver_cb : at:int -> now:int -> Message.data -> unit;
   mutable view_cb : at:int -> now:int -> Participant.view -> unit;
@@ -236,9 +240,19 @@ let transmit_multicast t ~at src msg =
   let size = packet_size t src msg in
   let at_switch = nic_serialize t ~at src size in
   let n = Array.length t.parts in
-  for dst = 0 to n - 1 do
-    if dst <> src then port_enqueue t ~at_switch ~size ~src ~dst msg
-  done
+  match t.domains with
+  | None ->
+      for dst = 0 to n - 1 do
+        if dst <> src then port_enqueue t ~at_switch ~size ~src ~dst msg
+      done
+  | Some dom ->
+      (* Cross-domain destinations are pruned before [port_enqueue]: no
+         PRNG draw, no drop counter, no trace event — a domain switch
+         never perturbs same-domain event streams. *)
+      for dst = 0 to n - 1 do
+        if dst <> src && dom.(dst) = dom.(src) then
+          port_enqueue t ~at_switch ~size ~src ~dst msg
+      done
 
 (* Interpret a participant's actions, advancing a CPU cursor so that each
    send and each delivery occupies the CPU serially in action order.
@@ -388,6 +402,7 @@ let create ~net ~tiers ~participants ?(seed = 1L) () =
       up_bps = Array.make n net.Profile.bandwidth_bps;
       down_bps = Array.make n net.Profile.bandwidth_bps;
       extra_latency = (fun ~src:_ ~dst:_ -> 0);
+      domains = None;
       drop = (fun ~src:_ ~dst:_ _ -> false);
       deliver_cb = (fun ~at:_ ~now:_ _ -> ());
       view_cb = (fun ~at:_ ~now:_ _ -> ());
@@ -445,6 +460,11 @@ let set_link_rates t ~node ?up_bps ?down_bps () =
   set t.down_bps down_bps
 
 let set_extra_latency t f = t.extra_latency <- f
+
+let set_domains t dom =
+  if Array.length dom <> Array.length t.parts then
+    invalid_arg "Netsim.set_domains: domains must cover every node";
+  t.domains <- Some (Array.copy dom)
 
 let set_latency_classes t ~classes ~matrix =
   let n = Array.length t.parts in

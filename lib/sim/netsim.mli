@@ -120,6 +120,15 @@ val set_latency_classes : t -> classes:int array -> matrix:int array array -> un
     e.g. two sites with [[|0;0;1;1|]] and
     [[| [|0; wan|]; [|wan; 0|] |]]. Both arrays are copied. *)
 
+val set_domains : t -> int array -> unit
+(** Partition the nodes into multicast domains: a multicast from node [i]
+    fans out only to nodes [j] with [dom.(j) = dom.(i)] (multi-ring
+    isolation — each ring's participants form one domain). Cross-domain
+    destinations are pruned before any loss/buffer accounting, so
+    same-domain event streams are byte-identical to a run without the
+    other domains. Unicast is unaffected. The array is copied; it must
+    cover every node. By default all nodes share one domain. *)
+
 val crash : t -> int -> unit
 (** Node stops processing and receiving, permanently. *)
 

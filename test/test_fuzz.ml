@@ -13,6 +13,7 @@ let small_schedule seed =
     config =
       {
         Schedule.n_nodes = 3;
+        rings = 1;
         tier_ids = [ 1; 1; 1 ];
         ten_gig = true;
         base_loss_permille = 10;
@@ -30,9 +31,15 @@ let small_schedule seed =
       };
     faults =
       [
-        Schedule.Token_blackout { at_ns = 10_000_000; until_ns = 25_000_000 };
+        Schedule.Token_blackout
+          { at_ns = 10_000_000; until_ns = 25_000_000; ring = -1 };
         Schedule.Partition
-          { at_ns = 30_000_000; until_ns = 50_000_000; island = [ 0 ] };
+          {
+            at_ns = 30_000_000;
+            until_ns = 50_000_000;
+            island = [ 0 ];
+            ring = -1;
+          };
       ];
   }
 
@@ -331,6 +338,60 @@ let test_kv_corpus_replays_green () =
             name)
     entries
 
+(* Same contract for the multi-ring corpus: the committed schedules
+   carry [rings > 1], so replay drives the sharded multi-ring stack —
+   M independent rings, the cross-ring KV oracle, and the deterministic
+   learner merge. Hashes live in
+   [corpus/multiring/trace_hashes_multiring.txt], same line format. *)
+let test_multiring_corpus_replays_green () =
+  let entries = Corpus.load_dir "corpus/multiring" in
+  Alcotest.(check bool) "multiring corpus is not empty" true (entries <> []);
+  let oracle =
+    committed_kv_hashes "corpus/multiring/trace_hashes_multiring.txt"
+  in
+  Alcotest.(check int)
+    "every multiring corpus entry has committed hashes" (List.length entries)
+    (List.length oracle);
+  List.iter
+    (fun (name, schedule) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a multi-ring schedule" name)
+        true
+        (schedule.Schedule.config.Schedule.rings > 1);
+      let clean = Fuzzer.replay ~app:Runner.App_kv schedule in
+      if not (Runner.passed clean) then
+        Alcotest.failf "multiring corpus entry %s regressed: %s" name
+          (Format.asprintf "%a" Runner.pp_outcome clean);
+      let adaptive = Fuzzer.replay ~adaptive:true ~app:Runner.App_kv schedule in
+      if not (Runner.passed adaptive) then
+        Alcotest.failf "multiring corpus entry %s regressed (adaptive): %s"
+          name
+          (Format.asprintf "%a" Runner.pp_outcome adaptive);
+      (match List.assoc_opt (Filename.basename name) oracle with
+      | None -> Alcotest.failf "no committed trace hashes for %s" name
+      | Some (h, ha) ->
+          if clean.Runner.trace_hash <> h then
+            Alcotest.failf
+              "multiring entry %s trace drifted: %Lx, committed %Lx" name
+              clean.Runner.trace_hash h;
+          if adaptive.Runner.trace_hash <> ha then
+            Alcotest.failf
+              "multiring entry %s adaptive trace drifted: %Lx, committed %Lx"
+              name adaptive.Runner.trace_hash ha);
+      let buggy =
+        Fuzzer.replay
+          ~bug:(Bug.Kv_skip_apply { node = 0; every = 3 })
+          ~app:Runner.App_kv schedule
+      in
+      match buggy.Runner.failure with
+      | Some (Runner.Kv_violation _) -> ()
+      | _ ->
+          Alcotest.failf
+            "multiring entry %s no longer catches the seeded bug it was \
+             minted by"
+            name)
+    entries
+
 (* ------------------------------------------------------------------ *)
 (* Recovery overhaul regressions + health watchdog                     *)
 
@@ -475,6 +536,8 @@ let suite =
     ("finds skip-delivery under kv app", `Slow, test_finds_skip_delivery_under_kv);
     ("kv corpus replays green + catches its bug", `Quick,
      test_kv_corpus_replays_green);
+    ("multiring corpus replays green + catches its bug", `Quick,
+     test_multiring_corpus_replays_green);
     ("former recovery-flood livelock converges", `Quick,
      test_recovery_livelock_schedule_converges);
     ("adaptive singleton-gather stall converges", `Quick,

@@ -19,4 +19,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("app", Test_app.suite);
       ("load", Test_load.suite);
+      ("multiring", Test_multiring.suite);
     ]
